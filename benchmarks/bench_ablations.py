@@ -1,0 +1,64 @@
+"""Ablations of DS-Search design choices (DESIGN.md §6).
+
+* split strategy: the paper's quadratic split vs. plain median bisection;
+* dirty-cell probing: early incumbent improvement on vs. off;
+* adaptive grid sizing: cells tracking the active-set size vs. fixed.
+
+All variants are exact (asserted); only the runtime changes.
+"""
+
+import pytest
+
+from repro.data import weekend_query
+from repro.dssearch import SearchSettings, ds_search
+from repro.experiments.datasets import paper_query_size, tweets
+
+from .conftest import run_once
+
+N = 20_000
+SIZE_FACTOR = 10
+
+
+def _query():
+    dataset = tweets(N)
+    return dataset, weekend_query(dataset, *paper_query_size(dataset, SIZE_FACTOR))
+
+
+@pytest.mark.parametrize("strategy", ("quadratic", "bisect"))
+def test_ablation_split_strategy(benchmark, strategy):
+    benchmark.group = "ablation split"
+    dataset, query = _query()
+    settings = SearchSettings(split_strategy=strategy)
+    result = run_once(benchmark, ds_search, dataset, query, settings)
+    reference = ds_search(dataset, query)
+    assert abs(result.distance - reference.distance) < 1e-6
+
+
+@pytest.mark.parametrize("probe", (0, 8, 32))
+def test_ablation_probing(benchmark, probe):
+    benchmark.group = "ablation probing"
+    dataset, query = _query()
+    settings = SearchSettings(probe_dirty_cells=probe)
+    result = run_once(benchmark, ds_search, dataset, query, settings)
+    reference = ds_search(dataset, query)
+    assert abs(result.distance - reference.distance) < 1e-6
+
+
+@pytest.mark.parametrize("adaptive", (True, False))
+def test_ablation_adaptive_grid(benchmark, adaptive):
+    benchmark.group = "ablation adaptive grid"
+    dataset, query = _query()
+    settings = SearchSettings(adaptive_grid=adaptive)
+    result = run_once(benchmark, ds_search, dataset, query, settings)
+    reference = ds_search(dataset, query)
+    assert abs(result.distance - reference.distance) < 1e-6
+
+
+@pytest.mark.parametrize("factor", (0.0, 1e-4, 1e-3))
+def test_ablation_resolution_floor(benchmark, factor):
+    benchmark.group = "ablation resolution floor"
+    dataset, query = _query()
+    settings = SearchSettings(resolution_factor=factor)
+    result = run_once(benchmark, ds_search, dataset, query, settings)
+    reference = ds_search(dataset, query)
+    assert abs(result.distance - reference.distance) < 1e-6

@@ -1,0 +1,49 @@
+"""Figure 8: runtime vs. query rectangle size -- DS-Search vs. Base.
+
+Paper: Tweet-1M / POISyn-1M, sizes q..10q; DS-Search wins by orders of
+magnitude.  Scaled to n = 10k (Base is O(n²)); expected shape: DS-Search
+faster on the Tweet workload at every size, and the gap between the two
+algorithms widens with n (see Fig 10 bench).
+"""
+
+import pytest
+
+from repro.baselines.sweepline import sweep_line_search
+from repro.data import poisyn_query, weekend_query
+from repro.dssearch import ds_search
+from repro.experiments.datasets import paper_query_size, poisyn, tweets
+
+from .conftest import run_once
+
+N = 10_000
+SIZES = (1, 4, 7, 10)
+
+
+def _query(kind: str, k: int):
+    if kind == "tweet":
+        dataset = tweets(N)
+        query = weekend_query(dataset, *paper_query_size(dataset, k))
+    else:
+        dataset = poisyn(N)
+        query = poisyn_query(dataset, *paper_query_size(dataset, k))
+    return dataset, query
+
+
+@pytest.mark.parametrize("kind", ("tweet", "poisyn"))
+@pytest.mark.parametrize("k", SIZES)
+def test_fig8_ds_search(benchmark, kind, k):
+    benchmark.group = f"fig8 {kind} {k}q"
+    dataset, query = _query(kind, k)
+    result = run_once(benchmark, ds_search, dataset, query)
+    assert result.distance >= 0.0
+
+
+@pytest.mark.parametrize("kind", ("tweet", "poisyn"))
+@pytest.mark.parametrize("k", SIZES)
+def test_fig8_base(benchmark, kind, k):
+    benchmark.group = f"fig8 {kind} {k}q"
+    dataset, query = _query(kind, k)
+    result = run_once(benchmark, sweep_line_search, dataset, query)
+    # Cross-check against DS-Search: both are exact.
+    ds_result = ds_search(dataset, query)
+    assert abs(result.distance - ds_result.distance) < 1e-6

@@ -1,0 +1,31 @@
+"""Figure 9: DS-Search runtime vs. the grid parameters ncol = nrow.
+
+Paper: granularities 10..50, sizes q..10q; an interior optimum (30x30)
+balances per-cell work against drop-condition progress.  The adaptive
+grid heuristic is disabled so the parameter takes full effect.
+"""
+
+import pytest
+
+from repro.data import weekend_query
+from repro.dssearch import SearchSettings, ds_search
+from repro.experiments.datasets import paper_query_size, tweets
+
+from .conftest import run_once
+
+N = 20_000
+GRIDS = (10, 20, 30, 40, 50)
+SIZES = (1, 10)
+
+
+@pytest.mark.parametrize("g", GRIDS)
+@pytest.mark.parametrize("k", SIZES)
+def test_fig9_grid_parameter(benchmark, g, k):
+    benchmark.group = f"fig9 {k}q"
+    dataset = tweets(N)
+    query = weekend_query(dataset, *paper_query_size(dataset, k))
+    settings = SearchSettings(ncol=g, nrow=g, adaptive_grid=False)
+    result = run_once(benchmark, ds_search, dataset, query, settings)
+    # Exactness is granularity-independent.
+    reference = ds_search(dataset, query)
+    assert abs(result.distance - reference.distance) < 1e-6

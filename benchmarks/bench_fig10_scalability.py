@@ -1,0 +1,47 @@
+"""Figure 10: scalability -- runtime vs. dataset cardinality (size 10q).
+
+Paper: 1-10 x 10^5 objects; DS-Search's near-linear curve separates from
+Base's O(n²) by 2-3 orders of magnitude.  Scaled to 5k-40k; expected
+shape: the DS-Search/Base gap widens monotonically with n.
+"""
+
+import pytest
+
+from repro.baselines.sweepline import sweep_line_search
+from repro.data import poisyn_query, weekend_query
+from repro.dssearch import ds_search
+from repro.experiments.datasets import paper_query_size, poisyn, tweets
+
+from .conftest import run_once
+
+CARDINALITIES = (5_000, 10_000, 20_000, 40_000)
+SIZE_FACTOR = 10
+
+
+def _query(kind: str, n: int):
+    if kind == "tweet":
+        dataset = tweets(n)
+        query = weekend_query(dataset, *paper_query_size(dataset, SIZE_FACTOR))
+    else:
+        dataset = poisyn(n)
+        query = poisyn_query(dataset, *paper_query_size(dataset, SIZE_FACTOR))
+    return dataset, query
+
+
+@pytest.mark.parametrize("kind", ("tweet", "poisyn"))
+@pytest.mark.parametrize("n", CARDINALITIES)
+def test_fig10_ds_search(benchmark, kind, n):
+    benchmark.group = f"fig10 {kind} n={n}"
+    dataset, query = _query(kind, n)
+    result = run_once(benchmark, ds_search, dataset, query)
+    assert result.distance >= 0.0
+
+
+@pytest.mark.parametrize("kind", ("tweet", "poisyn"))
+@pytest.mark.parametrize("n", CARDINALITIES)
+def test_fig10_base(benchmark, kind, n):
+    benchmark.group = f"fig10 {kind} n={n}"
+    dataset, query = _query(kind, n)
+    result = run_once(benchmark, sweep_line_search, dataset, query)
+    ds_result = ds_search(dataset, query)
+    assert abs(result.distance - ds_result.distance) < 1e-6

@@ -1,0 +1,42 @@
+"""Figure 11: GI-DS vs. DS-Search across grid-index granularities.
+
+Paper: Tweet-100M / POISyn-100M, granularities 64/128/256; GI-DS runs at
+~47% of DS-Search on average, degrading when the index is too coarse.
+Scaled to n = 150k -- the regime where the index's locality benefit
+materializes in Python.
+"""
+
+import pytest
+
+from repro.data import weekend_query
+from repro.dssearch import ds_search
+from repro.experiments.datasets import paper_query_size, tweet_index, tweets
+from repro.index import gi_ds_search
+
+from .conftest import run_once
+
+N = 150_000
+GRANULARITIES = (64, 128, 256)
+SIZE_FACTOR = 10
+
+
+def _query():
+    dataset = tweets(N)
+    return dataset, weekend_query(dataset, *paper_query_size(dataset, SIZE_FACTOR))
+
+
+def test_fig11_ds_search_reference(benchmark):
+    benchmark.group = "fig11"
+    dataset, query = _query()
+    result = run_once(benchmark, ds_search, dataset, query)
+    assert result.distance >= 0.0
+
+
+@pytest.mark.parametrize("g", GRANULARITIES)
+def test_fig11_gi_ds(benchmark, g):
+    benchmark.group = "fig11"
+    dataset, query = _query()
+    index = tweet_index(N, g)  # built once, cached: query-independent
+    result = run_once(benchmark, gi_ds_search, dataset, query, index)
+    reference = ds_search(dataset, query)
+    assert abs(result.distance - reference.distance) < 1e-6

@@ -1,0 +1,39 @@
+"""Figure 12: runtime of the approximate solution (app-GIDS) vs. δ.
+
+Paper: δ in {0.1..0.4} on 1-3 x 10^8 objects, both aggregators; runtime
+decreases as δ grows.  Scaled to 25k/50k.
+"""
+
+import pytest
+
+from repro.data import poisyn_query, weekend_query
+from repro.experiments.datasets import paper_query_size, poisyn, tweets
+from repro.index import gi_ds_search
+
+from .conftest import run_once
+
+DELTAS = (0.1, 0.2, 0.3, 0.4)
+CARDINALITIES = (25_000, 50_000)
+SIZE_FACTOR = 10
+
+
+def _query(kind: str, n: int):
+    if kind == "tweet":
+        dataset = tweets(n)
+        query = weekend_query(dataset, *paper_query_size(dataset, SIZE_FACTOR))
+    else:
+        dataset = poisyn(n)
+        query = poisyn_query(dataset, *paper_query_size(dataset, SIZE_FACTOR))
+    return dataset, query
+
+
+@pytest.mark.parametrize("kind", ("tweet", "poisyn"))
+@pytest.mark.parametrize("n", CARDINALITIES)
+@pytest.mark.parametrize("delta", DELTAS)
+def test_fig12_app_gids(benchmark, kind, n, delta):
+    benchmark.group = f"fig12 {kind} n={n}"
+    dataset, query = _query(kind, n)
+    result = run_once(
+        benchmark, gi_ds_search, dataset, query, None, (64, 64), None, delta
+    )
+    assert result.distance >= 0.0

@@ -1,0 +1,57 @@
+"""Figure 13: application to the MaxRS problem.
+
+Paper: (a) sizes q..30q on 5M objects, (b) cardinalities 1M-10M at 10q;
+the DS-Search adaptation beats the O(n log n) OE sweep by about an
+order of magnitude and is less size-sensitive.  Scaled to 10k-100k.
+"""
+
+import pytest
+
+from repro.baselines.maxrs_oe import max_rs_oe
+from repro.dssearch.maxrs import max_rs_ds
+from repro.experiments.datasets import paper_query_size, tweets
+
+from .conftest import run_once
+
+SIZES = (1, 10, 20, 30)
+CARDINALITIES = (10_000, 25_000, 50_000, 100_000)
+N_FOR_SIZES = 50_000
+SIZE_FACTOR = 10
+
+
+@pytest.mark.parametrize("k", SIZES)
+def test_fig13a_ds_maxrs(benchmark, k):
+    benchmark.group = f"fig13a {k}q"
+    dataset = tweets(N_FOR_SIZES)
+    width, height = paper_query_size(dataset, k)
+    result = run_once(benchmark, max_rs_ds, dataset, width, height)
+    assert result.score > 0
+
+
+@pytest.mark.parametrize("k", SIZES)
+def test_fig13a_oe(benchmark, k):
+    benchmark.group = f"fig13a {k}q"
+    dataset = tweets(N_FOR_SIZES)
+    width, height = paper_query_size(dataset, k)
+    result = run_once(benchmark, max_rs_oe, dataset, width, height)
+    ds_result = max_rs_ds(dataset, width, height)
+    assert result.score == ds_result.score
+
+
+@pytest.mark.parametrize("n", CARDINALITIES)
+def test_fig13b_ds_maxrs(benchmark, n):
+    benchmark.group = f"fig13b n={n}"
+    dataset = tweets(n)
+    width, height = paper_query_size(dataset, SIZE_FACTOR)
+    result = run_once(benchmark, max_rs_ds, dataset, width, height)
+    assert result.score > 0
+
+
+@pytest.mark.parametrize("n", CARDINALITIES)
+def test_fig13b_oe(benchmark, n):
+    benchmark.group = f"fig13b n={n}"
+    dataset = tweets(n)
+    width, height = paper_query_size(dataset, SIZE_FACTOR)
+    result = run_once(benchmark, max_rs_oe, dataset, width, height)
+    ds_result = max_rs_ds(dataset, width, height)
+    assert result.score == ds_result.score

@@ -1,0 +1,35 @@
+"""Figures 14/15: the Singapore case study.
+
+Query with the "Orchard" district (excluded from candidates); the answer
+must land on the "Marina Bay" twin, and the Figure-15 similarity
+ordering dist(Orchard, Marina Bay) < dist(Orchard, Bugis) must hold.
+"""
+
+from repro.core.query import ASRSQuery
+from repro.data import category_aggregator, generate_city_dataset
+from repro.dssearch import ds_search
+
+from .conftest import run_once
+
+N = 4_556  # the paper's Foursquare-Singapore cardinality
+SEED = 11
+
+
+def test_fig14_case_study(benchmark):
+    benchmark.group = "fig14"
+    city, districts = generate_city_dataset(N, seed=SEED)
+    aggregator = category_aggregator()
+    orchard = districts["Orchard"]
+    query = ASRSQuery.from_region(city, orchard, aggregator)
+
+    result = run_once(benchmark, ds_search, city, query, None, orchard)
+
+    # Fig 14: the found region is the Marina Bay twin.
+    assert result.region.intersects_open(districts["Marina Bay"])
+    assert not result.region.intersects_open(orchard)
+    # Fig 15: Marina Bay is more similar to Orchard than Bugis is.
+    d_marina = query.distance_to(aggregator.apply(city, districts["Marina Bay"]))
+    d_bugis = query.distance_to(aggregator.apply(city, districts["Bugis"]))
+    assert d_marina < d_bugis
+    benchmark.extra_info["dist_marina"] = round(d_marina, 2)
+    benchmark.extra_info["dist_bugis"] = round(d_bugis, 2)

@@ -1,0 +1,51 @@
+"""Table 1: ratio of index cells searched by GI-DS, and index size.
+
+Paper: only 1.4%-24% of cells are searched; the ratio shrinks as the
+index granularity grows, while the index size grows.  These are
+assertions on instrumented counters; the benchmark time is the full
+GI-DS query.
+"""
+
+import pytest
+
+from repro.data import weekend_query
+from repro.experiments.datasets import paper_query_size, tweet_index, tweets
+from repro.index import gi_ds_search
+
+from .conftest import run_once
+
+N = 100_000
+GRANULARITIES = (64, 128, 256)
+SIZE_FACTOR = 10
+
+
+@pytest.mark.parametrize("g", GRANULARITIES)
+def test_table1_cells_searched(benchmark, g):
+    benchmark.group = "table1"
+    dataset = tweets(N)
+    query = weekend_query(dataset, *paper_query_size(dataset, SIZE_FACTOR))
+    index = tweet_index(N, g)
+
+    def run():
+        return gi_ds_search(dataset, query, index, return_stats=True)
+
+    _, stats = run_once(benchmark, run)
+    # Shape: only a small fraction of candidate cells is searched.
+    assert stats.searched_ratio < 0.25
+    benchmark.extra_info["searched_ratio"] = round(stats.searched_ratio, 5)
+    benchmark.extra_info["index_mb"] = round(stats.index_nbytes / 1e6, 2)
+
+
+def test_table1_ratio_shrinks_with_granularity():
+    """The searched fraction decreases as granularity increases."""
+    dataset = tweets(N)
+    query = weekend_query(dataset, *paper_query_size(dataset, SIZE_FACTOR))
+    ratios = []
+    sizes = []
+    for g in GRANULARITIES:
+        index = tweet_index(N, g)
+        _, stats = gi_ds_search(dataset, query, index, return_stats=True)
+        ratios.append(stats.searched_ratio)
+        sizes.append(index.index_nbytes())
+    assert ratios[0] > ratios[-1], f"expected shrinking ratios, got {ratios}"
+    assert sizes == sorted(sizes), "index size must grow with granularity"

@@ -1,0 +1,30 @@
+"""Table 2: approximation quality d_app/d_opt for aggregator F1.
+
+Paper: qualities 1.028-1.057 for δ in {0.1..0.4} -- far inside the
+(1+δ) guarantee.  The benchmark times the approximate search; the
+assertions pin the quality shape.
+"""
+
+import pytest
+
+from repro.data import weekend_query
+from repro.dssearch import approximate_search, ds_search
+from repro.experiments.datasets import paper_query_size, tweets
+
+from .conftest import run_once
+
+DELTAS = (0.1, 0.2, 0.3, 0.4)
+N = 25_000
+SIZE_FACTOR = 10
+
+
+@pytest.mark.parametrize("delta", DELTAS)
+def test_table2_quality(benchmark, delta):
+    benchmark.group = "table2"
+    dataset = tweets(N)
+    query = weekend_query(dataset, *paper_query_size(dataset, SIZE_FACTOR))
+    approx = run_once(benchmark, approximate_search, dataset, query, delta)
+    exact = ds_search(dataset, query)
+    quality = approx.distance / exact.distance if exact.distance else 1.0
+    assert 1.0 - 1e-9 <= quality <= 1.0 + delta + 1e-6
+    benchmark.extra_info["quality"] = round(quality, 5)

@@ -1,0 +1,13 @@
+"""Shared benchmark configuration.
+
+Every benchmark runs the measured call once (``rounds=1``): the paper's
+experiments are single-query wall times on deterministic data, and the
+slowest configurations would make multi-round calibration impractical.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with a single round and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,73 @@
+"""Quickstart: find the region most similar to one you like.
+
+Builds a small POI dataset, describes a query region's character with a
+composite aggregator (category mix + average apartment price), and asks
+DS-Search for the most similar region elsewhere on the map.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ASRSQuery,
+    AverageAggregator,
+    CategoricalAttribute,
+    CompositeAggregator,
+    DistributionAggregator,
+    NumericAttribute,
+    Rect,
+    Schema,
+    SelectAll,
+    SelectByValue,
+    SpatialDataset,
+)
+from repro.dssearch import ds_search
+
+# 1. A dataset of spatial objects with attributes -----------------------
+schema = Schema.of(
+    CategoricalAttribute("category", ("Apartment", "Supermarket", "Restaurant", "BusStop")),
+    NumericAttribute("price"),
+)
+records = [
+    # A neighbourhood we like, around (1..3, 1..3):
+    (1.0, 1.0, {"category": "Apartment", "price": 2.0}),
+    (2.0, 2.0, {"category": "Apartment", "price": 1.5}),
+    (1.0, 3.0, {"category": "Supermarket", "price": 0.0}),
+    (3.0, 1.0, {"category": "Restaurant", "price": 0.0}),
+    (3.0, 3.0, {"category": "BusStop", "price": 0.0}),
+    # A similar-but-pricier neighbourhood around (11..13, 1..3):
+    (11.0, 1.0, {"category": "Apartment", "price": 1.0}),
+    (12.0, 2.0, {"category": "Apartment", "price": 1.8}),
+    (13.0, 3.0, {"category": "Apartment", "price": 2.0}),
+    (11.0, 3.0, {"category": "Supermarket", "price": 0.0}),
+    (13.0, 1.0, {"category": "Restaurant", "price": 0.0}),
+    (12.0, 1.0, {"category": "BusStop", "price": 0.0}),
+    # A restaurant strip around (21..23, 1..3):
+    (21.0, 1.0, {"category": "Apartment", "price": 3.0}),
+    (22.0, 2.0, {"category": "Apartment", "price": 2.8}),
+    (21.0, 3.0, {"category": "Restaurant", "price": 0.0}),
+    (23.0, 1.0, {"category": "Restaurant", "price": 0.0}),
+]
+dataset = SpatialDataset.from_records(records, schema)
+
+# 2. The aspects of interest: category mix + avg apartment price --------
+aggregator = CompositeAggregator(
+    [
+        DistributionAggregator("category", SelectAll()),
+        AverageAggregator("price", SelectByValue("category", "Apartment")),
+    ]
+)
+
+# 3. Query by example: "find a 4x4 region like this one" ----------------
+liked_region = Rect(0.0, 0.0, 4.0, 4.0)
+query = ASRSQuery.from_region(dataset, liked_region, aggregator)
+print("query representation F(rq):", query.query_rep)
+
+# 4. Search (excluding the example itself) ------------------------------
+result = ds_search(dataset, query, exclude=liked_region)
+print("most similar region:", tuple(result.region))
+print("its representation: ", result.representation)
+print("distance:           ", round(result.distance, 4))
+
+labels = aggregator.labels(dataset)
+for label, want, got in zip(labels, query.query_rep, result.representation):
+    print(f"  {label:42s} target={want:6.2f} found={got:6.2f}")

@@ -1,0 +1,10 @@
+"""Shim so the package installs in environments without the wheel package.
+
+``pip install -e .`` needs ``bdist_wheel``; when the ``wheel`` package is
+unavailable (offline environments), ``python setup.py develop`` provides
+the same editable install through plain setuptools.
+"""
+
+from setuptools import setup
+
+setup()

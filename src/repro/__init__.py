@@ -1,0 +1,92 @@
+"""repro: attribute-aware similar region search (ASRS).
+
+A from-scratch reproduction of Feng, Cong, Jensen, Guo:
+"Finding Attribute-aware Similar Regions for Data Analysis",
+PVLDB 12(11), 2019.
+
+Public API quick tour
+---------------------
+* Build a :class:`SpatialDataset` over a :class:`Schema` of categorical
+  and numeric attributes.
+* Describe the aspects of interest with a :class:`CompositeAggregator`
+  of fD / fA / fS terms, each with an optional selection function.
+* Form an :class:`ASRSQuery` from an example region or a handcrafted
+  target vector.
+* Answer it exactly with :func:`ds_search` (Algorithm 1) or, faster on
+  large data, with a prebuilt :class:`GridIndex` and :func:`gi_ds_search`
+  (Algorithm 2); or approximately with :func:`approximate_search`.
+"""
+
+from .core import (
+    ASRSQuery,
+    AggregatorTerm,
+    AverageAggregator,
+    CategoricalAttribute,
+    ChannelCompiler,
+    CompositeAggregator,
+    DistributionAggregator,
+    NumericAttribute,
+    Point,
+    Rect,
+    RegionResult,
+    Schema,
+    SelectAll,
+    SelectByValue,
+    SelectWhere,
+    SpatialDataset,
+    SpatialObject,
+    SumAggregator,
+    WeightedLpDistance,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ASRSQuery",
+    "AggregatorTerm",
+    "AverageAggregator",
+    "CategoricalAttribute",
+    "ChannelCompiler",
+    "CompositeAggregator",
+    "DistributionAggregator",
+    "NumericAttribute",
+    "Point",
+    "Rect",
+    "RegionResult",
+    "Schema",
+    "SelectAll",
+    "SelectByValue",
+    "SelectWhere",
+    "SpatialDataset",
+    "SpatialObject",
+    "SumAggregator",
+    "WeightedLpDistance",
+    "__version__",
+]
+
+
+def __getattr__(name):
+    # Lazy imports keep `import repro` light while still exposing the
+    # search entry points at package level.
+    if name in ("ds_search", "SearchSettings", "SearchStats"):
+        from .dssearch import search as _search
+
+        return getattr(_search, name)
+    if name == "approximate_search":
+        from .dssearch.approx import approximate_search
+
+        return approximate_search
+    if name in ("GridIndex",):
+        from .index.grid_index import GridIndex
+
+        return GridIndex
+    if name in ("gi_ds_search", "GIDSStats"):
+        from .index import gids as _gids
+
+        return getattr(_gids, name)
+    if name in ("max_rs_ds", "max_rs_oe"):
+        from .dssearch.maxrs import max_rs_ds
+        from .baselines.maxrs_oe import max_rs_oe
+
+        return {"max_rs_ds": max_rs_ds, "max_rs_oe": max_rs_oe}[name]
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,21 @@
+"""The attribute-aware similar point (ASP) problem: reduction and evaluation."""
+
+from .evaluate import point_distance, point_representation, points_distances
+from .rectset import RectSet
+from .reduction import (
+    asp_search_space,
+    covering_indices,
+    reduce_to_asp,
+    region_for_point,
+)
+
+__all__ = [
+    "RectSet",
+    "asp_search_space",
+    "covering_indices",
+    "point_distance",
+    "point_representation",
+    "points_distances",
+    "reduce_to_asp",
+    "region_for_point",
+]

@@ -1,0 +1,116 @@
+"""Columnar sets of ASP rectangles (Definition 5).
+
+A rectangle object in the reduced ASP problem is an ``a x b`` rectangle
+whose attributes are those of the spatial object that spawned it.  We
+store only geometry here; attribute access goes through the originating
+dataset row, because reduction preserves row order (rectangle ``i``
+corresponds to object ``i``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.geometry import Rect
+
+
+class RectSet:
+    """A set of axis-parallel rectangles stored as coordinate columns."""
+
+    def __init__(
+        self,
+        x_min: np.ndarray,
+        y_min: np.ndarray,
+        x_max: np.ndarray,
+        y_max: np.ndarray,
+    ) -> None:
+        self.x_min = np.asarray(x_min, dtype=np.float64)
+        self.y_min = np.asarray(y_min, dtype=np.float64)
+        self.x_max = np.asarray(x_max, dtype=np.float64)
+        self.y_max = np.asarray(y_max, dtype=np.float64)
+        shapes = {
+            a.shape for a in (self.x_min, self.y_min, self.x_max, self.y_max)
+        }
+        if len(shapes) != 1 or self.x_min.ndim != 1:
+            raise ValueError("rectangle coordinate columns must be equal-length 1-D")
+        if np.any(self.x_min > self.x_max) or np.any(self.y_min > self.y_max):
+            raise ValueError("malformed rectangles (min > max)")
+
+    @property
+    def n(self) -> int:
+        return int(self.x_min.shape[0])
+
+    def __len__(self) -> int:
+        return self.n
+
+    # ------------------------------------------------------------------
+    def covering_mask(self, x: float, y: float) -> np.ndarray:
+        """Rectangles strictly covering point (x, y) -- the set ``R_p``."""
+        return (
+            (self.x_min < x)
+            & (x < self.x_max)
+            & (self.y_min < y)
+            & (y < self.y_max)
+        )
+
+    def overlap_mask(self, region: Rect) -> np.ndarray:
+        """Rectangles whose open interior intersects ``region``."""
+        return (
+            (self.x_min < region.x_max)
+            & (region.x_min < self.x_max)
+            & (self.y_min < region.y_max)
+            & (region.y_min < self.y_max)
+        )
+
+    def fully_covering_mask(self, region: Rect) -> np.ndarray:
+        """Rectangles whose closure contains all of ``region``."""
+        return (
+            (self.x_min <= region.x_min)
+            & (region.x_max <= self.x_max)
+            & (self.y_min <= region.y_min)
+            & (region.y_max <= self.y_max)
+        )
+
+    def bounds(self) -> Rect:
+        """MBR of all rectangles (the ASP search space)."""
+        if self.n == 0:
+            raise ValueError("empty rectangle set has no bounds")
+        return Rect(
+            float(self.x_min.min()),
+            float(self.y_min.min()),
+            float(self.x_max.max()),
+            float(self.y_max.max()),
+        )
+
+    def rect_at(self, i: int) -> Rect:
+        return Rect(
+            float(self.x_min[i]),
+            float(self.y_min[i]),
+            float(self.x_max[i]),
+            float(self.y_max[i]),
+        )
+
+    def take(self, indices: np.ndarray) -> "RectSet":
+        """A new RectSet of the selected rows (row order preserved).
+
+        Skips constructor validation: the rows are already-validated
+        rectangles, and ``take`` sits on DS-Search's hottest path.
+        """
+        idx = np.asarray(indices)
+        out = object.__new__(RectSet)
+        out.x_min = self.x_min[idx]
+        out.y_min = self.y_min[idx]
+        out.x_max = self.x_max[idx]
+        out.y_max = self.y_max[idx]
+        return out
+
+    def edge_xs(self) -> np.ndarray:
+        """All vertical-edge x coordinates (both sides of every rectangle)."""
+        return np.concatenate([self.x_min, self.x_max])
+
+    def edge_ys(self) -> np.ndarray:
+        """All horizontal-edge y coordinates."""
+        return np.concatenate([self.y_min, self.y_max])
+
+    def __repr__(self) -> str:
+        return f"RectSet(n={self.n})"

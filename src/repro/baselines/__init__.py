@@ -1,0 +1,18 @@
+"""Baselines: the sweep-line Base algorithm, a brute-force oracle, and
+the Optimal Enclosure (OE) MaxRS comparator."""
+
+from .bruteforce import brute_force_search
+
+__all__ = ["brute_force_search"]
+
+
+def __getattr__(name):
+    if name == "sweep_line_search":
+        from .sweepline import sweep_line_search
+
+        return sweep_line_search
+    if name == "max_rs_oe":
+        from .maxrs_oe import max_rs_oe
+
+        return max_rs_oe
+    raise AttributeError(f"module 'repro.baselines' has no attribute {name!r}")

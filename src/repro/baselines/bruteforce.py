@@ -1,0 +1,61 @@
+"""Exhaustive arrangement-scan oracle for ASRS (test ground truth).
+
+The edges of the ASP rectangles partition the plane into O(n²) disjoint
+faces (Lemma 3); the distance function is constant on every face.  The
+oracle therefore evaluates one interior point per face -- the midpoints
+of consecutive distinct edge coordinates on each axis, plus sentinels
+beyond the extremes -- and returns the minimum.  This is exact but
+O(n³)-ish, so it is only suitable for the small instances used in
+property tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..asp.evaluate import points_distances
+from ..asp.reduction import reduce_to_asp, region_for_point
+from ..core.channels import ChannelCompiler
+from ..core.objects import SpatialDataset
+from ..core.query import ASRSQuery, RegionResult
+
+
+def _candidate_coords(edges: np.ndarray) -> np.ndarray:
+    """One representative coordinate per arrangement slab on an axis."""
+    distinct = np.unique(edges)
+    if distinct.size == 0:
+        return np.array([0.0])
+    mids = (distinct[:-1] + distinct[1:]) / 2.0
+    return np.concatenate([[distinct[0] - 1.0], mids, [distinct[-1] + 1.0]])
+
+
+def brute_force_search(
+    dataset: SpatialDataset,
+    query: ASRSQuery,
+    anchor: str = "top_right",
+    batch_size: int = 4096,
+) -> RegionResult:
+    """Exact ASRS answer by exhausting all arrangement faces."""
+    compiler = ChannelCompiler(dataset, query.aggregator)
+    empty_rep = query.aggregator.empty_representation(dataset)
+    best_distance = query.distance_to(empty_rep)
+    best_point = (0.0, 0.0)
+    if dataset.n:
+        rects = reduce_to_asp(dataset, query.width, query.height, anchor)
+        bounds = rects.bounds()
+        best_point = (bounds.x_min - query.width, bounds.y_min - query.height)
+        xs = _candidate_coords(rects.edge_xs())
+        ys = _candidate_coords(rects.edge_ys())
+        px, py = np.meshgrid(xs, ys)
+        px, py = px.ravel(), py.ravel()
+        for start in range(0, px.size, batch_size):
+            bx = px[start : start + batch_size]
+            by = py[start : start + batch_size]
+            dists = points_distances(query, compiler, rects, bx, by)
+            i = int(np.argmin(dists))
+            if dists[i] < best_distance:
+                best_distance = float(dists[i])
+                best_point = (float(bx[i]), float(by[i]))
+    region = region_for_point(*best_point, query.width, query.height)
+    rep = query.aggregator.apply(dataset, region)
+    return RegionResult(region=region, distance=best_distance, representation=rep)

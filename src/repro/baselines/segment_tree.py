@@ -1,0 +1,76 @@
+"""A segment tree with range-add and global max (for the OE algorithm).
+
+The classic MaxRS sweep structure [21]: elementary intervals along y,
+``add(l, r, v)`` over interval ranges, O(1) global max, and a descent
+that recovers one elementary interval attaining the max.  The tree
+stores, per node, the maximum over its subtree *excluding* the pending
+adds of its ancestors, so no lazy propagation is needed for this
+add-only workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class MaxAddSegmentTree:
+    """Range add / global max over ``n`` elementary intervals."""
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError("tree needs at least one interval")
+        self._n = n
+        size = 1
+        while size < n:
+            size *= 2
+        self._size = size
+        self._add = np.zeros(2 * size)
+        self._max = np.zeros(2 * size)
+        # Padding leaves beyond n must never win the max (e.g. when all
+        # real values go negative).
+        if n < size:
+            self._max[size + n :] = -np.inf
+            for i in range(size - 1, 0, -1):
+                self._max[i] = max(self._max[2 * i], self._max[2 * i + 1])
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    # ------------------------------------------------------------------
+    def add(self, lo: int, hi: int, value: float) -> None:
+        """Add ``value`` on the interval range ``[lo, hi)``."""
+        if not (0 <= lo <= hi <= self._n):
+            raise IndexError(f"range [{lo}, {hi}) out of [0, {self._n})")
+        if lo < hi:
+            self._update(1, 0, self._size, lo, hi, value)
+
+    def _update(self, node: int, node_lo: int, node_hi: int, lo: int, hi: int, value: float) -> None:
+        if lo <= node_lo and node_hi <= hi:
+            self._add[node] += value
+        else:
+            mid = (node_lo + node_hi) // 2
+            if lo < mid:
+                self._update(2 * node, node_lo, mid, lo, hi, value)
+            if hi > mid:
+                self._update(2 * node + 1, mid, node_hi, lo, hi, value)
+            self._max[node] = max(
+                self._max[2 * node] + self._add[2 * node],
+                self._max[2 * node + 1] + self._add[2 * node + 1],
+            )
+
+    # ------------------------------------------------------------------
+    def global_max(self) -> float:
+        """Maximum value over all elementary intervals."""
+        return float(self._max[1] + self._add[1])
+
+    def argmax(self) -> int:
+        """Index of one elementary interval attaining the global max."""
+        node, node_lo, node_hi = 1, 0, self._size
+        while node < self._size:
+            left, right = 2 * node, 2 * node + 1
+            if self._max[left] + self._add[left] >= self._max[right] + self._add[right]:
+                node, node_hi = left, (node_lo + node_hi) // 2
+            else:
+                node, node_lo = right, (node_lo + node_hi) // 2
+        return min(node - self._size, self._n - 1)

@@ -1,0 +1,188 @@
+"""Command-line interface: ASRS queries over CSV data.
+
+Examples
+--------
+Generate a sample dataset::
+
+    python -m repro.cli generate --kind tweets --n 10000 --out tweets.csv
+
+Find the most weekend-like region (distribution term, handcrafted target)::
+
+    python -m repro.cli search --data tweets.csv \
+        --categorical day_of_week --numeric length \
+        --term fD:day_of_week --width 0.5 --height 0.25 \
+        --target 0,0,0,0,0,200,200 --weights 0.2,0.2,0.2,0.2,0.2,0.5,0.5
+
+Aggregator term syntax: ``fD:attr``, ``fA:attr``, ``fS:attr``, each with
+an optional selection ``@other_attr=value`` (e.g. ``fA:price@category=Apartment``).
+
+Densest region of a given size::
+
+    python -m repro.cli maxrs --data tweets.csv \
+        --categorical day_of_week --numeric length --width 0.5 --height 0.25
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .core.aggregators import (
+    AverageAggregator,
+    CompositeAggregator,
+    DistributionAggregator,
+    SumAggregator,
+)
+from .core.query import ASRSQuery
+from .core.selection import SelectAll, SelectByValue
+from .data.io import load_csv_infer, save_csv
+from .dssearch.search import SearchSettings, ds_search
+from .dssearch.topk import ds_search_topk
+
+_TERM_KINDS = {
+    "fD": DistributionAggregator,
+    "fA": AverageAggregator,
+    "fS": SumAggregator,
+}
+
+
+def parse_term(spec: str):
+    """Parse ``fD:attr`` / ``fA:attr@sel_attr=value`` term specs."""
+    try:
+        kind, rest = spec.split(":", 1)
+    except ValueError:
+        raise SystemExit(f"bad term {spec!r}: expected e.g. fD:category")
+    if kind not in _TERM_KINDS:
+        raise SystemExit(f"bad term kind {kind!r}: one of {sorted(_TERM_KINDS)}")
+    if "@" in rest:
+        attr, sel = rest.split("@", 1)
+        try:
+            sel_attr, sel_value = sel.split("=", 1)
+        except ValueError:
+            raise SystemExit(f"bad selection {sel!r}: expected attr=value")
+        selection = SelectByValue(sel_attr, sel_value)
+    else:
+        attr = rest
+        selection = SelectAll()
+    return _TERM_KINDS[kind](attr, selection)
+
+
+def _float_list(text: str) -> np.ndarray:
+    return np.array([float(v) for v in text.split(",")])
+
+
+def _load(args) -> "SpatialDataset":
+    return load_csv_infer(
+        args.data, categorical=args.categorical, numeric=args.numeric
+    )
+
+
+def cmd_generate(args) -> int:
+    from .data import (
+        generate_city_dataset,
+        generate_poisyn_dataset,
+        generate_tweet_dataset,
+    )
+
+    if args.kind == "tweets":
+        dataset = generate_tweet_dataset(args.n, seed=args.seed)
+    elif args.kind == "poisyn":
+        dataset = generate_poisyn_dataset(args.n, seed=args.seed)
+    else:
+        dataset, _ = generate_city_dataset(args.n, seed=args.seed)
+    save_csv(dataset, args.out)
+    print(f"wrote {dataset.n} objects to {args.out}")
+    return 0
+
+
+def cmd_search(args) -> int:
+    dataset = _load(args)
+    aggregator = CompositeAggregator([parse_term(t) for t in args.term])
+    dim = aggregator.dim(dataset)
+    target = _float_list(args.target)
+    if target.shape[0] != dim:
+        raise SystemExit(f"--target has {target.shape[0]} dims, aggregator has {dim}")
+    weights = _float_list(args.weights) if args.weights else None
+    query = ASRSQuery.from_vector(
+        args.width, args.height, aggregator, target, weights=weights
+    )
+    settings = SearchSettings()
+    labels = aggregator.labels(dataset)
+    if args.topk > 1:
+        results = ds_search_topk(dataset, query, args.topk, settings)
+    else:
+        results = [ds_search(dataset, query, settings)]
+    for rank, result in enumerate(results, 1):
+        region = result.region
+        print(
+            f"#{rank} region=({region.x_min:.6g}, {region.y_min:.6g}, "
+            f"{region.x_max:.6g}, {region.y_max:.6g}) distance={result.distance:.6g}"
+        )
+        if args.verbose:
+            for label, value in zip(labels, result.representation):
+                print(f"    {label} = {value:.6g}")
+    return 0
+
+
+def cmd_maxrs(args) -> int:
+    from .dssearch.maxrs import max_rs_ds
+
+    dataset = _load(args)
+    result = max_rs_ds(dataset, args.width, args.height)
+    region = result.region
+    print(
+        f"region=({region.x_min:.6g}, {region.y_min:.6g}, "
+        f"{region.x_max:.6g}, {region.y_max:.6g}) score={result.score:.6g}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Attribute-aware similar region search"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a sample dataset CSV")
+    gen.add_argument("--kind", choices=("tweets", "poisyn", "city"), default="tweets")
+    gen.add_argument("--n", type=int, default=10_000)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--out", required=True)
+    gen.set_defaults(func=cmd_generate)
+
+    def add_data_args(p):
+        p.add_argument("--data", required=True, help="CSV with x,y,attr columns")
+        p.add_argument(
+            "--categorical", action="append", default=[], metavar="COLUMN"
+        )
+        p.add_argument("--numeric", action="append", default=[], metavar="COLUMN")
+        p.add_argument("--width", type=float, required=True)
+        p.add_argument("--height", type=float, required=True)
+
+    search = sub.add_parser("search", help="run an ASRS query")
+    add_data_args(search)
+    search.add_argument(
+        "--term", action="append", required=True, help="fD:attr / fA:attr@sel=value"
+    )
+    search.add_argument("--target", required=True, help="comma-separated target vector")
+    search.add_argument("--weights", help="comma-separated weight vector")
+    search.add_argument("--topk", type=int, default=1)
+    search.add_argument("--verbose", action="store_true")
+    search.set_defaults(func=cmd_search)
+
+    maxrs = sub.add_parser("maxrs", help="find the densest region")
+    add_data_args(maxrs)
+    maxrs.set_defaults(func=cmd_maxrs)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

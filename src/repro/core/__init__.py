@@ -1,0 +1,41 @@
+"""Core substrate: geometry, objects, aggregators, distances, queries."""
+
+from .aggregators import (
+    AggregatorTerm,
+    AverageAggregator,
+    CompositeAggregator,
+    DistributionAggregator,
+    SumAggregator,
+)
+from .attributes import CategoricalAttribute, NumericAttribute, Schema
+from .channels import BoundContext, ChannelCompiler
+from .distance import WeightedLpDistance
+from .geometry import Point, Rect, minimum_gap
+from .objects import SpatialDataset, SpatialObject
+from .query import ASRSQuery, RegionResult
+from .selection import SelectAll, SelectByValue, SelectWhere, SelectionFunction
+
+__all__ = [
+    "AggregatorTerm",
+    "AverageAggregator",
+    "CompositeAggregator",
+    "DistributionAggregator",
+    "SumAggregator",
+    "CategoricalAttribute",
+    "NumericAttribute",
+    "Schema",
+    "BoundContext",
+    "ChannelCompiler",
+    "WeightedLpDistance",
+    "Point",
+    "Rect",
+    "minimum_gap",
+    "SpatialDataset",
+    "SpatialObject",
+    "ASRSQuery",
+    "RegionResult",
+    "SelectAll",
+    "SelectByValue",
+    "SelectWhere",
+    "SelectionFunction",
+]

@@ -1,0 +1,178 @@
+"""Aggregators and composite aggregators (Definitions 1-3).
+
+An aggregator term ``(f, A, gamma)`` computes a feature vector for a
+region from the gamma-selected objects it contains, with respect to
+attribute ``A``:
+
+* :class:`DistributionAggregator` (fD) -- per-domain-value counts;
+* :class:`AverageAggregator` (fA) -- mean attribute value (0 for the
+  empty selection, documented convention);
+* :class:`SumAggregator` (fS) -- total attribute value.
+
+A :class:`CompositeAggregator` concatenates term outputs into the
+*aggregate representation* ``F(r)`` of a region (Definition 3).
+
+Users may also plug in their own terms by subclassing
+:class:`AggregatorTerm`; the paper explicitly notes the framework is not
+limited to the three built-ins.  Custom terms participate in DS-Search
+via the channel compiler as long as they implement the channel protocol
+(see :mod:`repro.core.channels`).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .geometry import Rect
+from .objects import SpatialDataset
+from .selection import SelectAll, SelectionFunction
+
+
+class AggregatorTerm(ABC):
+    """One ``(f, A, gamma)`` triple of a composite aggregator."""
+
+    def __init__(self, attribute: str, selection: SelectionFunction | None = None):
+        self._attribute = attribute
+        self._selection = selection if selection is not None else SelectAll()
+
+    @property
+    def attribute(self) -> str:
+        return self._attribute
+
+    @property
+    def selection(self) -> SelectionFunction:
+        return self._selection
+
+    @abstractmethod
+    def dim(self, dataset: SpatialDataset) -> int:
+        """Number of output dimensions of this term."""
+
+    @abstractmethod
+    def labels(self, dataset: SpatialDataset) -> Tuple[str, ...]:
+        """One label per output dimension."""
+
+    @abstractmethod
+    def apply_mask(self, dataset: SpatialDataset, mask: np.ndarray) -> np.ndarray:
+        """Aggregate the selected objects among ``mask`` (reference path).
+
+        ``mask`` marks the objects inside the region; the term further
+        intersects it with its own selection.  This is the slow,
+        obviously-correct implementation used as ground truth in tests;
+        hot paths go through the channel compiler instead.
+        """
+
+    def apply(self, dataset: SpatialDataset, region: Rect) -> np.ndarray:
+        """Aggregate the objects strictly inside ``region``."""
+        return self.apply_mask(dataset, dataset.mask_in_region(region))
+
+
+class DistributionAggregator(AggregatorTerm):
+    """fD: the per-value count vector of a categorical attribute."""
+
+    def dim(self, dataset: SpatialDataset) -> int:
+        return dataset.schema.categorical(self._attribute).cardinality
+
+    def labels(self, dataset: SpatialDataset) -> Tuple[str, ...]:
+        attr = dataset.schema.categorical(self._attribute)
+        return tuple(
+            f"fD[{self._attribute}={v}|{self._selection.label}]" for v in attr.domain
+        )
+
+    def apply_mask(self, dataset: SpatialDataset, mask: np.ndarray) -> np.ndarray:
+        attr = dataset.schema.categorical(self._attribute)
+        chosen = mask & self._selection.mask(dataset)
+        codes = dataset.column(self._attribute)[chosen]
+        return np.bincount(codes, minlength=attr.cardinality).astype(np.float64)
+
+    def __repr__(self) -> str:
+        return f"DistributionAggregator({self._attribute!r}, {self._selection!r})"
+
+
+class AverageAggregator(AggregatorTerm):
+    """fA: the mean of a numeric attribute; 0 when the selection is empty."""
+
+    def dim(self, dataset: SpatialDataset) -> int:
+        return 1
+
+    def labels(self, dataset: SpatialDataset) -> Tuple[str, ...]:
+        return (f"fA[{self._attribute}|{self._selection.label}]",)
+
+    def apply_mask(self, dataset: SpatialDataset, mask: np.ndarray) -> np.ndarray:
+        dataset.schema.numeric(self._attribute)
+        chosen = mask & self._selection.mask(dataset)
+        values = dataset.column(self._attribute)[chosen]
+        if values.size == 0:
+            return np.zeros(1)
+        return np.array([float(values.mean())])
+
+    def __repr__(self) -> str:
+        return f"AverageAggregator({self._attribute!r}, {self._selection!r})"
+
+
+class SumAggregator(AggregatorTerm):
+    """fS: the sum of a numeric attribute over the selected objects."""
+
+    def dim(self, dataset: SpatialDataset) -> int:
+        return 1
+
+    def labels(self, dataset: SpatialDataset) -> Tuple[str, ...]:
+        return (f"fS[{self._attribute}|{self._selection.label}]",)
+
+    def apply_mask(self, dataset: SpatialDataset, mask: np.ndarray) -> np.ndarray:
+        dataset.schema.numeric(self._attribute)
+        chosen = mask & self._selection.mask(dataset)
+        values = dataset.column(self._attribute)[chosen]
+        return np.array([float(values.sum())])
+
+    def __repr__(self) -> str:
+        return f"SumAggregator({self._attribute!r}, {self._selection!r})"
+
+
+class CompositeAggregator:
+    """A tuple of aggregator terms; computes the aggregate representation.
+
+    ``F(r)`` is the concatenation of the term outputs (Definition 3).
+    """
+
+    def __init__(self, terms: Sequence[AggregatorTerm]) -> None:
+        if not terms:
+            raise ValueError("a composite aggregator needs at least one term")
+        self._terms = tuple(terms)
+
+    @property
+    def terms(self) -> Tuple[AggregatorTerm, ...]:
+        return self._terms
+
+    def dim(self, dataset: SpatialDataset) -> int:
+        """Dimensionality of the aggregate representation."""
+        return sum(t.dim(dataset) for t in self._terms)
+
+    def labels(self, dataset: SpatialDataset) -> Tuple[str, ...]:
+        out: list[str] = []
+        for t in self._terms:
+            out.extend(t.labels(dataset))
+        return tuple(out)
+
+    def apply_mask(self, dataset: SpatialDataset, mask: np.ndarray) -> np.ndarray:
+        """Representation of the objects marked by ``mask`` (reference path)."""
+        return np.concatenate([t.apply_mask(dataset, mask) for t in self._terms])
+
+    def apply(self, dataset: SpatialDataset, region: Rect) -> np.ndarray:
+        """``F(region)``: the aggregate representation of a region."""
+        return self.apply_mask(dataset, dataset.mask_in_region(region))
+
+    def empty_representation(self, dataset: SpatialDataset) -> np.ndarray:
+        """``F`` of a region containing no objects (all-zero by convention)."""
+        return self.apply_mask(dataset, np.zeros(dataset.n, dtype=bool))
+
+    def __iter__(self):
+        return iter(self._terms)
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def __repr__(self) -> str:
+        return f"CompositeAggregator({list(self._terms)!r})"

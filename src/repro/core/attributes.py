@@ -1,0 +1,140 @@
+"""Attribute schemas for spatial objects.
+
+The paper (Section 3.1) assumes a set of attributes ``A = {A1, ..., Am}``
+where each attribute has a domain ``dom(Ai)``.  Two kinds matter in
+practice:
+
+* **categorical** attributes with a finite domain (e.g. ``category`` with
+  values like "Restaurant"), consumed by the distribution aggregator fD;
+* **numeric** attributes (e.g. ``price``), consumed by the average and
+  sum aggregators fA and fS.
+
+Categorical values are stored as integer codes into the declared domain
+so the hot paths can stay inside numpy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, Mapping, Sequence, Tuple, Union
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CategoricalAttribute:
+    """A finite-domain attribute; values are encoded as indices into ``domain``."""
+
+    name: str
+    domain: Tuple[Hashable, ...]
+
+    def __post_init__(self) -> None:
+        if not self.domain:
+            raise ValueError(f"attribute {self.name!r} has an empty domain")
+        if len(set(self.domain)) != len(self.domain):
+            raise ValueError(f"attribute {self.name!r} has duplicate domain values")
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.domain)
+
+    def code_of(self, value: Hashable) -> int:
+        """Integer code of ``value``; raises ``KeyError`` for foreign values."""
+        try:
+            return self._index[value]
+        except AttributeError:
+            index = {v: i for i, v in enumerate(self.domain)}
+            object.__setattr__(self, "_index", index)
+            return index[value]
+
+    def encode(self, values: Iterable[Hashable]) -> np.ndarray:
+        """Encode raw values into an int64 code array."""
+        return np.array([self.code_of(v) for v in values], dtype=np.int64)
+
+    def decode(self, codes: Iterable[int]) -> list:
+        """Map integer codes back to domain values."""
+        return [self.domain[int(c)] for c in codes]
+
+
+@dataclass(frozen=True)
+class NumericAttribute:
+    """A real-valued attribute, optionally with declared domain bounds."""
+
+    name: str
+    lo: float | None = None
+    hi: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.lo is not None and self.hi is not None and self.lo > self.hi:
+            raise ValueError(f"attribute {self.name!r}: lo > hi")
+
+    def encode(self, values: Iterable[float]) -> np.ndarray:
+        arr = np.asarray(list(values), dtype=np.float64)
+        if self.lo is not None and arr.size and float(arr.min()) < self.lo:
+            raise ValueError(f"attribute {self.name!r}: value below declared lo")
+        if self.hi is not None and arr.size and float(arr.max()) > self.hi:
+            raise ValueError(f"attribute {self.name!r}: value above declared hi")
+        return arr
+
+
+Attribute = Union[CategoricalAttribute, NumericAttribute]
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered collection of attributes, addressable by name."""
+
+    attributes: Tuple[Attribute, ...]
+    _by_name: Mapping[str, Attribute] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        names = [a.name for a in self.attributes]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate attribute names in schema")
+        object.__setattr__(self, "_by_name", {a.name: a for a in self.attributes})
+
+    @staticmethod
+    def of(*attributes: Attribute) -> "Schema":
+        return Schema(tuple(attributes))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> Attribute:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown attribute {name!r}; schema has {sorted(self._by_name)}"
+            ) from None
+
+    def __iter__(self):
+        return iter(self.attributes)
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(a.name for a in self.attributes)
+
+    def categorical(self, name: str) -> CategoricalAttribute:
+        attr = self[name]
+        if not isinstance(attr, CategoricalAttribute):
+            raise TypeError(f"attribute {name!r} is not categorical")
+        return attr
+
+    def numeric(self, name: str) -> NumericAttribute:
+        attr = self[name]
+        if not isinstance(attr, NumericAttribute):
+            raise TypeError(f"attribute {name!r} is not numeric")
+        return attr
+
+    def encode_columns(
+        self, columns: Mapping[str, Sequence]
+    ) -> Dict[str, np.ndarray]:
+        """Encode one raw column per schema attribute into numpy arrays."""
+        missing = set(self.names) - set(columns)
+        if missing:
+            raise ValueError(f"missing columns for attributes: {sorted(missing)}")
+        return {a.name: a.encode(columns[a.name]) for a in self.attributes}

@@ -1,0 +1,96 @@
+"""Distances between aggregate representations.
+
+The paper defines ``dist(F(r), F(rq)) = sum_i w[i] * |F(r)[i] - F(rq)[i]|``
+(weighted L1) and notes other metrics such as L2 drop in without
+changing the algorithms.  Both are provided.  The crucial companion is
+the *interval lower bound* of Equation 1: given per-dimension bounds
+``lo <= v <= hi`` on an unknown representation ``v``, the bound
+
+    gap[i] = max(q[i] - hi[i], lo[i] - q[i], 0)
+
+yields ``metric(gap) <= dist(v, q)`` for every monotone per-dimension
+metric, which covers both weighted Lp variants here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class WeightedLpDistance:
+    """Weighted Lp distance ``(sum_i w[i] * |v[i] - q[i]|^p)^(1/p)``.
+
+    ``p=1`` reproduces the paper's metric exactly.  Weights default to
+    all-ones.  Instances are immutable and reusable across queries of
+    the same representation dimensionality.
+    """
+
+    def __init__(self, weights, p: int = 1) -> None:
+        w = np.asarray(weights, dtype=np.float64)
+        if w.ndim != 1:
+            raise ValueError("weights must be a 1-D vector")
+        if np.any(w < 0):
+            raise ValueError("weights must be non-negative")
+        if p not in (1, 2):
+            raise ValueError("only p=1 and p=2 are supported")
+        self._w = w
+        self._p = p
+
+    @staticmethod
+    def uniform(dim: int, p: int = 1) -> "WeightedLpDistance":
+        """Unit weights for a ``dim``-dimensional representation."""
+        return WeightedLpDistance(np.ones(dim), p=p)
+
+    @property
+    def weights(self) -> np.ndarray:
+        return self._w
+
+    @property
+    def p(self) -> int:
+        return self._p
+
+    @property
+    def dim(self) -> int:
+        return int(self._w.shape[0])
+
+    # ------------------------------------------------------------------
+    # Point distances
+    # ------------------------------------------------------------------
+    def distance(self, v: np.ndarray, q: np.ndarray) -> float:
+        """Distance between two representation vectors."""
+        diff = np.abs(np.asarray(v, dtype=np.float64) - q)
+        return self._reduce(diff)
+
+    def distance_many(self, vs: np.ndarray, q: np.ndarray) -> np.ndarray:
+        """Distances from each row of ``vs`` (shape (m, dim)) to ``q``."""
+        diff = np.abs(np.asarray(vs, dtype=np.float64) - q[np.newaxis, :])
+        return self._reduce_rows(diff)
+
+    # ------------------------------------------------------------------
+    # Equation 1: interval lower bounds
+    # ------------------------------------------------------------------
+    def lower_bound(self, lo: np.ndarray, hi: np.ndarray, q: np.ndarray) -> float:
+        """Lower bound of ``distance(v, q)`` over all ``lo <= v <= hi``."""
+        gap = np.maximum(np.maximum(q - hi, lo - q), 0.0)
+        return self._reduce(gap)
+
+    def lower_bound_many(
+        self, lo: np.ndarray, hi: np.ndarray, q: np.ndarray
+    ) -> np.ndarray:
+        """Row-wise Equation 1 for bound matrices of shape (m, dim)."""
+        gap = np.maximum(np.maximum(q[np.newaxis, :] - hi, lo - q[np.newaxis, :]), 0.0)
+        return self._reduce_rows(gap)
+
+    # ------------------------------------------------------------------
+    def _reduce(self, nonneg: np.ndarray) -> float:
+        if self._p == 1:
+            return float(np.dot(nonneg, self._w))
+        return float(np.sqrt(np.dot(nonneg * nonneg, self._w)))
+
+    def _reduce_rows(self, nonneg: np.ndarray) -> np.ndarray:
+        if self._p == 1:
+            return nonneg @ self._w
+        return np.sqrt((nonneg * nonneg) @ self._w)
+
+    def __repr__(self) -> str:
+        return f"WeightedLpDistance(dim={self.dim}, p={self._p})"

@@ -1,0 +1,202 @@
+"""Geometric primitives for the ASRS reproduction.
+
+The paper works with axis-parallel rectangles throughout: query regions,
+candidate regions, the rectangles of the reduced ASP problem, grid cells,
+and the MBRs produced by splitting.  Lemma 1 of the paper uses *strict*
+inequalities, so coverage tests come in two flavours:
+
+* ``contains_point_open`` -- the open-interior semantics of the ASP
+  reduction (a point on a rectangle edge is *not* covered);
+* ``contains_rect`` / ``intersects_open`` -- closure containment and
+  open-interior intersection, used when classifying grid cells as clean
+  or dirty.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, NamedTuple
+
+
+class Point(NamedTuple):
+    """A 2-D location."""
+
+    x: float
+    y: float
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-parallel rectangle ``[x_min, x_max] x [y_min, y_max]``.
+
+    Degenerate rectangles (zero width or height) are permitted; they
+    arise as MBRs of single grid cells and as clipped slivers.
+    """
+
+    x_min: float
+    y_min: float
+    x_max: float
+    y_max: float
+
+    def __post_init__(self) -> None:
+        if self.x_min > self.x_max or self.y_min > self.y_max:
+            raise ValueError(
+                f"malformed rectangle: ({self.x_min}, {self.y_min}, "
+                f"{self.x_max}, {self.y_max})"
+            )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_bottom_left(x: float, y: float, width: float, height: float) -> "Rect":
+        """Rectangle of size ``width x height`` with bottom-left corner at (x, y)."""
+        return Rect(x, y, x + width, y + height)
+
+    @staticmethod
+    def from_top_right(x: float, y: float, width: float, height: float) -> "Rect":
+        """Rectangle of size ``width x height`` with top-right corner at (x, y).
+
+        This is the anchoring used by the ASRS -> ASP reduction: each
+        spatial object becomes the top-right corner of an ASP rectangle.
+        """
+        return Rect(x - width, y - height, x, y)
+
+    @staticmethod
+    def from_center(x: float, y: float, width: float, height: float) -> "Rect":
+        """Rectangle of size ``width x height`` centred at (x, y)."""
+        return Rect(x - width / 2.0, y - height / 2.0, x + width / 2.0, y + height / 2.0)
+
+    @staticmethod
+    def bounding(rects: Iterable["Rect"]) -> "Rect":
+        """Minimum bounding rectangle of a non-empty collection."""
+        rects = list(rects)
+        if not rects:
+            raise ValueError("bounding() requires at least one rectangle")
+        return Rect(
+            min(r.x_min for r in rects),
+            min(r.y_min for r in rects),
+            max(r.x_max for r in rects),
+            max(r.y_max for r in rects),
+        )
+
+    # ------------------------------------------------------------------
+    # Basic measures
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> float:
+        return self.x_max - self.x_min
+
+    @property
+    def height(self) -> float:
+        return self.y_max - self.y_min
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        return Point((self.x_min + self.x_max) / 2.0, (self.y_min + self.y_max) / 2.0)
+
+    @property
+    def bottom_left(self) -> Point:
+        return Point(self.x_min, self.y_min)
+
+    @property
+    def top_right(self) -> Point:
+        return Point(self.x_max, self.y_max)
+
+    # ------------------------------------------------------------------
+    # Coverage predicates
+    # ------------------------------------------------------------------
+    def contains_point_open(self, x: float, y: float) -> bool:
+        """True iff (x, y) lies strictly inside this rectangle (Lemma 1)."""
+        return self.x_min < x < self.x_max and self.y_min < y < self.y_max
+
+    def contains_point_closed(self, x: float, y: float) -> bool:
+        """True iff (x, y) lies inside or on the boundary."""
+        return self.x_min <= x <= self.x_max and self.y_min <= y <= self.y_max
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """True iff ``other`` lies inside the closure of this rectangle."""
+        return (
+            self.x_min <= other.x_min
+            and other.x_max <= self.x_max
+            and self.y_min <= other.y_min
+            and other.y_max <= self.y_max
+        )
+
+    def intersects_open(self, other: "Rect") -> bool:
+        """True iff the open interiors of the rectangles intersect."""
+        return (
+            self.x_min < other.x_max
+            and other.x_min < self.x_max
+            and self.y_min < other.y_max
+            and other.y_min < self.y_max
+        )
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """Closed intersection, or ``None`` when the closures are disjoint."""
+        x_min = max(self.x_min, other.x_min)
+        y_min = max(self.y_min, other.y_min)
+        x_max = min(self.x_max, other.x_max)
+        y_max = min(self.y_max, other.y_max)
+        if x_min > x_max or y_min > y_max:
+            return None
+        return Rect(x_min, y_min, x_max, y_max)
+
+    def union(self, other: "Rect") -> "Rect":
+        """Minimum bounding rectangle of the pair."""
+        return Rect(
+            min(self.x_min, other.x_min),
+            min(self.y_min, other.y_min),
+            max(self.x_max, other.x_max),
+            max(self.y_max, other.y_max),
+        )
+
+    def expand(self, dx: float, dy: float) -> "Rect":
+        """Grow every side outward by ``dx`` horizontally and ``dy`` vertically."""
+        return Rect(self.x_min - dx, self.y_min - dy, self.x_max + dx, self.y_max + dy)
+
+    def __iter__(self):
+        yield self.x_min
+        yield self.y_min
+        yield self.x_max
+        yield self.y_max
+
+
+def subtract(outer: Rect, hole: Rect) -> list[Rect]:
+    """Decompose ``outer`` minus ``hole`` into at most four rectangles.
+
+    The pieces (left / right strips at full height, bottom / top strips
+    between them) tile ``outer \\ hole`` up to shared, measure-zero
+    boundaries.  Used to exclude a forbidden zone from a search domain
+    exactly.
+    """
+    inter = outer.intersection(hole)
+    if inter is None or inter.area == 0.0:
+        return [outer]
+    pieces = []
+    if outer.x_min < inter.x_min:
+        pieces.append(Rect(outer.x_min, outer.y_min, inter.x_min, outer.y_max))
+    if inter.x_max < outer.x_max:
+        pieces.append(Rect(inter.x_max, outer.y_min, outer.x_max, outer.y_max))
+    if outer.y_min < inter.y_min:
+        pieces.append(Rect(inter.x_min, outer.y_min, inter.x_max, inter.y_min))
+    if inter.y_max < outer.y_max:
+        pieces.append(Rect(inter.x_min, inter.y_max, inter.x_max, outer.y_max))
+    return pieces
+
+
+def minimum_gap(values: Iterable[float]) -> float:
+    """Minimum gap between distinct values, ``inf`` when fewer than two exist.
+
+    This is the paper's *GPS accuracy* (Definition 7) applied to one axis:
+    the smallest positive difference between distinct edge coordinates.
+    """
+    distinct = sorted(set(values))
+    if len(distinct) < 2:
+        return math.inf
+    return min(b - a for a, b in zip(distinct, distinct[1:]))

@@ -1,0 +1,198 @@
+"""Columnar storage of spatial objects.
+
+A :class:`SpatialDataset` stores ``n`` spatial objects as parallel numpy
+arrays: two coordinate columns plus one encoded column per schema
+attribute.  All algorithms in this package operate on the columnar form;
+a row-oriented :class:`SpatialObject` view is provided for convenience
+and for small examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from .attributes import CategoricalAttribute, Schema
+from .geometry import Rect
+
+
+@dataclass(frozen=True)
+class SpatialObject:
+    """A row view of one spatial object (``o.rho`` in the paper)."""
+
+    x: float
+    y: float
+    attributes: Mapping[str, Hashable]
+
+    def __getitem__(self, name: str) -> Hashable:
+        return self.attributes[name]
+
+
+class SpatialDataset:
+    """An immutable columnar set ``O`` of spatial objects.
+
+    Parameters
+    ----------
+    xs, ys:
+        Coordinate arrays of equal length.
+    schema:
+        Attribute schema.  Categorical columns must already be encoded as
+        integer codes; use :meth:`from_records` or :meth:`from_columns`
+        to encode raw values.
+    columns:
+        Mapping from attribute name to encoded column.
+    """
+
+    def __init__(
+        self,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        schema: Schema,
+        columns: Mapping[str, np.ndarray],
+    ) -> None:
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        if xs.ndim != 1 or ys.ndim != 1 or xs.shape != ys.shape:
+            raise ValueError("xs and ys must be equal-length 1-D arrays")
+        encoded: Dict[str, np.ndarray] = {}
+        for attr in schema:
+            if attr.name not in columns:
+                raise ValueError(f"missing column for attribute {attr.name!r}")
+            col = np.asarray(columns[attr.name])
+            if col.shape != xs.shape:
+                raise ValueError(
+                    f"column {attr.name!r} has length {col.shape}, expected {xs.shape}"
+                )
+            if isinstance(attr, CategoricalAttribute):
+                col = col.astype(np.int64, copy=False)
+                if col.size and (col.min() < 0 or col.max() >= attr.cardinality):
+                    raise ValueError(
+                        f"column {attr.name!r} holds codes outside the domain"
+                    )
+            else:
+                col = col.astype(np.float64, copy=False)
+            encoded[attr.name] = col
+        self._xs = xs
+        self._ys = ys
+        self._schema = schema
+        self._columns = encoded
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_columns(
+        xs: Sequence[float],
+        ys: Sequence[float],
+        schema: Schema,
+        raw_columns: Mapping[str, Sequence],
+    ) -> "SpatialDataset":
+        """Build a dataset from raw (unencoded) per-attribute columns."""
+        return SpatialDataset(
+            np.asarray(xs, dtype=np.float64),
+            np.asarray(ys, dtype=np.float64),
+            schema,
+            schema.encode_columns(raw_columns),
+        )
+
+    @staticmethod
+    def from_records(
+        records: Sequence[tuple],
+        schema: Schema,
+    ) -> "SpatialDataset":
+        """Build a dataset from ``(x, y, {attr: value, ...})`` records."""
+        xs = [r[0] for r in records]
+        ys = [r[1] for r in records]
+        raw = {
+            name: [r[2][name] for r in records] for name in schema.names
+        }
+        return SpatialDataset.from_columns(xs, ys, schema, raw)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return int(self._xs.shape[0])
+
+    def __len__(self) -> int:
+        return self.n
+
+    @property
+    def xs(self) -> np.ndarray:
+        return self._xs
+
+    @property
+    def ys(self) -> np.ndarray:
+        return self._ys
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def column(self, name: str) -> np.ndarray:
+        """The encoded column of attribute ``name``."""
+        return self._columns[name]
+
+    def bounds(self) -> Rect:
+        """Minimum bounding rectangle of the object locations."""
+        if self.n == 0:
+            raise ValueError("empty dataset has no bounds")
+        return Rect(
+            float(self._xs.min()),
+            float(self._ys.min()),
+            float(self._xs.max()),
+            float(self._ys.max()),
+        )
+
+    # ------------------------------------------------------------------
+    # Region semantics (Lemma 1: strict containment)
+    # ------------------------------------------------------------------
+    def mask_in_region(self, region: Rect) -> np.ndarray:
+        """Boolean mask of objects strictly inside ``region``.
+
+        The paper's reduction (Lemma 1) uses open containment:
+        ``p.x < o.x < p.x + a`` and ``p.y < o.y < p.y + b``.
+        """
+        return (
+            (self._xs > region.x_min)
+            & (self._xs < region.x_max)
+            & (self._ys > region.y_min)
+            & (self._ys < region.y_max)
+        )
+
+    def count_in_region(self, region: Rect) -> int:
+        return int(self.mask_in_region(region).sum())
+
+    def subset(self, mask_or_indices) -> "SpatialDataset":
+        """A new dataset restricted to the selected rows."""
+        idx = np.asarray(mask_or_indices)
+        return SpatialDataset(
+            self._xs[idx],
+            self._ys[idx],
+            self._schema,
+            {name: col[idx] for name, col in self._columns.items()},
+        )
+
+    # ------------------------------------------------------------------
+    # Row views
+    # ------------------------------------------------------------------
+    def object_at(self, i: int) -> SpatialObject:
+        attrs = {}
+        for attr in self._schema:
+            raw = self._columns[attr.name][i]
+            if isinstance(attr, CategoricalAttribute):
+                attrs[attr.name] = attr.domain[int(raw)]
+            else:
+                attrs[attr.name] = float(raw)
+        return SpatialObject(float(self._xs[i]), float(self._ys[i]), attrs)
+
+    def __iter__(self) -> Iterator[SpatialObject]:
+        return (self.object_at(i) for i in range(self.n))
+
+    def __repr__(self) -> str:
+        return (
+            f"SpatialDataset(n={self.n}, attributes={list(self._schema.names)})"
+        )

@@ -1,0 +1,111 @@
+"""Query objects and search results for the ASRS problem."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .aggregators import CompositeAggregator
+from .distance import WeightedLpDistance
+from .geometry import Rect
+from .objects import SpatialDataset
+
+
+@dataclass(frozen=True)
+class ASRSQuery:
+    """An attribute-aware similar region search query (Definition 4).
+
+    Attributes
+    ----------
+    width, height:
+        The ``a x b`` size of the candidate (and query) region.
+    aggregator:
+        The composite aggregator ``F`` defining the aspects of interest.
+    query_rep:
+        ``F(rq)`` -- the target representation.  Built either from a real
+        region (:meth:`from_region`) or handcrafted (:meth:`from_vector`),
+        matching the paper's "query by example" and "virtual region"
+        usages.
+    metric:
+        The representation distance (weighted L1 by default).
+    """
+
+    width: float
+    height: float
+    aggregator: CompositeAggregator
+    query_rep: np.ndarray
+    metric: WeightedLpDistance
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError("query region size must be positive")
+        q = np.asarray(self.query_rep, dtype=np.float64)
+        object.__setattr__(self, "query_rep", q)
+        if q.ndim != 1:
+            raise ValueError("query representation must be a vector")
+        if self.metric.dim != q.shape[0]:
+            raise ValueError(
+                f"metric dimensionality {self.metric.dim} does not match "
+                f"representation dimensionality {q.shape[0]}"
+            )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_region(
+        dataset: SpatialDataset,
+        region: Rect,
+        aggregator: CompositeAggregator,
+        weights=None,
+        p: int = 1,
+    ) -> "ASRSQuery":
+        """Query-by-example: use a real region's representation as target."""
+        rep = aggregator.apply(dataset, region)
+        if weights is None:
+            metric = WeightedLpDistance.uniform(rep.shape[0], p=p)
+        else:
+            metric = WeightedLpDistance(weights, p=p)
+        return ASRSQuery(region.width, region.height, aggregator, rep, metric)
+
+    @staticmethod
+    def from_vector(
+        width: float,
+        height: float,
+        aggregator: CompositeAggregator,
+        query_rep,
+        weights=None,
+        p: int = 1,
+    ) -> "ASRSQuery":
+        """Handcrafted target: describe the ideal region directly."""
+        q = np.asarray(query_rep, dtype=np.float64)
+        if weights is None:
+            metric = WeightedLpDistance.uniform(q.shape[0], p=p)
+        else:
+            metric = WeightedLpDistance(weights, p=p)
+        return ASRSQuery(width, height, aggregator, q, metric)
+
+    # ------------------------------------------------------------------
+    def distance_to(self, rep: np.ndarray) -> float:
+        """Distance from a candidate representation to the target."""
+        return self.metric.distance(rep, self.query_rep)
+
+    def distance_of_region(self, dataset: SpatialDataset, region: Rect) -> float:
+        """Distance of a concrete region (reference path; used in tests)."""
+        return self.distance_to(self.aggregator.apply(dataset, region))
+
+
+@dataclass(frozen=True)
+class RegionResult:
+    """The answer to an ASRS query."""
+
+    region: Rect
+    distance: float
+    representation: np.ndarray = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.representation is not None:
+            object.__setattr__(
+                self,
+                "representation",
+                np.asarray(self.representation, dtype=np.float64),
+            )

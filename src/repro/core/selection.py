@@ -1,0 +1,108 @@
+"""Selection functions (the paper's gamma).
+
+Definition 1 lets every aggregator term filter the objects of a region
+through a selection function ``gamma`` before aggregating.  The paper's
+examples use "select all" (gamma_all) and "select by category value"
+(gamma_apt).  Selections are compiled once per query into a boolean mask
+over the whole dataset, so the hot paths never re-evaluate them.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Hashable
+
+import numpy as np
+
+from .objects import SpatialDataset
+
+
+class SelectionFunction(ABC):
+    """Selects a subset of objects; vectorized over the dataset."""
+
+    @abstractmethod
+    def mask(self, dataset: SpatialDataset) -> np.ndarray:
+        """Boolean mask (length ``dataset.n``) of selected objects."""
+
+    @property
+    @abstractmethod
+    def label(self) -> str:
+        """Human-readable name used in representation dimension labels."""
+
+
+class SelectAll(SelectionFunction):
+    """gamma_all: select every object."""
+
+    def mask(self, dataset: SpatialDataset) -> np.ndarray:
+        return np.ones(dataset.n, dtype=bool)
+
+    @property
+    def label(self) -> str:
+        return "all"
+
+    def __repr__(self) -> str:
+        return "SelectAll()"
+
+
+class SelectByValue(SelectionFunction):
+    """Select objects whose categorical attribute equals a given value.
+
+    Mirrors the paper's gamma_apt, which keeps objects whose ``category``
+    is ``Apartment``.
+    """
+
+    def __init__(self, attribute: str, value: Hashable) -> None:
+        self._attribute = attribute
+        self._value = value
+
+    @property
+    def attribute(self) -> str:
+        return self._attribute
+
+    @property
+    def value(self) -> Hashable:
+        return self._value
+
+    def mask(self, dataset: SpatialDataset) -> np.ndarray:
+        attr = dataset.schema.categorical(self._attribute)
+        code = attr.code_of(self._value)
+        return dataset.column(self._attribute) == code
+
+    @property
+    def label(self) -> str:
+        return f"{self._attribute}={self._value}"
+
+    def __repr__(self) -> str:
+        return f"SelectByValue({self._attribute!r}, {self._value!r})"
+
+
+class SelectWhere(SelectionFunction):
+    """Select by an arbitrary vectorized predicate over the dataset.
+
+    The predicate receives the dataset and must return a boolean mask of
+    length ``dataset.n``.  Use this for selections the built-ins cannot
+    express, e.g. "price below 2.0".
+    """
+
+    def __init__(
+        self,
+        predicate: Callable[[SpatialDataset], np.ndarray],
+        label: str = "where",
+    ) -> None:
+        self._predicate = predicate
+        self._label = label
+
+    def mask(self, dataset: SpatialDataset) -> np.ndarray:
+        result = np.asarray(self._predicate(dataset))
+        if result.dtype != bool or result.shape != (dataset.n,):
+            raise ValueError(
+                "SelectWhere predicate must return a boolean mask of length n"
+            )
+        return result
+
+    @property
+    def label(self) -> str:
+        return self._label
+
+    def __repr__(self) -> str:
+        return f"SelectWhere({self._label!r})"

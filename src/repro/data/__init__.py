@@ -1,0 +1,52 @@
+"""Dataset generators and IO (paper Section 7.1 substitutes)."""
+
+from .city import (
+    CATEGORIES,
+    CITY_SCHEMA,
+    DISTRICT_SIZE,
+    SINGAPORE_BOUNDS,
+    category_aggregator,
+    generate_city_dataset,
+)
+from .io import load_csv, save_csv
+from .poisyn import (
+    POISYN_SCHEMA,
+    generate_poisyn_dataset,
+    poisyn_aggregator,
+    poisyn_from_tweets,
+    poisyn_query,
+)
+from .synthetic import clustered_points, snap, uniform_points
+from .tweets import (
+    DAYS,
+    TWEET_SCHEMA,
+    US_BOUNDS,
+    generate_tweet_dataset,
+    weekend_aggregator,
+    weekend_query,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "CITY_SCHEMA",
+    "DAYS",
+    "DISTRICT_SIZE",
+    "POISYN_SCHEMA",
+    "SINGAPORE_BOUNDS",
+    "TWEET_SCHEMA",
+    "US_BOUNDS",
+    "category_aggregator",
+    "clustered_points",
+    "generate_city_dataset",
+    "generate_poisyn_dataset",
+    "generate_tweet_dataset",
+    "load_csv",
+    "poisyn_aggregator",
+    "poisyn_from_tweets",
+    "poisyn_query",
+    "save_csv",
+    "snap",
+    "uniform_points",
+    "weekend_aggregator",
+    "weekend_query",
+]

@@ -1,0 +1,94 @@
+"""POISyn: the paper's synthetic POI dataset (Section 7.1).
+
+Derived from the Tweet data exactly as the paper describes: every tweet
+becomes a POI at the same location with
+
+* ``rating = |tweet| / max|tweet| * 10``  (float in [0, 10]);
+* ``visits`` drawn uniformly from [1, 500].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.aggregators import (
+    AverageAggregator,
+    CompositeAggregator,
+    SumAggregator,
+)
+from ..core.attributes import NumericAttribute, Schema
+from ..core.geometry import Rect
+from ..core.objects import SpatialDataset
+from ..core.query import ASRSQuery
+from ..core.selection import SelectAll
+from .tweets import US_BOUNDS, generate_tweet_dataset
+
+POISYN_SCHEMA = Schema.of(
+    NumericAttribute("rating", lo=0.0, hi=10.0),
+    NumericAttribute("visits", lo=1.0, hi=500.0),
+)
+
+
+def poisyn_from_tweets(tweets: SpatialDataset, seed: int = 0) -> SpatialDataset:
+    """Apply the paper's POISyn recipe to a tweet dataset."""
+    rng = np.random.default_rng(seed)
+    lengths = tweets.column("length")
+    max_len = float(lengths.max()) if tweets.n else 1.0
+    ratings = lengths / max_len * 10.0
+    visits = rng.integers(1, 501, size=tweets.n).astype(np.float64)
+    return SpatialDataset(
+        tweets.xs, tweets.ys, POISYN_SCHEMA, {"rating": ratings, "visits": visits}
+    )
+
+
+def generate_poisyn_dataset(
+    n: int,
+    seed: int = 0,
+    n_clusters: int = 25,
+    bounds: Rect = US_BOUNDS,
+) -> SpatialDataset:
+    """Generate POISyn directly (tweets + recipe in one call)."""
+    tweets = generate_tweet_dataset(
+        n, seed=seed, n_clusters=n_clusters, bounds=bounds
+    )
+    return poisyn_from_tweets(tweets, seed=seed + 1)
+
+
+def poisyn_aggregator() -> CompositeAggregator:
+    """Composite Aggregator 2: total visits and average rating."""
+    return CompositeAggregator(
+        [
+            SumAggregator("visits", SelectAll()),
+            AverageAggregator("rating", SelectAll()),
+        ]
+    )
+
+
+def poisyn_query(
+    dataset: SpatialDataset,
+    width: float,
+    height: float,
+    margin: float = 1.25,
+) -> ASRSQuery:
+    """The paper's F2 query: many visits, excellent average rating.
+
+    Target ``(v_max, 10)`` with weights ``(1/v_max, 1/10)``; ``v_max``
+    (the maximum total visits a region of this size can hold) is
+    estimated aspirationally, as in
+    :func:`repro.data.tweets.regional_max_estimate`.
+    """
+    from .tweets import regional_max_estimate
+
+    agg = poisyn_aggregator()
+    v_max = regional_max_estimate(
+        dataset,
+        np.ones(dataset.n, dtype=bool),
+        width,
+        height,
+        weights=dataset.column("visits"),
+        margin=margin,
+    )
+    v_max = max(v_max, 1.0)
+    target = np.array([v_max, 10.0])
+    weights = np.array([1.0 / v_max, 1.0 / 10.0])
+    return ASRSQuery.from_vector(width, height, agg, target, weights=weights)

@@ -1,0 +1,38 @@
+"""DS-Search: the paper's discretize-and-split region search."""
+
+from .approx import approximate_search
+from .drop import axis_accuracy, gps_accuracy, satisfies_drop_condition
+from .grid import DiscretizationGrid, GridAccumulation
+from .maxrs import MaxRSEngine, max_rs_ds
+from .search import DSSearchEngine, SearchSettings, SearchStats, ds_search
+from .split import SubSpace, split_space
+from .structure import (
+    RankedRegion,
+    region_histogram,
+    rerank_by_structure,
+    structural_distance,
+)
+from .topk import ds_search_topk, subtract_many
+
+__all__ = [
+    "DSSearchEngine",
+    "DiscretizationGrid",
+    "GridAccumulation",
+    "MaxRSEngine",
+    "RankedRegion",
+    "SearchSettings",
+    "SearchStats",
+    "SubSpace",
+    "approximate_search",
+    "axis_accuracy",
+    "ds_search",
+    "ds_search_topk",
+    "gps_accuracy",
+    "max_rs_ds",
+    "region_histogram",
+    "rerank_by_structure",
+    "satisfies_drop_condition",
+    "split_space",
+    "structural_distance",
+    "subtract_many",
+]

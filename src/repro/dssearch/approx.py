@@ -1,0 +1,42 @@
+"""(1+δ)-approximate DS-Search (Section 6).
+
+Two modifications to the exact algorithm, both realized through the
+engine's dynamic pruning threshold ``d_opt / (1 + δ)``:
+
+* *Split* keeps only dirty cells whose lower bounds are below the
+  threshold (instead of below the incumbent);
+* the heap loop terminates once the smallest pending lower bound
+  reaches the threshold.
+
+Theorem 3 guarantees the returned region's distance is within a factor
+``1 + δ`` of the optimum.  ``delta = 0`` degenerates to the exact
+algorithm.
+"""
+
+from __future__ import annotations
+
+from ..core.objects import SpatialDataset
+from ..core.query import ASRSQuery, RegionResult
+from .search import DSSearchEngine, SearchSettings
+
+
+def approximate_search(
+    dataset: SpatialDataset,
+    query: ASRSQuery,
+    delta: float,
+    settings: SearchSettings | None = None,
+    return_stats: bool = False,
+):
+    """Solve the (1+δ)-approximate ASRS problem (Definition 10).
+
+    Returns a region whose distance is at most ``(1 + delta)`` times the
+    optimal distance; larger ``delta`` prunes more aggressively and runs
+    faster.
+    """
+    if delta < 0:
+        raise ValueError("delta must be non-negative")
+    engine = DSSearchEngine(dataset, query, settings, delta=delta)
+    result: RegionResult = engine.run()
+    if return_stats:
+        return result, engine.stats
+    return result

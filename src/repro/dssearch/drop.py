@@ -1,0 +1,45 @@
+"""GPS accuracy and the drop condition (Definitions 7-8, Theorem 2).
+
+The *horizontal (vertical) accuracy* ΔX (ΔY) is the minimum gap between
+distinct x (y) coordinates of rectangle edges.  Positioning hardware
+bounds it below (the paper uses 1e-8 degrees for the Tweet data), which
+is what makes it a data-size-independent constant in the O(Ω·n) bound.
+
+A discretized space *satisfies the drop condition* when ``2·w_c < ΔX``
+and ``2·h_c < ΔY`` for cell size ``w_c x h_c``: every disjoint region of
+the rectangle arrangement is then wide/tall enough to swallow a whole
+grid cell, so clean cells witness every disjoint region inside the space
+(Theorem 2) and further splitting is pointless.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from ..asp.rectset import RectSet
+
+
+def axis_accuracy(coords: np.ndarray) -> float:
+    """Minimum gap between distinct values; ``inf`` if fewer than two."""
+    distinct = np.unique(np.asarray(coords, dtype=np.float64))
+    if distinct.size < 2:
+        return math.inf
+    return float(np.diff(distinct).min())
+
+
+def gps_accuracy(rects: RectSet) -> Tuple[float, float]:
+    """(ΔX, ΔY) of a rectangle set, per Definition 7."""
+    return axis_accuracy(rects.edge_xs()), axis_accuracy(rects.edge_ys())
+
+
+def satisfies_drop_condition(
+    cell_width: float,
+    cell_height: float,
+    delta_x: float,
+    delta_y: float,
+) -> bool:
+    """Definition 8: both cell dimensions under half the axis accuracy."""
+    return 2.0 * cell_width < delta_x and 2.0 * cell_height < delta_y

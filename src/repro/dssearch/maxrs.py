@@ -1,0 +1,210 @@
+"""DS-Search adapted to the MaxRS problem (Section 7.5).
+
+MaxRS is the special case of ASRS with a single SUM aggregate and a
+"maximize" objective, so the adaptation mirrors the paper: estimate an
+*upper* bound per dirty cell (the total weight of rectangles fully or
+partially covering it), process spaces greedily from a max-heap, prune
+cells whose upper bounds cannot beat the incumbent, and resolve
+surviving dirty cells exactly at the drop condition.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+import numpy as np
+
+from ..asp.reduction import reduce_to_asp, region_for_point
+from ..baselines.maxrs_oe import MaxRSResult
+from ..core.objects import SpatialDataset
+from .drop import gps_accuracy, satisfies_drop_condition
+from .grid import DiscretizationGrid
+from .search import SearchSettings, SearchStats
+from .split import split_space
+
+
+class MaxRSEngine:
+    """Discretize-and-split maximizer of enclosed weight."""
+
+    def __init__(
+        self,
+        dataset: SpatialDataset,
+        width: float,
+        height: float,
+        weights: np.ndarray | None = None,
+        settings: SearchSettings | None = None,
+    ) -> None:
+        if weights is None:
+            weights = np.ones(dataset.n)
+        else:
+            weights = np.asarray(weights, dtype=np.float64)
+            if weights.shape != (dataset.n,):
+                raise ValueError("weights must have one entry per object")
+            if np.any(weights < 0):
+                raise ValueError("MaxRS weights must be non-negative")
+        self.dataset = dataset
+        self.width = width
+        self.height = height
+        self.settings = settings or SearchSettings()
+        self.weights = weights[:, np.newaxis]
+        self.rects = reduce_to_asp(dataset, width, height, self.settings.anchor)
+        dx, dy = gps_accuracy(self.rects) if dataset.n else (np.inf, np.inf)
+        if self.settings.resolution is not None:
+            floor_x = floor_y = self.settings.resolution
+        else:
+            floor_x = self.settings.resolution_factor * width
+            floor_y = self.settings.resolution_factor * height
+        self.delta_x, self.delta_y = max(dx, floor_x), max(dy, floor_y)
+        self.best_score = 0.0
+        self.best_point = (0.0, 0.0)
+        self.stats = SearchStats()
+        self._tiebreak = itertools.count()
+
+    # ------------------------------------------------------------------
+    def run(self) -> MaxRSResult:
+        if self.dataset.n:
+            bounds = self.rects.bounds()
+            self.best_point = (bounds.x_min - 1.0, bounds.y_min - 1.0)
+            heap: list = []
+            heapq.heappush(
+                heap,
+                (-np.inf, next(self._tiebreak), bounds, np.arange(self.rects.n), 0),
+            )
+            while heap:
+                neg_ub, _, space, active, depth = heapq.heappop(heap)
+                if -neg_ub <= self.best_score:
+                    break
+                self._process_space(heap, space, active, depth)
+        region = region_for_point(*self.best_point, self.width, self.height)
+        return MaxRSResult(region=region, score=float(self.best_score))
+
+    # ------------------------------------------------------------------
+    def _process_space(self, heap, space, active, depth) -> None:
+        st = self.stats
+        st.spaces_processed += 1
+        st.max_depth_seen = max(st.max_depth_seen, depth)
+        settings = self.settings
+
+        grid = DiscretizationGrid(space, settings.ncol, settings.nrow)
+        sub = self.rects.take(active)
+        acc = grid.accumulate(self.rects, active, self.weights, _taken=sub)
+
+        clean = acc.clean
+        st.clean_cells += int(clean.sum())
+        if clean.any():
+            scores = acc.full[..., 0][clean]
+            i = int(np.argmax(scores))
+            if scores[i] > self.best_score:
+                rows, cols = np.nonzero(clean)
+                cx, cy = grid.cell_centers()
+                self.best_score = float(scores[i])
+                self.best_point = (
+                    float(cx[rows[i], cols[i]]),
+                    float(cy[rows[i], cols[i]]),
+                )
+                st.incumbent_updates += 1
+
+        dirty_rows, dirty_cols = np.nonzero(acc.dirty)
+        st.dirty_cells += dirty_rows.size
+        if dirty_rows.size == 0:
+            return
+        # Upper bound: total weight of rectangles touching the cell.
+        ubs = acc.over[dirty_rows, dirty_cols, 0]
+        keep = ubs > self.best_score
+        st.pruned_dirty_cells += int((~keep).sum())
+        if not keep.any():
+            return
+        dirty_rows, dirty_cols, ubs = dirty_rows[keep], dirty_cols[keep], ubs[keep]
+
+        drop = (
+            satisfies_drop_condition(
+                grid.cell_width, grid.cell_height, self.delta_x, self.delta_y
+            )
+            or active.size <= settings.small_active_cutoff
+            or depth >= settings.max_depth
+        )
+        if drop:
+            self._resolve_cells_exactly(grid, dirty_rows, dirty_cols, ubs, active, sub)
+            return
+
+        st.splits += 1
+        # split_space keys children by min of the supplied bounds; feed it
+        # negated upper bounds so "min" picks the strongest child bound.
+        for child in split_space(grid, dirty_rows, dirty_cols, -ubs):
+            ub = -child.lower_bound
+            if ub <= self.best_score:
+                continue
+            child_active = active[sub.overlap_mask(child.space)]
+            if child_active.size == 0:
+                continue
+            heapq.heappush(
+                heap,
+                (-ub, next(self._tiebreak), child.space, child_active, depth + 1),
+            )
+
+    # ------------------------------------------------------------------
+    def _resolve_cells_exactly(self, grid, rows, cols, ubs, active, sub) -> None:
+        st = self.stats
+        keep = ubs > self.best_score
+        if not keep.any():
+            return
+        rows, cols = rows[keep], cols[keep]
+        st.resolved_dirty_cells += rows.size
+        all_px, all_py = [], []
+        for row, col in zip(rows, cols):
+            cell = grid.cell_rect(int(row), int(col))
+            in_cell = sub.overlap_mask(cell)
+            xs = self._cut_points(
+                np.concatenate([sub.x_min[in_cell], sub.x_max[in_cell]]),
+                cell.x_min,
+                cell.x_max,
+            )
+            ys = self._cut_points(
+                np.concatenate([sub.y_min[in_cell], sub.y_max[in_cell]]),
+                cell.y_min,
+                cell.y_max,
+            )
+            px, py = np.meshgrid(xs, ys)
+            all_px.append(px.ravel())
+            all_py.append(py.ravel())
+        px = np.concatenate(all_px)
+        py = np.concatenate(all_py)
+        st.candidate_points_evaluated += px.size
+        chunk = max(1, 4_000_000 // max(1, active.size))
+        for start in range(0, px.size, chunk):
+            bx, by = px[start : start + chunk], py[start : start + chunk]
+            cover = (
+                (sub.x_min[np.newaxis, :] < bx[:, np.newaxis])
+                & (bx[:, np.newaxis] < sub.x_max[np.newaxis, :])
+                & (sub.y_min[np.newaxis, :] < by[:, np.newaxis])
+                & (by[:, np.newaxis] < sub.y_max[np.newaxis, :])
+            )
+            scores = cover.astype(np.float64) @ self.weights[active][:, 0]
+            i = int(np.argmax(scores))
+            if scores[i] > self.best_score:
+                self.best_score = float(scores[i])
+                self.best_point = (float(bx[i]), float(by[i]))
+                st.incumbent_updates += 1
+
+    @staticmethod
+    def _cut_points(edges: np.ndarray, lo: float, hi: float) -> np.ndarray:
+        inside = np.unique(edges[(edges > lo) & (edges < hi)])
+        cuts = np.concatenate([[lo], inside, [hi]])
+        return (cuts[:-1] + cuts[1:]) / 2.0
+
+
+def max_rs_ds(
+    dataset: SpatialDataset,
+    width: float,
+    height: float,
+    weights: np.ndarray | None = None,
+    settings: SearchSettings | None = None,
+    return_stats: bool = False,
+):
+    """Solve MaxRS with the DS-Search adaptation (Section 7.5)."""
+    engine = MaxRSEngine(dataset, width, height, weights, settings)
+    result = engine.run()
+    if return_stats:
+        return result, engine.stats
+    return result

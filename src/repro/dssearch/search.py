@@ -1,0 +1,419 @@
+"""DS-Search (Algorithm 1): discretize-and-split search for ASRS.
+
+The engine reduces the ASRS instance to ASP (one rectangle per object),
+then processes spaces from a min-heap keyed by lower bound:
+
+1. **Discretize** the space with an ``ncol x nrow`` grid; clean cells
+   yield exact candidate distances (their centers update the incumbent),
+   dirty cells yield Equation-1 lower bounds.
+2. **Prune** dirty cells whose bounds reach the incumbent distance.
+3. If the space satisfies the **drop condition**, resolve every
+   surviving dirty cell *exactly* by enumerating the uniform sub-cells
+   induced by the rectangle edges crossing it (at drop-condition cell
+   sizes at most one distinct edge per axis crosses a cell, so at most
+   four candidate points); this hardening makes the algorithm
+   unconditionally exact (DESIGN.md §5.2).  Otherwise **split** the
+   surviving cells into up to two MBR child spaces and push them.
+
+The search terminates when the heap's smallest lower bound reaches the
+incumbent.  The incumbent is seeded with the *empty region* (a valid
+answer containing no objects), which lets the search stay inside the MBR
+of the ASP rectangles.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..asp.evaluate import points_distances
+from ..asp.rectset import RectSet
+from ..asp.reduction import reduce_to_asp, region_for_point
+from ..core.channels import ChannelCompiler
+from ..core.geometry import Rect
+from ..core.objects import SpatialDataset
+from ..core.query import ASRSQuery, RegionResult
+from .bounds import dirty_cell_lower_bounds
+from .drop import gps_accuracy, satisfies_drop_condition
+from .grid import DiscretizationGrid
+from .split import split_space
+
+
+@dataclass(frozen=True)
+class SearchSettings:
+    """Tuning knobs of DS-Search.
+
+    ``ncol``/``nrow`` control the discretization grid (the paper finds
+    30 x 30 best).  ``small_active_cutoff`` drops a space to exact
+    resolution once few rectangles remain -- cheaper than more grid
+    rounds and still exact.  ``max_depth`` caps the split recursion;
+    thanks to the exact dirty-cell resolution this is *also* safe: a
+    depth-capped space is resolved by edge enumeration instead of being
+    abandoned.
+    """
+
+    ncol: int = 30
+    nrow: int = 30
+    anchor: str = "top_right"
+    small_active_cutoff: int = 64
+    max_depth: int = 60
+    resolution: float | None = None  # absolute floor for ΔX and ΔY
+    resolution_factor: float = 1e-3  # default floor: factor x query size
+    adaptive_grid: bool = True
+    probe_dirty_cells: int = 8
+    split_strategy: str = "quadratic"  # or "bisect" (ablation)
+
+    def __post_init__(self) -> None:
+        if self.ncol < 1 or self.nrow < 1:
+            raise ValueError("grid dimensions must be positive")
+        if self.max_depth < 1:
+            raise ValueError("max_depth must be positive")
+        if self.probe_dirty_cells < 0:
+            raise ValueError("probe_dirty_cells must be non-negative")
+
+    def grid_shape(self, n_active: int) -> tuple[int, int]:
+        """Grid dimensions for a space with ``n_active`` rectangles.
+
+        With ``adaptive_grid`` the cell count tracks the active-set size,
+        so deep spaces with few rectangles pay for few cells: per-space
+        cost is O(active + cells·channels) and balancing the two terms
+        minimizes it without affecting exactness.
+        """
+        if not self.adaptive_grid:
+            return self.ncol, self.nrow
+        side = int(np.ceil(np.sqrt(max(2.0 * n_active, 36.0))))
+        return min(self.ncol, side), min(self.nrow, side)
+
+
+@dataclass
+class SearchStats:
+    """Counters describing one search run (used by tests and benches)."""
+
+    spaces_processed: int = 0
+    clean_cells: int = 0
+    dirty_cells: int = 0
+    pruned_dirty_cells: int = 0
+    resolved_dirty_cells: int = 0
+    splits: int = 0
+    max_depth_seen: int = 0
+    candidate_points_evaluated: int = 0
+    incumbent_updates: int = 0
+    extra: dict = field(default_factory=dict)
+
+
+class DSSearchEngine:
+    """Reusable DS-Search engine for one (dataset, query) pair.
+
+    GI-DS drives this engine over many index cells while sharing the
+    incumbent; plain DS-Search calls :meth:`run` once on the full space.
+    """
+
+    def __init__(
+        self,
+        dataset: SpatialDataset,
+        query: ASRSQuery,
+        settings: SearchSettings | None = None,
+        compiler: ChannelCompiler | None = None,
+        delta: float = 0.0,
+    ) -> None:
+        if delta < 0:
+            raise ValueError("delta must be non-negative")
+        self.dataset = dataset
+        self.query = query
+        self.settings = settings or SearchSettings()
+        self.compiler = compiler or ChannelCompiler(dataset, query.aggregator)
+        self.delta = delta
+        self.rects: RectSet = reduce_to_asp(
+            dataset, query.width, query.height, self.settings.anchor
+        )
+        dx, dy = gps_accuracy(self.rects)
+        # Floor the accuracies: splitting below the floor is replaced by
+        # the exact per-cell edge enumeration, so results stay exact
+        # while tie plateaus (many positionally distinct regions with
+        # identical contents) stop forcing splits down to GPS scale.
+        # The default floor scales with the query size -- sub-millesimal
+        # region shifts carry no application meaning.
+        if self.settings.resolution is not None:
+            floor_x = floor_y = self.settings.resolution
+        else:
+            floor_x = self.settings.resolution_factor * query.width
+            floor_y = self.settings.resolution_factor * query.height
+        self.delta_x, self.delta_y = max(dx, floor_x), max(dy, floor_y)
+        self.stats = SearchStats()
+
+        # Seed: the empty region is always a valid answer.
+        empty_rep = query.aggregator.empty_representation(dataset)
+        self.best_distance = query.distance_to(empty_rep)
+        if dataset.n:
+            bounds = self.rects.bounds()
+            self.best_point = (bounds.x_min - query.width, bounds.y_min - query.height)
+        else:
+            self.best_point = (0.0, 0.0)
+        self._tiebreak = itertools.count()
+
+    # ------------------------------------------------------------------
+    def run(self) -> RegionResult:
+        """Plain DS-Search over the whole ASP space."""
+        if self.dataset.n:
+            self.search_space(self.rects.bounds(), 0.0, np.arange(self.rects.n))
+        return self.result()
+
+    def result(self) -> RegionResult:
+        """The incumbent as an ASRS region (Theorem 1)."""
+        x, y = self.best_point
+        region = region_for_point(x, y, self.query.width, self.query.height)
+        rep = self.query.aggregator.apply(self.dataset, region)
+        return RegionResult(region=region, distance=self.best_distance, representation=rep)
+
+    # ------------------------------------------------------------------
+    def search_space(self, space: Rect, space_lb: float, active: np.ndarray) -> None:
+        """Run the discretize-split loop on one space."""
+        if active.size == 0:
+            return
+        heap: list = []
+        heapq.heappush(
+            heap, (space_lb, next(self._tiebreak), space, active, 0)
+        )
+        while heap:
+            lb, _, space, active, depth = heapq.heappop(heap)
+            if lb >= self._threshold():
+                break
+            self._process_space(heap, space, active, depth)
+
+    def _threshold(self) -> float:
+        """Bound below which a cell/space can still improve the result.
+
+        Exact search prunes against the incumbent; the (1+δ)-approximate
+        variant of Section 6 prunes against ``d_opt / (1 + δ)``, which
+        dynamically tracks the incumbent.
+        """
+        return self.best_distance / (1.0 + self.delta)
+
+    # ------------------------------------------------------------------
+    def _process_space(
+        self,
+        heap: list,
+        space: Rect,
+        active: np.ndarray,
+        depth: int,
+    ) -> None:
+        st = self.stats
+        st.spaces_processed += 1
+        st.max_depth_seen = max(st.max_depth_seen, depth)
+        settings = self.settings
+
+        ncol, nrow = settings.grid_shape(active.size)
+        grid = DiscretizationGrid(space, ncol, nrow)
+        sub = self.rects.take(active)
+        acc = grid.accumulate(self.rects, active, self.compiler.weights, _taken=sub)
+
+        # Clean cells: exact distances; best center updates the incumbent.
+        clean = acc.clean
+        n_clean = int(clean.sum())
+        st.clean_cells += n_clean
+        if n_clean:
+            reps = self.compiler.rep_from_sums(acc.full[clean])
+            dists = self.query.metric.distance_many(reps, self.query.query_rep)
+            best = int(np.argmin(dists))
+            if dists[best] < self.best_distance:
+                rows, cols = np.nonzero(clean)
+                cx, cy = grid.cell_centers()
+                self.best_distance = float(dists[best])
+                self.best_point = (
+                    float(cx[rows[best], cols[best]]),
+                    float(cy[rows[best], cols[best]]),
+                )
+                st.incumbent_updates += 1
+
+        # Dirty cells: Equation-1 lower bounds, then prune.
+        dirty_rows, dirty_cols = np.nonzero(acc.dirty)
+        st.dirty_cells += dirty_rows.size
+        if dirty_rows.size == 0:
+            return
+        ctx = self.compiler.make_context(active)
+        lbs = dirty_cell_lower_bounds(
+            self.query,
+            self.compiler,
+            acc.full[dirty_rows, dirty_cols],
+            acc.over[dirty_rows, dirty_cols],
+            ctx,
+        )
+        keep = lbs < self._threshold()
+        st.pruned_dirty_cells += int((~keep).sum())
+        if not keep.any():
+            return
+        dirty_rows, dirty_cols, lbs = dirty_rows[keep], dirty_cols[keep], lbs[keep]
+
+        # Probe the most promising dirty cells' centers: an exact point
+        # evaluation is cheap and an early incumbent improvement prunes
+        # whole subtrees that splitting would otherwise have to visit.
+        n_probe = min(settings.probe_dirty_cells, lbs.size)
+        if n_probe:
+            probe = np.argpartition(lbs, n_probe - 1)[:n_probe]
+            cx, cy = grid.cell_centers()
+            px = cx[dirty_rows[probe], dirty_cols[probe]]
+            py = cy[dirty_rows[probe], dirty_cols[probe]]
+            dists = points_distances(
+                self.query, self.compiler, self.rects, px, py, active
+            )
+            st.candidate_points_evaluated += n_probe
+            i = int(np.argmin(dists))
+            if dists[i] < self.best_distance:
+                self.best_distance = float(dists[i])
+                self.best_point = (float(px[i]), float(py[i]))
+                st.incumbent_updates += 1
+                keep = lbs < self._threshold()
+                if not keep.any():
+                    return
+                dirty_rows, dirty_cols, lbs = (
+                    dirty_rows[keep],
+                    dirty_cols[keep],
+                    lbs[keep],
+                )
+
+        drop = (
+            satisfies_drop_condition(
+                grid.cell_width, grid.cell_height, self.delta_x, self.delta_y
+            )
+            or active.size <= settings.small_active_cutoff
+            or depth >= settings.max_depth
+        )
+        if drop:
+            self._resolve_cells_exactly(grid, dirty_rows, dirty_cols, lbs, active, sub)
+            return
+
+        st.splits += 1
+        children = split_space(
+            grid, dirty_rows, dirty_cols, lbs, strategy=settings.split_strategy
+        )
+        for child in children:
+            if child.lower_bound >= self._threshold():
+                continue
+            child_active = active[sub.overlap_mask(child.space)]
+            if child_active.size == 0:
+                continue
+            heapq.heappush(
+                heap,
+                (
+                    child.lower_bound,
+                    next(self._tiebreak),
+                    child.space,
+                    child_active,
+                    depth + 1,
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    def _resolve_cells_exactly(
+        self,
+        grid: DiscretizationGrid,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        lbs: np.ndarray,
+        active: np.ndarray,
+        sub: RectSet,
+    ) -> None:
+        """Exact per-cell resolution at the drop condition.
+
+        Every surviving dirty cell is cut by the rectangle edges crossing
+        its interior into uniform sub-cells; the candidate points of all
+        cells are evaluated against the active rectangles in one batch.
+        """
+        st = self.stats
+        keep = lbs < self._threshold()
+        if not keep.any():
+            return
+        rows, cols = rows[keep], cols[keep]
+        st.resolved_dirty_cells += rows.size
+        all_px, all_py = [], []
+        for row, col in zip(rows, cols):
+            cell = grid.cell_rect(int(row), int(col))
+            in_cell = sub.overlap_mask(cell)
+            xs = self._cut_points(
+                np.concatenate([sub.x_min[in_cell], sub.x_max[in_cell]]),
+                cell.x_min,
+                cell.x_max,
+            )
+            ys = self._cut_points(
+                np.concatenate([sub.y_min[in_cell], sub.y_max[in_cell]]),
+                cell.y_min,
+                cell.y_max,
+            )
+            px, py = np.meshgrid(xs, ys)
+            all_px.append(px.ravel())
+            all_py.append(py.ravel())
+        px = np.concatenate(all_px)
+        py = np.concatenate(all_py)
+        st.candidate_points_evaluated += px.size
+        # Chunk so the (points x active) coverage matrix stays small.
+        chunk = max(1, 4_000_000 // max(1, active.size))
+        for start in range(0, px.size, chunk):
+            bx, by = px[start : start + chunk], py[start : start + chunk]
+            dists = points_distances(
+                self.query, self.compiler, self.rects, bx, by, active
+            )
+            best = int(np.argmin(dists))
+            if dists[best] < self.best_distance:
+                self.best_distance = float(dists[best])
+                self.best_point = (float(bx[best]), float(by[best]))
+                st.incumbent_updates += 1
+
+    @staticmethod
+    def _cut_points(edges: np.ndarray, lo: float, hi: float) -> np.ndarray:
+        """Midpoints of the intervals the edges induce inside (lo, hi)."""
+        inside = np.unique(edges[(edges > lo) & (edges < hi)])
+        cuts = np.concatenate([[lo], inside, [hi]])
+        return (cuts[:-1] + cuts[1:]) / 2.0
+
+
+def ds_search(
+    dataset: SpatialDataset,
+    query: ASRSQuery,
+    settings: SearchSettings | None = None,
+    exclude: Rect | None = None,
+    return_stats: bool = False,
+):
+    """Solve an ASRS query exactly with DS-Search (Algorithm 1).
+
+    ``exclude`` bars candidate regions overlapping the given rectangle
+    -- the "find a *different* region like this one" mode of the paper's
+    case study, where the query-by-example region itself would otherwise
+    be returned at distance zero.  Exclusion is exact: the allowed
+    bottom-left-corner domain (the complement of an expanded forbidden
+    rectangle) is decomposed into at most four strips, each searched
+    with a shared incumbent.
+
+    Returns the :class:`RegionResult`; with ``return_stats=True`` a
+    ``(result, stats)`` pair.
+    """
+    engine = DSSearchEngine(dataset, query, settings)
+    if exclude is None or dataset.n == 0:
+        result = engine.run()
+    else:
+        from ..core.geometry import subtract
+
+        # Bottom-left corners whose region's interior meets `exclude`.
+        forbidden = Rect(
+            exclude.x_min - query.width,
+            exclude.y_min - query.height,
+            exclude.x_max,
+            exclude.y_max,
+        )
+        # Relocate the empty-region seed outside the forbidden zone (it
+        # defaults to just left/below the rectangle union, which the
+        # forbidden zone may cover).
+        bounds = engine.rects.bounds()
+        engine.best_point = (
+            min(bounds.x_min, forbidden.x_min) - query.width,
+            min(bounds.y_min, forbidden.y_min) - query.height,
+        )
+        for piece in subtract(engine.rects.bounds(), forbidden):
+            active = np.flatnonzero(engine.rects.overlap_mask(piece))
+            engine.search_space(piece, 0.0, active)
+        result = engine.result()
+    if return_stats:
+        return result, engine.stats
+    return result

@@ -1,0 +1,19 @@
+"""Per-figure experiment runners (Section 7 reproduction).
+
+Each module regenerates one paper artifact:
+
+* ``python -m repro.experiments.fig8``    -- runtime vs. query size
+* ``python -m repro.experiments.fig9``    -- runtime vs. ncol/nrow
+* ``python -m repro.experiments.fig10``   -- scalability vs. cardinality
+* ``python -m repro.experiments.fig11``   -- GI-DS granularity
+* ``python -m repro.experiments.table1``  -- cells searched + index size
+* ``python -m repro.experiments.fig12``   -- app-GIDS runtime vs. delta
+* ``python -m repro.experiments.table2``  -- approximation quality
+* ``python -m repro.experiments.fig13``   -- MaxRS application
+* ``python -m repro.experiments.fig14``   -- Singapore case study
+* ``python -m repro.experiments.all``     -- everything, in order
+"""
+
+from .harness import Table, environment_banner, timed
+
+__all__ = ["Table", "environment_banner", "timed"]

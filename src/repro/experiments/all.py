@@ -1,0 +1,29 @@
+"""Run every experiment in sequence (use --quick for a fast smoke pass)."""
+
+from __future__ import annotations
+
+import argparse
+
+from . import fig8, fig9, fig10, fig11, fig12, fig13, fig14, table1, table2
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="reduced scales")
+    args = parser.parse_args()
+    quick = args.quick
+
+    fig8.run(quick=quick).show()
+    fig9.run(quick=quick).show()
+    fig10.run(quick=quick).show()
+    fig11.run(quick=quick).show()
+    table1.run(quick=quick).show()
+    fig12.run(quick=quick).show()
+    table2.run(quick=quick).show()
+    fig13.run_sizes(quick=quick).show()
+    fig13.run_scalability(quick=quick).show()
+    fig14.run(quick=quick).show()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Cached dataset construction shared by experiments and benchmarks.
+
+Regenerating a 100k-point dataset per parametrized benchmark would
+dominate the suite's runtime; the caches key on (kind, n, seed) and are
+process-wide.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Tuple
+
+from ..core.objects import SpatialDataset
+from ..data import generate_poisyn_dataset, generate_tweet_dataset
+from ..index import GridIndex
+
+#: Default seed for all experiments (fixed for reproducibility).
+SEED = 7
+
+
+@lru_cache(maxsize=8)
+def _tweets(n: int, seed: int) -> SpatialDataset:
+    return generate_tweet_dataset(n, seed=seed)
+
+
+@lru_cache(maxsize=8)
+def _poisyn(n: int, seed: int) -> SpatialDataset:
+    return generate_poisyn_dataset(n, seed=seed)
+
+
+@lru_cache(maxsize=8)
+def _tweet_index(n: int, granularity: int, seed: int) -> GridIndex:
+    return GridIndex.build(_tweets(n, seed), granularity, granularity)
+
+
+def tweets(n: int, seed: int = SEED) -> SpatialDataset:
+    """Cached Tweet-like dataset (normalized cache key)."""
+    return _tweets(n, seed)
+
+
+def poisyn(n: int, seed: int = SEED) -> SpatialDataset:
+    """Cached POISyn dataset (normalized cache key)."""
+    return _poisyn(n, seed)
+
+
+def tweet_index(n: int, granularity: int, seed: int = SEED) -> GridIndex:
+    """Cached grid index over the cached Tweet dataset."""
+    return _tweet_index(n, granularity, seed)
+
+
+def paper_query_size(dataset: SpatialDataset, k: int) -> Tuple[float, float]:
+    """The paper's query-size unit: ``k·q`` with ``q = (W/1000, H/1000)``."""
+    bounds = dataset.bounds()
+    return k * bounds.width / 1000.0, k * bounds.height / 1000.0

@@ -1,0 +1,46 @@
+"""Figure 10: scalability -- runtime vs. dataset cardinality.
+
+Paper setup: 1..10 x 10^5 objects, size 10q, DS-Search vs. Base.  The
+shape to reproduce: Base's O(n²) curve pulls away from DS-Search's
+near-linear one, so the speedup grows with n.
+"""
+
+from __future__ import annotations
+
+from ..baselines.sweepline import sweep_line_search
+from ..data import poisyn_query, weekend_query
+from ..dssearch import ds_search
+from .datasets import paper_query_size, poisyn, tweets
+from .harness import Table, environment_banner, timed
+
+CARDINALITIES = (5_000, 10_000, 20_000, 40_000)
+
+
+def run(size_factor: int = 10, quick: bool = False) -> Table:
+    cards = (1_000, 2_000) if quick else CARDINALITIES
+    table = Table(
+        f"Fig 10 - runtime (ms) vs. cardinality (size {size_factor}q)",
+        ["dataset", "n", "Base (ms)", "DS-Search (ms)", "speedup", "match"],
+    )
+    for name, get_dataset, make_query in (
+        ("Tweet", tweets, weekend_query),
+        ("POISyn", poisyn, poisyn_query),
+    ):
+        for n in cards:
+            dataset = get_dataset(n)
+            width, height = paper_query_size(dataset, size_factor)
+            query = make_query(dataset, width, height)
+            base_result, base_t = timed(sweep_line_search, dataset, query)
+            ds_result, ds_t = timed(ds_search, dataset, query)
+            match = abs(base_result.distance - ds_result.distance) < 1e-6
+            table.add_row(name, n, base_t * 1e3, ds_t * 1e3, base_t / ds_t, match)
+    table.add_note(environment_banner())
+    return table
+
+
+def main() -> None:
+    run().show()
+
+
+if __name__ == "__main__":
+    main()

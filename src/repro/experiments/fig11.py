@@ -1,0 +1,50 @@
+"""Figure 11: GI-DS vs. DS-Search across grid-index granularities.
+
+Paper setup: Tweet-100M / POISyn-100M, granularities 64/128/256, sizes
+q..10q.  Scaled to the Python-feasible regime where the index's
+locality benefit materializes (n >= ~10^5).  The shape to reproduce:
+GI-DS beats plain DS-Search at a suitable granularity, and a too-coarse
+index degrades it.
+"""
+
+from __future__ import annotations
+
+from ..data import weekend_query
+from ..dssearch import ds_search
+from ..index import gi_ds_search
+from .datasets import paper_query_size, tweet_index, tweets
+from .harness import Table, environment_banner, timed
+
+GRANULARITIES = (64, 128, 256)
+SIZES = (4, 10)
+
+
+def run(n: int = 150_000, quick: bool = False) -> Table:
+    if quick:
+        n = min(n, 20_000)
+    dataset = tweets(n)
+    table = Table(
+        f"Fig 11 - runtime (ms) vs. grid index granularity (Tweet-{n//1000}k)",
+        ["size", "DS-Search"] + [f"{g}-GI-DS" for g in GRANULARITIES],
+    )
+    for k in SIZES:
+        width, height = paper_query_size(dataset, k)
+        query = weekend_query(dataset, width, height)
+        _, ds_t = timed(ds_search, dataset, query)
+        row = [f"{k}q", ds_t * 1e3]
+        for g in GRANULARITIES:
+            index = tweet_index(n, g)
+            _, gi_t = timed(gi_ds_search, dataset, query, index)
+            row.append(gi_t * 1e3)
+        table.add_row(*row)
+    table.add_note("index build time excluded (query-independent, built once)")
+    table.add_note(environment_banner())
+    return table
+
+
+def main() -> None:
+    run().show()
+
+
+if __name__ == "__main__":
+    main()

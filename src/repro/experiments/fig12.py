@@ -1,0 +1,50 @@
+"""Figure 12: runtime of the approximate solution vs. δ.
+
+Paper setup: cardinality 1-3 x 10^8, δ in {0.1, 0.2, 0.3, 0.4}, both
+composite aggregators.  The shape to reproduce: runtime decreases as δ
+increases (more aggressive pruning, earlier termination).
+"""
+
+from __future__ import annotations
+
+from ..data import poisyn_query, weekend_query
+from ..index import gi_ds_search
+from .datasets import paper_query_size, poisyn, tweets
+from .harness import Table, environment_banner, timed
+
+DELTAS = (0.1, 0.2, 0.3, 0.4)
+
+
+def run(cardinalities=(25_000, 50_000, 100_000), size_factor: int = 10,
+        quick: bool = False) -> Table:
+    if quick:
+        cardinalities = (5_000, 10_000)
+    table = Table(
+        "Fig 12 - app-GIDS runtime (ms) vs. delta",
+        ["aggregator", "n"] + [f"delta={d}" for d in DELTAS],
+    )
+    for name, get_dataset, make_query in (
+        ("F1 (Tweet)", tweets, weekend_query),
+        ("F2 (POISyn)", poisyn, poisyn_query),
+    ):
+        for n in cardinalities:
+            dataset = get_dataset(n)
+            width, height = paper_query_size(dataset, size_factor)
+            query = make_query(dataset, width, height)
+            row = [name, n]
+            for delta in DELTAS:
+                _, seconds = timed(
+                    gi_ds_search, dataset, query, None, (64, 64), None, delta
+                )
+                row.append(seconds * 1e3)
+            table.add_row(*row)
+    table.add_note(environment_banner())
+    return table
+
+
+def main() -> None:
+    run().show()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Figure 13: application to the MaxRS problem.
+
+Paper setup: (a) runtime vs. rectangle size (q..30q) on 5 x 10^6
+objects; (b) scalability 1-10 x 10^6 at size 10q; DS-Search adaptation
+vs. the O(n log n) Optimal Enclosure (OE) algorithm.  The shape to
+reproduce: DS-MaxRS is faster than OE and less sensitive to the
+rectangle size.
+"""
+
+from __future__ import annotations
+
+from ..baselines.maxrs_oe import max_rs_oe
+from ..dssearch.maxrs import max_rs_ds
+from .datasets import paper_query_size, tweets
+from .harness import Table, environment_banner, timed
+
+SIZES = (1, 10, 20, 30)
+CARDINALITIES = (10_000, 25_000, 50_000, 100_000)
+
+
+def run_sizes(n: int = 50_000, quick: bool = False) -> Table:
+    if quick:
+        n = min(n, 5_000)
+    dataset = tweets(n)
+    table = Table(
+        f"Fig 13a - MaxRS runtime (ms) vs. rectangle size (Tweet-{n//1000}k)",
+        ["size", "OE (ms)", "DS-MaxRS (ms)", "speedup", "match"],
+    )
+    for k in SIZES:
+        width, height = paper_query_size(dataset, k)
+        oe_result, oe_t = timed(max_rs_oe, dataset, width, height)
+        ds_result, ds_t = timed(max_rs_ds, dataset, width, height)
+        table.add_row(
+            f"{k}q",
+            oe_t * 1e3,
+            ds_t * 1e3,
+            oe_t / ds_t,
+            oe_result.score == ds_result.score,
+        )
+    table.add_note(environment_banner())
+    return table
+
+
+def run_scalability(size_factor: int = 10, quick: bool = False) -> Table:
+    cards = (2_000, 5_000) if quick else CARDINALITIES
+    table = Table(
+        f"Fig 13b - MaxRS runtime (ms) vs. cardinality (size {size_factor}q)",
+        ["n", "OE (ms)", "DS-MaxRS (ms)", "speedup", "match"],
+    )
+    for n in cards:
+        dataset = tweets(n)
+        width, height = paper_query_size(dataset, size_factor)
+        oe_result, oe_t = timed(max_rs_oe, dataset, width, height)
+        ds_result, ds_t = timed(max_rs_ds, dataset, width, height)
+        table.add_row(
+            n, oe_t * 1e3, ds_t * 1e3, oe_t / ds_t, oe_result.score == ds_result.score
+        )
+    table.add_note(environment_banner())
+    return table
+
+
+def main() -> None:
+    run_sizes().show()
+    run_scalability().show()
+
+
+if __name__ == "__main__":
+    main()

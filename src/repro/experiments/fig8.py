@@ -1,0 +1,49 @@
+"""Figure 8: runtime vs. query rectangle size, DS-Search vs. Base.
+
+Paper setup: Tweet-1M and POISyn-1M, sizes q/4q/7q/10q, ncol=nrow=30.
+Scaled here to Python-feasible cardinalities (Base is O(n²)); the shape
+to reproduce is (a) DS-Search is consistently faster and (b) Base's
+runtime grows faster with the query size than DS-Search's.
+"""
+
+from __future__ import annotations
+
+from ..baselines.sweepline import sweep_line_search
+from ..data import poisyn_query, weekend_query
+from ..dssearch import ds_search
+from .datasets import paper_query_size, poisyn, tweets
+from .harness import Table, environment_banner, timed
+
+SIZES = (1, 4, 7, 10)
+
+
+def run(n: int = 10_000, quick: bool = False) -> Table:
+    if quick:
+        n = min(n, 3_000)
+    table = Table(
+        "Fig 8 - runtime vs. query rectangle size (ms)",
+        ["dataset", "size", "Base (ms)", "DS-Search (ms)", "speedup", "match"],
+    )
+    for name, dataset, make_query in (
+        (f"Tweet-{n//1000}k", tweets(n), weekend_query),
+        (f"POISyn-{n//1000}k", poisyn(n), poisyn_query),
+    ):
+        for k in SIZES:
+            width, height = paper_query_size(dataset, k)
+            query = make_query(dataset, width, height)
+            base_result, base_t = timed(sweep_line_search, dataset, query)
+            ds_result, ds_t = timed(ds_search, dataset, query)
+            match = abs(base_result.distance - ds_result.distance) < 1e-6
+            table.add_row(
+                name, f"{k}q", base_t * 1e3, ds_t * 1e3, base_t / ds_t, match
+            )
+    table.add_note(environment_banner())
+    return table
+
+
+def main() -> None:
+    run().show()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Figure 9: DS-Search runtime vs. grid parameters ncol = nrow.
+
+Paper setup: ncol = nrow in {10, 20, 30, 40, 50}, sizes q..10q.  The
+shape to reproduce: runtime depends on the granularity with an interior
+optimum -- too-coarse grids fail the drop condition for longer, and
+too-fine grids pay for cells.  (The adaptive-grid heuristic is disabled
+so the parameter takes full effect.)
+"""
+
+from __future__ import annotations
+
+from ..data import weekend_query
+from ..dssearch import SearchSettings, ds_search
+from .datasets import paper_query_size, tweets
+from .harness import Table, environment_banner, timed
+
+GRIDS = (10, 20, 30, 40, 50)
+SIZES = (1, 4, 7, 10)
+
+
+def run(n: int = 20_000, quick: bool = False) -> Table:
+    if quick:
+        n = min(n, 3_000)
+    dataset = tweets(n)
+    table = Table(
+        f"Fig 9 - DS-Search runtime (ms) vs. ncol=nrow (Tweet-{n//1000}k)",
+        ["size"] + [f"{g}x{g}" for g in GRIDS],
+    )
+    for k in SIZES:
+        width, height = paper_query_size(dataset, k)
+        query = weekend_query(dataset, width, height)
+        row = [f"{k}q"]
+        for g in GRIDS:
+            settings = SearchSettings(ncol=g, nrow=g, adaptive_grid=False)
+            _, seconds = timed(ds_search, dataset, query, settings)
+            row.append(seconds * 1e3)
+        table.add_row(*row)
+    table.add_note(environment_banner())
+    return table
+
+
+def main() -> None:
+    run().show()
+
+
+if __name__ == "__main__":
+    main()

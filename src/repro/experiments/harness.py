@@ -1,0 +1,74 @@
+"""Shared experiment plumbing: timing, tables, environment capture.
+
+Every per-figure experiment module builds a :class:`Table` whose rows
+mirror the series the paper plots, prints it as markdown, and returns it
+so EXPERIMENTS.md (and tests) can consume the numbers programmatically.
+"""
+
+from __future__ import annotations
+
+import platform
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence
+
+
+def timed(fn: Callable, *args, **kwargs):
+    """Run ``fn`` once; return ``(result, wall_seconds)``."""
+    t0 = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - t0
+
+
+@dataclass
+class Table:
+    """A printable experiment table."""
+
+    title: str
+    header: Sequence[str]
+    rows: List[Sequence] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        if len(values) != len(self.header):
+            raise ValueError(
+                f"row width {len(values)} != header width {len(self.header)}"
+            )
+        self.rows.append(values)
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    # ------------------------------------------------------------------
+    def to_markdown(self) -> str:
+        def fmt(v) -> str:
+            if isinstance(v, float):
+                return f"{v:.4g}"
+            return str(v)
+
+        lines = [f"### {self.title}", ""]
+        lines.append("| " + " | ".join(self.header) + " |")
+        lines.append("|" + "|".join("---" for _ in self.header) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(fmt(v) for v in row) + " |")
+        for note in self.notes:
+            lines.append(f"\n*{note}*")
+        return "\n".join(lines)
+
+    def column(self, name: str) -> list:
+        i = list(self.header).index(name)
+        return [row[i] for row in self.rows]
+
+    def show(self) -> None:
+        print(self.to_markdown())
+        print()
+
+
+def environment_banner() -> str:
+    """One-line description of the machine the numbers came from."""
+    import numpy
+
+    return (
+        f"Python {platform.python_version()}, numpy {numpy.__version__}, "
+        f"{platform.system()} {platform.machine()}"
+    )

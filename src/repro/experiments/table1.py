@@ -1,0 +1,48 @@
+"""Table 1: ratio of index cells searched, and index size.
+
+Paper setup: Tweet-100M, granularities 64/128/256, sizes q..10q.  The
+shape to reproduce: only a small fraction of candidate cells is ever
+searched, the fraction *decreases* as granularity grows (tighter cell
+bounds), and the index size grows with granularity.
+"""
+
+from __future__ import annotations
+
+from ..data import weekend_query
+from ..index import gi_ds_search
+from .datasets import paper_query_size, tweet_index, tweets
+from .harness import Table, environment_banner
+
+GRANULARITIES = (64, 128, 256)
+SIZES = (1, 4, 7, 10)
+
+
+def run(n: int = 100_000, quick: bool = False) -> Table:
+    if quick:
+        n = min(n, 10_000)
+    dataset = tweets(n)
+    table = Table(
+        f"Table 1 - ratio of cells searched (Tweet-{n//1000}k) and index size",
+        ["granularity"] + [f"{k}q" for k in SIZES] + ["index size (MB)"],
+    )
+    for g in GRANULARITIES:
+        index = tweet_index(n, g)
+        ratios = []
+        for k in SIZES:
+            width, height = paper_query_size(dataset, k)
+            query = weekend_query(dataset, width, height)
+            _, stats = gi_ds_search(dataset, query, index, return_stats=True)
+            ratios.append(f"{100 * stats.searched_ratio:.2f}%")
+        table.add_row(
+            f"{g}x{g}", *ratios, index.index_nbytes() / 1e6
+        )
+    table.add_note(environment_banner())
+    return table
+
+
+def main() -> None:
+    run().show()
+
+
+if __name__ == "__main__":
+    main()

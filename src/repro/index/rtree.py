@@ -1,0 +1,223 @@
+"""Aggregate R-tree: an STR-packed range-aggregate index.
+
+The paper's related work (Section 2) builds on aggregate spatial
+indexes (Ra*-tree [15], aggregate multi-resolution trees [16]) for range
+aggregate queries.  This module provides that substrate: an STR
+(Sort-Tile-Recursive) bulk-loaded R-tree over the dataset whose nodes
+are *augmented with channel aggregates*, answering
+
+* exact channel sums over arbitrary (open) rectangles, and
+* conservative (subset, superset) sum pairs for a (bounded, bounding)
+  region pair -- a drop-in alternative to the grid index's Lemma-8
+  tables for candidate-cell lower bounds, *without* the cell-alignment
+  slack (`benchmarks/bench_ablation_index.py` compares the two).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..core.channels import ChannelCompiler
+from ..core.geometry import Rect
+from ..core.objects import SpatialDataset
+
+
+class _Level:
+    """One level of the packed tree (columnar node storage)."""
+
+    def __init__(self, x_min, y_min, x_max, y_max, child_lo, child_hi):
+        self.x_min = x_min
+        self.y_min = y_min
+        self.x_max = x_max
+        self.y_max = y_max
+        # Children of node i live at [child_lo[i], child_hi[i]) in the
+        # level below (or in the leaf point arrays at level 0).
+        self.child_lo = child_lo
+        self.child_hi = child_hi
+
+    @property
+    def n(self) -> int:
+        return int(self.x_min.shape[0])
+
+
+class AggregateRTree:
+    """STR-packed R-tree with per-node channel aggregates."""
+
+    def __init__(self, dataset: SpatialDataset, leaf_capacity: int = 64) -> None:
+        if dataset.n == 0:
+            raise ValueError("cannot index an empty dataset")
+        if leaf_capacity < 1:
+            raise ValueError("leaf capacity must be positive")
+        self.dataset = dataset
+        self.leaf_capacity = leaf_capacity
+
+        # STR packing: sort by x, slice into vertical slabs, sort each
+        # slab by y, chop into leaves.
+        n = dataset.n
+        n_leaves = int(np.ceil(n / leaf_capacity))
+        n_slabs = max(1, int(np.ceil(np.sqrt(n_leaves))))
+        per_slab = int(np.ceil(n / n_slabs))
+
+        order = np.argsort(dataset.xs, kind="stable")
+        final_order = np.empty(n, dtype=np.int64)
+        leaf_bounds: List[Tuple[int, int]] = []
+        at = 0
+        for s in range(0, n, per_slab):
+            slab = order[s : s + per_slab]
+            slab = slab[np.argsort(dataset.ys[slab], kind="stable")]
+            for t in range(0, slab.size, leaf_capacity):
+                chunk = slab[t : t + leaf_capacity]
+                final_order[at : at + chunk.size] = chunk
+                leaf_bounds.append((at, at + chunk.size))
+                at += chunk.size
+        self.point_order = final_order
+        self._px = dataset.xs[final_order]
+        self._py = dataset.ys[final_order]
+
+        # Leaf level.
+        lo = np.array([b[0] for b in leaf_bounds])
+        hi = np.array([b[1] for b in leaf_bounds])
+        levels = [self._pack_leaf_level(lo, hi)]
+        # Internal levels, fanout = leaf_capacity.
+        while levels[-1].n > 1:
+            levels.append(self._pack_internal_level(levels[-1]))
+        self.levels = levels  # levels[0] = leaves, levels[-1] = root
+
+    # ------------------------------------------------------------------
+    def _pack_leaf_level(self, lo: np.ndarray, hi: np.ndarray) -> _Level:
+        m = lo.size
+        x_min = np.empty(m)
+        y_min = np.empty(m)
+        x_max = np.empty(m)
+        y_max = np.empty(m)
+        for i in range(m):
+            xs = self._px[lo[i] : hi[i]]
+            ys = self._py[lo[i] : hi[i]]
+            x_min[i], x_max[i] = xs.min(), xs.max()
+            y_min[i], y_max[i] = ys.min(), ys.max()
+        return _Level(x_min, y_min, x_max, y_max, lo, hi)
+
+    def _pack_internal_level(self, below: _Level) -> _Level:
+        fanout = self.leaf_capacity
+        m = int(np.ceil(below.n / fanout))
+        x_min = np.empty(m)
+        y_min = np.empty(m)
+        x_max = np.empty(m)
+        y_max = np.empty(m)
+        lo = np.empty(m, dtype=np.int64)
+        hi = np.empty(m, dtype=np.int64)
+        for i in range(m):
+            a, b = i * fanout, min((i + 1) * fanout, below.n)
+            lo[i], hi[i] = a, b
+            x_min[i] = below.x_min[a:b].min()
+            y_min[i] = below.y_min[a:b].min()
+            x_max[i] = below.x_max[a:b].max()
+            y_max[i] = below.y_max[a:b].max()
+        return _Level(x_min, y_min, x_max, y_max, lo, hi)
+
+    # ------------------------------------------------------------------
+    @property
+    def height(self) -> int:
+        return len(self.levels)
+
+    @property
+    def n_nodes(self) -> int:
+        return sum(level.n for level in self.levels)
+
+    def augment(self, compiler: ChannelCompiler) -> "AugmentedRTree":
+        """Attach per-node channel sums for a query's compiled channels."""
+        if compiler.dataset is not self.dataset:
+            raise ValueError("compiler was built over a different dataset")
+        weights = compiler.weights[self.point_order]
+        # Prefix sums over the leaf-ordered points give O(1) leaf sums.
+        prefix = np.concatenate(
+            [np.zeros((1, weights.shape[1])), np.cumsum(weights, axis=0)]
+        )
+        node_sums: List[np.ndarray] = []
+        leaf = self.levels[0]
+        sums = prefix[leaf.child_hi] - prefix[leaf.child_lo]
+        node_sums.append(sums)
+        for level in self.levels[1:]:
+            below = node_sums[-1]
+            up = np.empty((level.n, weights.shape[1]))
+            for i in range(level.n):
+                up[i] = below[level.child_lo[i] : level.child_hi[i]].sum(axis=0)
+            node_sums.append(up)
+        return AugmentedRTree(self, weights, prefix, node_sums)
+
+
+class AugmentedRTree:
+    """An R-tree plus per-node channel sums for one compiled query."""
+
+    def __init__(self, tree, weights, prefix, node_sums):
+        self.tree = tree
+        self._weights = weights
+        self._prefix = prefix
+        self._node_sums = node_sums
+
+    @property
+    def n_channels(self) -> int:
+        return int(self._weights.shape[1])
+
+    def range_sums(self, region: Rect) -> np.ndarray:
+        """Exact channel sums over objects strictly inside ``region``.
+
+        Standard aggregate-tree descent: nodes fully inside contribute
+        their aggregate; disjoint nodes are skipped; straddling nodes
+        are expanded (objects tested individually at the leaves).
+        """
+        tree = self.tree
+        total = np.zeros(self.n_channels)
+        # Stack of (level_index, node_index).
+        root_level = len(tree.levels) - 1
+        stack = [(root_level, i) for i in range(tree.levels[root_level].n)]
+        while stack:
+            li, ni = stack.pop()
+            level = tree.levels[li]
+            nx0, ny0 = level.x_min[ni], level.y_min[ni]
+            nx1, ny1 = level.x_max[ni], level.y_max[ni]
+            if nx0 >= region.x_max or nx1 <= region.x_min or \
+               ny0 >= region.y_max or ny1 <= region.y_min:
+                # Even boundary contact is outside: containment is open.
+                continue
+            if (
+                region.x_min < nx0
+                and nx1 < region.x_max
+                and region.y_min < ny0
+                and ny1 < region.y_max
+            ):
+                total += self._node_sums[li][ni]
+                continue
+            if li == 0:
+                a, b = level.child_lo[ni], level.child_hi[ni]
+                xs = tree._px[a:b]
+                ys = tree._py[a:b]
+                inside = (
+                    (xs > region.x_min)
+                    & (xs < region.x_max)
+                    & (ys > region.y_min)
+                    & (ys < region.y_max)
+                )
+                if inside.any():
+                    total += self._weights[a:b][inside].sum(axis=0)
+            else:
+                for child in range(level.child_lo[ni], level.child_hi[ni]):
+                    stack.append((li - 1, child))
+        return total
+
+    def bound_sums(self, bounded: Rect | None, bounding: Rect) -> tuple:
+        """(subset sums, superset sums) for a bounded/bounding region pair.
+
+        Exact range sums over both regions: objects in the bounded
+        region belong to every candidate, objects outside the bounding
+        region to none (Section 5.3 semantics, without grid alignment).
+        """
+        full = (
+            self.range_sums(bounded)
+            if bounded is not None and bounded.area > 0
+            else np.zeros(self.n_channels)
+        )
+        over = self.range_sums(bounding)
+        return full, over

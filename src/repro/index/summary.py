@@ -1,0 +1,55 @@
+"""Suffix-sum summary tables (Section 5.2, Lemma 8).
+
+The paper assigns every index cell ``g_{i,j}`` an *attribute summary
+table* built over the objects in all cells ``G[∞/i][∞/j]`` -- i.e. a 2-D
+suffix sum.  Lemma 8 then recovers the per-value object count of any
+cell-aligned region with four table lookups:
+
+    n(region G[l..r][b..t]) = T[l,b] + T[r,t] - T[l,t] - T[r,b]
+
+We store tables densely as numpy arrays of shape ``(sx+1, sy+1, C)``
+(one padding row/column of zeros at the top-right so the algebra needs
+no bounds checks); the paper's hash-map sharing of identical tables is a
+memory optimization we replace with dense storage and honest size
+reporting (DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def cell_sums_to_suffix_table(cell_sums: np.ndarray) -> np.ndarray:
+    """Suffix-sum table ``T[i,j] = sum over cells i' >= i, j' >= j``.
+
+    ``cell_sums`` has shape ``(sx, sy, C)``; the result has shape
+    ``(sx+1, sy+1, C)`` with zero padding at ``i = sx`` and ``j = sy``.
+    """
+    sx, sy, C = cell_sums.shape
+    table = np.zeros((sx + 1, sy + 1, C))
+    table[:sx, :sy] = cell_sums
+    table[:sx] = table[:sx][::-1].cumsum(axis=0)[::-1]
+    table[:, :sy] = table[:, :sy][:, ::-1].cumsum(axis=1)[:, ::-1]
+    return table
+
+
+def range_sums(
+    table: np.ndarray,
+    col_lo: np.ndarray,
+    col_hi: np.ndarray,
+    row_lo: np.ndarray,
+    row_hi: np.ndarray,
+) -> np.ndarray:
+    """Lemma 8: channel sums over cells ``[col_lo, col_hi) x [row_lo, row_hi)``.
+
+    All four bounds are arrays (vectorized over candidate regions); empty
+    ranges (``lo >= hi``) yield zeros.
+    """
+    col_lo = np.minimum(col_lo, col_hi)
+    row_lo = np.minimum(row_lo, row_hi)
+    return (
+        table[col_lo, row_lo]
+        + table[col_hi, row_hi]
+        - table[col_lo, row_hi]
+        - table[col_hi, row_lo]
+    )

@@ -1,0 +1,125 @@
+"""Shared fixtures: the paper's Figure 1 example and random datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AverageAggregator,
+    CategoricalAttribute,
+    CompositeAggregator,
+    DistributionAggregator,
+    NumericAttribute,
+    Rect,
+    Schema,
+    SelectAll,
+    SelectByValue,
+    SpatialDataset,
+)
+
+CATEGORIES = ("Apartment", "Supermarket", "Restaurant", "BusStop")
+
+
+def fig1_schema() -> Schema:
+    return Schema.of(
+        CategoricalAttribute("category", CATEGORIES),
+        NumericAttribute("price"),
+    )
+
+
+@pytest.fixture
+def fig1_dataset() -> SpatialDataset:
+    """Objects realizing the representations of the paper's Examples 2-4.
+
+    Three well-separated 4x4 regions:
+
+    * ``rq``  -> F(rq) = (2, 1, 1, 1, 1.75)
+    * ``r1``  -> F(r1) = (3, 1, 1, 1, 1.6)
+    * ``r2``  -> F(r2) = (2, 0, 2, 0, 2.9)
+    """
+    records = [
+        # rq: two apartments (2.0, 1.5), supermarket, restaurant, bus stop.
+        (1.0, 1.0, {"category": "Apartment", "price": 2.0}),
+        (2.0, 2.0, {"category": "Apartment", "price": 1.5}),
+        (1.0, 3.0, {"category": "Supermarket", "price": 0.0}),
+        (3.0, 1.0, {"category": "Restaurant", "price": 0.0}),
+        (3.0, 3.0, {"category": "BusStop", "price": 0.0}),
+        # r1: three apartments (1.0, 1.8, 2.0) avg 1.6, one of each other.
+        (11.0, 1.0, {"category": "Apartment", "price": 1.0}),
+        (12.0, 2.0, {"category": "Apartment", "price": 1.8}),
+        (13.0, 3.0, {"category": "Apartment", "price": 2.0}),
+        (11.0, 3.0, {"category": "Supermarket", "price": 0.0}),
+        (13.0, 1.0, {"category": "Restaurant", "price": 0.0}),
+        (12.0, 1.0, {"category": "BusStop", "price": 0.0}),
+        # r2: two apartments (3.0, 2.8) avg 2.9, two restaurants.
+        (21.0, 1.0, {"category": "Apartment", "price": 3.0}),
+        (22.0, 2.0, {"category": "Apartment", "price": 2.8}),
+        (21.0, 3.0, {"category": "Restaurant", "price": 0.0}),
+        (23.0, 1.0, {"category": "Restaurant", "price": 0.0}),
+    ]
+    return SpatialDataset.from_records(records, fig1_schema())
+
+
+@pytest.fixture
+def fig1_regions() -> dict:
+    return {
+        "rq": Rect(0.0, 0.0, 4.0, 4.0),
+        "r1": Rect(10.0, 0.0, 14.0, 4.0),
+        "r2": Rect(20.0, 0.0, 24.0, 4.0),
+    }
+
+
+@pytest.fixture
+def fig1_aggregator() -> CompositeAggregator:
+    return CompositeAggregator(
+        [
+            DistributionAggregator("category", SelectAll()),
+            AverageAggregator("price", SelectByValue("category", "Apartment")),
+        ]
+    )
+
+
+def make_random_dataset(
+    rng: np.random.Generator,
+    n: int,
+    extent: float = 100.0,
+    n_categories: int = 3,
+    snap: float | None = 1.0,
+) -> SpatialDataset:
+    """A random mixed-schema dataset for property tests.
+
+    ``snap`` rounds coordinates to a lattice so the GPS accuracies stay
+    bounded below, matching the paper's premise (and keeping DS-Search's
+    recursion shallow in tests).
+    """
+    xs = rng.uniform(0.0, extent, size=n)
+    ys = rng.uniform(0.0, extent, size=n)
+    if snap is not None:
+        xs = np.round(xs / snap) * snap
+        ys = np.round(ys / snap) * snap
+    schema = Schema.of(
+        CategoricalAttribute("kind", tuple(f"k{i}" for i in range(n_categories))),
+        NumericAttribute("score"),
+    )
+    columns = {
+        "kind": rng.integers(0, n_categories, size=n),
+        "score": np.round(rng.uniform(-5.0, 10.0, size=n), 3),
+    }
+    return SpatialDataset(xs, ys, schema, columns)
+
+
+def random_aggregator(with_avg: bool = True, with_sum: bool = True):
+    """The standard composite aggregator used by property tests."""
+    terms = [DistributionAggregator("kind", SelectAll())]
+    if with_sum:
+        terms.append(SumAggregator_for_tests())
+    if with_avg:
+        terms.append(AverageAggregator("score", SelectByValue("kind", "k0")))
+    return CompositeAggregator(terms)
+
+
+def SumAggregator_for_tests():
+    from repro.core import SumAggregator
+
+    return SumAggregator("score", SelectAll())

@@ -1,0 +1,134 @@
+"""Aggregator tests pinned to the paper's worked Examples 2-4."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ASRSQuery,
+    AverageAggregator,
+    CompositeAggregator,
+    DistributionAggregator,
+    Rect,
+    SelectAll,
+    SelectByValue,
+    SumAggregator,
+    WeightedLpDistance,
+)
+
+
+class TestPaperExample2:
+    """fD, fA, fS outputs on the query region of Figure 1."""
+
+    def test_distribution(self, fig1_dataset, fig1_regions):
+        agg = DistributionAggregator("category", SelectAll())
+        out = agg.apply(fig1_dataset, fig1_regions["rq"])
+        assert out.tolist() == [2.0, 1.0, 1.0, 1.0]
+
+    def test_average_price_of_apartments(self, fig1_dataset, fig1_regions):
+        agg = AverageAggregator("price", SelectByValue("category", "Apartment"))
+        out = agg.apply(fig1_dataset, fig1_regions["rq"])
+        assert out.tolist() == [pytest.approx(1.75)]
+
+    def test_sum_price_of_apartments(self, fig1_dataset, fig1_regions):
+        agg = SumAggregator("price", SelectByValue("category", "Apartment"))
+        out = agg.apply(fig1_dataset, fig1_regions["rq"])
+        assert out.tolist() == [pytest.approx(3.5)]
+
+
+class TestPaperExample3:
+    def test_composite_representation(
+        self, fig1_dataset, fig1_regions, fig1_aggregator
+    ):
+        rep = fig1_aggregator.apply(fig1_dataset, fig1_regions["rq"])
+        assert rep.tolist() == pytest.approx([2, 1, 1, 1, 1.75])
+
+    def test_dim_and_labels(self, fig1_dataset, fig1_aggregator):
+        assert fig1_aggregator.dim(fig1_dataset) == 5
+        labels = fig1_aggregator.labels(fig1_dataset)
+        assert len(labels) == 5
+        assert labels[0] == "fD[category=Apartment|all]"
+        assert labels[-1] == "fA[price|category=Apartment]"
+
+
+class TestPaperExample4:
+    """Distances of r1 and r2 to rq under unit weights."""
+
+    def test_representations(self, fig1_dataset, fig1_regions, fig1_aggregator):
+        r1 = fig1_aggregator.apply(fig1_dataset, fig1_regions["r1"])
+        r2 = fig1_aggregator.apply(fig1_dataset, fig1_regions["r2"])
+        assert r1.tolist() == pytest.approx([3, 1, 1, 1, 1.6])
+        assert r2.tolist() == pytest.approx([2, 0, 2, 0, 2.9])
+
+    def test_distances(self, fig1_dataset, fig1_regions, fig1_aggregator):
+        query = ASRSQuery.from_region(
+            fig1_dataset, fig1_regions["rq"], fig1_aggregator
+        )
+        d1 = query.distance_of_region(fig1_dataset, fig1_regions["r1"])
+        d2 = query.distance_of_region(fig1_dataset, fig1_regions["r2"])
+        assert d1 == pytest.approx(1.15)
+        assert d2 == pytest.approx(4.15)
+        assert d1 < d2  # r1 is more similar to rq than r2
+
+
+class TestConventions:
+    def test_average_of_empty_selection_is_zero(self, fig1_dataset):
+        agg = AverageAggregator("price", SelectByValue("category", "Apartment"))
+        out = agg.apply(fig1_dataset, Rect(100.0, 100.0, 104.0, 104.0))
+        assert out.tolist() == [0.0]
+
+    def test_sum_of_empty_selection_is_zero(self, fig1_dataset):
+        agg = SumAggregator("price", SelectAll())
+        out = agg.apply(fig1_dataset, Rect(100.0, 100.0, 104.0, 104.0))
+        assert out.tolist() == [0.0]
+
+    def test_empty_representation(self, fig1_dataset, fig1_aggregator):
+        rep = fig1_aggregator.empty_representation(fig1_dataset)
+        assert rep.tolist() == [0.0] * 5
+
+    def test_composite_requires_terms(self):
+        with pytest.raises(ValueError):
+            CompositeAggregator([])
+
+    def test_composite_iteration_and_len(self, fig1_aggregator):
+        assert len(fig1_aggregator) == 2
+        assert len(list(fig1_aggregator)) == 2
+
+    def test_distribution_requires_categorical(self, fig1_dataset, fig1_regions):
+        agg = DistributionAggregator("price", SelectAll())
+        with pytest.raises(TypeError):
+            agg.apply(fig1_dataset, fig1_regions["rq"])
+
+    def test_numeric_aggregators_require_numeric(self, fig1_dataset, fig1_regions):
+        with pytest.raises(TypeError):
+            SumAggregator("category", SelectAll()).apply(
+                fig1_dataset, fig1_regions["rq"]
+            )
+        with pytest.raises(TypeError):
+            AverageAggregator("category", SelectAll()).apply(
+                fig1_dataset, fig1_regions["rq"]
+            )
+
+
+class TestQueryObjects:
+    def test_from_vector(self, fig1_dataset, fig1_aggregator):
+        q = ASRSQuery.from_vector(
+            4.0, 4.0, fig1_aggregator, [0, 0, 0, 0, 0], weights=[1, 1, 1, 1, 1]
+        )
+        assert q.query_rep.tolist() == [0.0] * 5
+        assert q.metric.dim == 5
+
+    def test_dim_mismatch_raises(self, fig1_aggregator):
+        with pytest.raises(ValueError):
+            ASRSQuery(
+                4.0,
+                4.0,
+                fig1_aggregator,
+                np.zeros(5),
+                WeightedLpDistance.uniform(3),
+            )
+
+    def test_bad_size_raises(self, fig1_aggregator):
+        with pytest.raises(ValueError):
+            ASRSQuery(
+                0.0, 4.0, fig1_aggregator, np.zeros(5), WeightedLpDistance.uniform(5)
+            )

@@ -1,0 +1,171 @@
+"""Tests for the ASRS -> ASP reduction (Lemma 1, Theorem 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asp import (
+    RectSet,
+    covering_indices,
+    point_distance,
+    point_representation,
+    points_distances,
+    reduce_to_asp,
+    region_for_point,
+)
+from repro.core import ASRSQuery, ChannelCompiler, Rect
+
+from .conftest import make_random_dataset, random_aggregator
+
+
+class TestRectSet:
+    def test_construction_and_access(self):
+        rs = RectSet([0.0, 1.0], [0.0, 1.0], [2.0, 3.0], [2.0, 3.0])
+        assert rs.n == 2
+        assert len(rs) == 2
+        assert rs.rect_at(1) == Rect(1.0, 1.0, 3.0, 3.0)
+
+    def test_malformed_raises(self):
+        with pytest.raises(ValueError):
+            RectSet([1.0], [0.0], [0.0], [1.0])
+        with pytest.raises(ValueError):
+            RectSet([0.0], [0.0, 1.0], [1.0], [1.0])
+
+    def test_covering_mask_is_strict(self):
+        rs = RectSet([0.0], [0.0], [2.0], [2.0])
+        assert rs.covering_mask(1.0, 1.0).tolist() == [True]
+        assert rs.covering_mask(0.0, 1.0).tolist() == [False]
+        assert rs.covering_mask(2.0, 2.0).tolist() == [False]
+
+    def test_overlap_and_full_cover(self):
+        rs = RectSet([0.0], [0.0], [4.0], [4.0])
+        assert rs.overlap_mask(Rect(3.0, 3.0, 5.0, 5.0)).tolist() == [True]
+        assert rs.overlap_mask(Rect(4.0, 0.0, 5.0, 1.0)).tolist() == [False]
+        assert rs.fully_covering_mask(Rect(1.0, 1.0, 3.0, 3.0)).tolist() == [True]
+        assert rs.fully_covering_mask(Rect(1.0, 1.0, 5.0, 3.0)).tolist() == [False]
+
+    def test_bounds_and_edges(self):
+        rs = RectSet([0.0, 2.0], [1.0, 0.0], [3.0, 5.0], [4.0, 2.0])
+        assert rs.bounds() == Rect(0.0, 0.0, 5.0, 4.0)
+        assert sorted(rs.edge_xs().tolist()) == [0.0, 2.0, 3.0, 5.0]
+        assert sorted(rs.edge_ys().tolist()) == [0.0, 1.0, 2.0, 4.0]
+
+    def test_empty_bounds_raise(self):
+        with pytest.raises(ValueError):
+            RectSet([], [], [], []).bounds()
+
+    def test_take(self):
+        rs = RectSet([0.0, 1.0, 2.0], [0.0] * 3, [5.0, 6.0, 7.0], [1.0] * 3)
+        sub = rs.take(np.array([2, 0]))
+        assert sub.x_min.tolist() == [2.0, 0.0]
+
+
+class TestReduction:
+    def test_top_right_anchoring(self, fig1_dataset):
+        rects = reduce_to_asp(fig1_dataset, 4.0, 4.0)
+        assert rects.n == fig1_dataset.n
+        r0 = rects.rect_at(0)
+        # Object 0 is at (1, 1); its rectangle's top-right corner is there.
+        assert (r0.x_max, r0.y_max) == (1.0, 1.0)
+        assert (r0.width, r0.height) == (4.0, 4.0)
+
+    @pytest.mark.parametrize(
+        "anchor", ["top_right", "top_left", "bottom_right", "bottom_left"]
+    )
+    def test_all_anchorings_have_object_on_corner(self, fig1_dataset, anchor):
+        rects = reduce_to_asp(fig1_dataset, 2.0, 3.0, anchor=anchor)
+        x, y = fig1_dataset.xs[0], fig1_dataset.ys[0]
+        r = rects.rect_at(0)
+        assert x in (r.x_min, r.x_max)
+        assert y in (r.y_min, r.y_max)
+        assert (r.width, r.height) == (2.0, 3.0)
+
+    def test_bad_parameters_raise(self, fig1_dataset):
+        with pytest.raises(ValueError):
+            reduce_to_asp(fig1_dataset, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            reduce_to_asp(fig1_dataset, 1.0, 1.0, anchor="middle")
+
+    # Dyadic lattices keep the cross-check arithmetic exact: Lemma 1 is an
+    # exact-arithmetic equivalence, and adversarial floats (e.g. p.y = 1e-168
+    # with b = 10) make `p.y + b` round onto an object coordinate.
+    _lattice = st.integers(-10 * 1024, 110 * 1024).map(lambda k: k / 1024.0)
+    _halves = st.integers(1, 40).map(lambda k: k / 2.0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        n=st.integers(1, 40),
+        a=_halves,
+        b=_halves,
+        px=_lattice,
+        py=_lattice,
+    )
+    def test_lemma_1(self, seed, n, a, b, px, py):
+        """r_i covers p  <=>  o_i inside the region bl-cornered at p."""
+        rng = np.random.default_rng(seed)
+        ds = make_random_dataset(rng, n)
+        rects = reduce_to_asp(ds, a, b)
+        covered = rects.covering_mask(px, py)
+        region = region_for_point(px, py, a, b)
+        inside = ds.mask_in_region(region)
+        np.testing.assert_array_equal(covered, inside)
+
+    def test_region_for_point(self):
+        r = region_for_point(1.0, 2.0, 3.0, 4.0)
+        assert r == Rect(1.0, 2.0, 4.0, 6.0)
+
+
+class TestPointEvaluation:
+    """Theorem 1: F(p) in ASP equals F(region(p)) in ASRS."""
+
+    _lattice = st.integers(0, 100 * 1024).map(lambda k: k / 1024.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        n=st.integers(1, 40),
+        px=_lattice,
+        py=_lattice,
+    )
+    def test_point_rep_equals_region_rep(self, seed, n, px, py):
+        rng = np.random.default_rng(seed)
+        ds = make_random_dataset(rng, n)
+        agg = random_aggregator()
+        compiler = ChannelCompiler(ds, agg)
+        a = b = 10.0
+        rects = reduce_to_asp(ds, a, b)
+        rep_point = point_representation(compiler, rects, px, py)
+        rep_region = agg.apply(ds, region_for_point(px, py, a, b))
+        np.testing.assert_allclose(rep_point, rep_region, atol=1e-9)
+
+    def test_active_subset_respected(self, fig1_dataset, fig1_aggregator):
+        compiler = ChannelCompiler(fig1_dataset, fig1_aggregator)
+        rects = reduce_to_asp(fig1_dataset, 4.0, 4.0)
+        # Consider only rectangles from the rq cluster (rows 0..4).
+        active = np.arange(5)
+        rep = point_representation(compiler, rects, 0.5, 0.5, active=active)
+        full = point_representation(compiler, rects, 0.5, 0.5)
+        np.testing.assert_allclose(rep, full)  # no other cluster reaches here
+
+    def test_covering_indices(self, fig1_dataset):
+        rects = reduce_to_asp(fig1_dataset, 4.0, 4.0)
+        idx = covering_indices(rects, 0.5, 0.5)
+        # Point (0.5, 0.5): covers objects with 0.5 < x < 4.5, 0.5 < y < 4.5.
+        assert set(idx.tolist()) == {0, 1, 2, 3, 4}
+
+    def test_point_distance_and_batch_agree(self, fig1_dataset, fig1_aggregator):
+        compiler = ChannelCompiler(fig1_dataset, fig1_aggregator)
+        rects = reduce_to_asp(fig1_dataset, 4.0, 4.0)
+        query = ASRSQuery.from_region(
+            fig1_dataset, Rect(0.0, 0.0, 4.0, 4.0), fig1_aggregator
+        )
+        xs = np.array([0.5, 10.5, 20.5, 50.0])
+        ys = np.array([0.5, 0.5, 0.5, 50.0])
+        batch = points_distances(query, compiler, rects, xs, ys)
+        for i in range(4):
+            single = point_distance(
+                query, compiler, rects, float(xs[i]), float(ys[i])
+            )
+            assert batch[i] == pytest.approx(single)

@@ -1,0 +1,91 @@
+"""Unit tests for attribute schemas."""
+
+import numpy as np
+import pytest
+
+from repro.core import CategoricalAttribute, NumericAttribute, Schema
+
+
+class TestCategoricalAttribute:
+    def test_encode_decode_roundtrip(self):
+        attr = CategoricalAttribute("cat", ("a", "b", "c"))
+        codes = attr.encode(["b", "a", "c", "b"])
+        assert codes.tolist() == [1, 0, 2, 1]
+        assert attr.decode(codes) == ["b", "a", "c", "b"]
+
+    def test_cardinality(self):
+        assert CategoricalAttribute("cat", ("x", "y")).cardinality == 2
+
+    def test_foreign_value_raises(self):
+        attr = CategoricalAttribute("cat", ("a",))
+        with pytest.raises(KeyError):
+            attr.encode(["z"])
+
+    def test_empty_domain_raises(self):
+        with pytest.raises(ValueError):
+            CategoricalAttribute("cat", ())
+
+    def test_duplicate_domain_raises(self):
+        with pytest.raises(ValueError):
+            CategoricalAttribute("cat", ("a", "a"))
+
+
+class TestNumericAttribute:
+    def test_encode(self):
+        attr = NumericAttribute("price")
+        assert attr.encode([1, 2.5]).dtype == np.float64
+
+    def test_declared_bounds_enforced(self):
+        attr = NumericAttribute("rating", lo=0.0, hi=10.0)
+        attr.encode([0.0, 10.0])
+        with pytest.raises(ValueError):
+            attr.encode([-0.1])
+        with pytest.raises(ValueError):
+            attr.encode([10.1])
+
+    def test_invalid_bounds_raise(self):
+        with pytest.raises(ValueError):
+            NumericAttribute("x", lo=2.0, hi=1.0)
+
+
+class TestSchema:
+    def _schema(self):
+        return Schema.of(
+            CategoricalAttribute("cat", ("a", "b")),
+            NumericAttribute("price"),
+        )
+
+    def test_lookup(self):
+        s = self._schema()
+        assert s["cat"].name == "cat"
+        assert "price" in s
+        assert "missing" not in s
+        assert s.names == ("cat", "price")
+        assert len(s) == 2
+
+    def test_unknown_raises_with_hint(self):
+        with pytest.raises(KeyError, match="unknown attribute"):
+            self._schema()["nope"]
+
+    def test_typed_accessors(self):
+        s = self._schema()
+        assert s.categorical("cat").cardinality == 2
+        assert s.numeric("price").name == "price"
+        with pytest.raises(TypeError):
+            s.categorical("price")
+        with pytest.raises(TypeError):
+            s.numeric("cat")
+
+    def test_duplicate_names_raise(self):
+        with pytest.raises(ValueError):
+            Schema.of(NumericAttribute("x"), NumericAttribute("x"))
+
+    def test_encode_columns(self):
+        s = self._schema()
+        cols = s.encode_columns({"cat": ["a", "b"], "price": [1.0, 2.0]})
+        assert cols["cat"].tolist() == [0, 1]
+        assert cols["price"].tolist() == [1.0, 2.0]
+
+    def test_encode_columns_missing_raises(self):
+        with pytest.raises(ValueError, match="missing columns"):
+            self._schema().encode_columns({"cat": ["a"]})

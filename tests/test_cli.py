@@ -1,0 +1,152 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main, parse_term
+from repro.core.aggregators import (
+    AverageAggregator,
+    DistributionAggregator,
+    SumAggregator,
+)
+from repro.core.selection import SelectAll, SelectByValue
+from repro.data.io import load_csv_infer, save_csv
+
+
+class TestParseTerm:
+    def test_distribution(self):
+        term = parse_term("fD:category")
+        assert isinstance(term, DistributionAggregator)
+        assert term.attribute == "category"
+        assert isinstance(term.selection, SelectAll)
+
+    def test_average_with_selection(self):
+        term = parse_term("fA:price@category=Apartment")
+        assert isinstance(term, AverageAggregator)
+        assert term.attribute == "price"
+        assert isinstance(term.selection, SelectByValue)
+        assert term.selection.value == "Apartment"
+
+    def test_sum(self):
+        assert isinstance(parse_term("fS:visits"), SumAggregator)
+
+    @pytest.mark.parametrize("bad", ["fQ:x", "fD", "fA:p@x"])
+    def test_bad_specs(self, bad):
+        with pytest.raises(SystemExit):
+            parse_term(bad)
+
+
+class TestLoadCsvInfer:
+    def test_roundtrip(self, tmp_path, fig1_dataset):
+        path = tmp_path / "d.csv"
+        save_csv(fig1_dataset, path)
+        loaded = load_csv_infer(path, categorical=["category"], numeric=["price"])
+        assert loaded.n == fig1_dataset.n
+        assert set(loaded.schema.categorical("category").domain) == {
+            "Apartment",
+            "Supermarket",
+            "Restaurant",
+            "BusStop",
+        }
+
+    def test_undeclared_column_rejected(self, tmp_path, fig1_dataset):
+        path = tmp_path / "d.csv"
+        save_csv(fig1_dataset, path)
+        with pytest.raises(ValueError, match="need a"):
+            load_csv_infer(path, categorical=["category"])
+
+    def test_unknown_declared_column_rejected(self, tmp_path, fig1_dataset):
+        path = tmp_path / "d.csv"
+        save_csv(fig1_dataset, path)
+        with pytest.raises(ValueError, match="not in CSV"):
+            load_csv_infer(
+                path, categorical=["category", "nope"], numeric=["price"]
+            )
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "d.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError, match="x,y"):
+            load_csv_infer(path)
+
+
+class TestCommands:
+    def _write_fig1(self, tmp_path, fig1_dataset):
+        path = tmp_path / "data.csv"
+        save_csv(fig1_dataset, path)
+        return str(path)
+
+    def test_generate(self, tmp_path, capsys):
+        out = tmp_path / "gen.csv"
+        rc = main(["generate", "--kind", "city", "--n", "300", "--out", str(out)])
+        assert rc == 0
+        assert "300 objects" in capsys.readouterr().out
+        assert out.exists()
+
+    def test_search(self, tmp_path, fig1_dataset, capsys):
+        data = self._write_fig1(tmp_path, fig1_dataset)
+        rc = main(
+            [
+                "search",
+                "--data", data,
+                "--categorical", "category",
+                "--numeric", "price",
+                "--term", "fD:category",
+                "--term", "fA:price@category=Apartment",
+                "--width", "4", "--height", "4",
+                # Domain is sorted alphabetically by load_csv_infer:
+                # (Apartment, BusStop, Restaurant, Supermarket).
+                "--target", "2,1,1,1,1.75",
+                "--verbose",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "#1 region=" in out
+        assert "distance=0" in out
+
+    def test_search_topk(self, tmp_path, fig1_dataset, capsys):
+        data = self._write_fig1(tmp_path, fig1_dataset)
+        rc = main(
+            [
+                "search",
+                "--data", data,
+                "--categorical", "category",
+                "--numeric", "price",
+                "--term", "fD:category",
+                "--width", "4", "--height", "4",
+                "--target", "2,1,1,1",
+                "--topk", "2",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "#1 region=" in out and "#2 region=" in out
+
+    def test_search_dim_mismatch(self, tmp_path, fig1_dataset):
+        data = self._write_fig1(tmp_path, fig1_dataset)
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "search",
+                    "--data", data,
+                    "--categorical", "category",
+                    "--numeric", "price",
+                    "--term", "fD:category",
+                    "--width", "4", "--height", "4",
+                    "--target", "1,2",
+                ]
+            )
+
+    def test_maxrs(self, tmp_path, fig1_dataset, capsys):
+        data = self._write_fig1(tmp_path, fig1_dataset)
+        rc = main(
+            [
+                "maxrs",
+                "--data", data,
+                "--categorical", "category",
+                "--numeric", "price",
+                "--width", "4", "--height", "4",
+            ]
+        )
+        assert rc == 0
+        assert "score=6" in capsys.readouterr().out

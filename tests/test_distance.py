@@ -1,0 +1,98 @@
+"""Tests for weighted Lp distances and the Equation-1 lower bound."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import WeightedLpDistance
+
+
+class TestDistance:
+    def test_l1_matches_paper_formula(self):
+        m = WeightedLpDistance([1.0, 2.0, 0.5])
+        v = np.array([1.0, 0.0, 4.0])
+        q = np.array([0.0, 3.0, 2.0])
+        assert m.distance(v, q) == pytest.approx(1 * 1 + 2 * 3 + 0.5 * 2)
+
+    def test_l2(self):
+        m = WeightedLpDistance([1.0, 1.0], p=2)
+        assert m.distance(np.array([3.0, 0.0]), np.array([0.0, 4.0])) == pytest.approx(
+            5.0
+        )
+
+    def test_distance_many_matches_scalar(self):
+        m = WeightedLpDistance([0.5, 2.0])
+        vs = np.array([[1.0, 2.0], [3.0, 4.0], [0.0, 0.0]])
+        q = np.array([1.0, 1.0])
+        many = m.distance_many(vs, q)
+        for row, d in zip(vs, many):
+            assert d == pytest.approx(m.distance(row, q))
+
+    def test_uniform_constructor(self):
+        m = WeightedLpDistance.uniform(3)
+        assert m.weights.tolist() == [1.0, 1.0, 1.0]
+        assert m.p == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WeightedLpDistance([[1.0]])
+        with pytest.raises(ValueError):
+            WeightedLpDistance([-1.0])
+        with pytest.raises(ValueError):
+            WeightedLpDistance([1.0], p=3)
+
+
+class TestEquationOneBound:
+    def test_matches_paper_example_7(self):
+        # Cell g2,1: bounds v_lo = (0, 0), v_hi = (2, 0); query (1, 1).
+        m = WeightedLpDistance([1.0, 1.0])
+        q = np.array([1.0, 1.0])
+        lb = m.lower_bound(np.array([0.0, 0.0]), np.array([2.0, 0.0]), q)
+        assert lb == pytest.approx(1.0)
+        # Cell g5,1: v_lo = (0, 1), v_hi = (2, 1) -> lb = 0.
+        lb2 = m.lower_bound(np.array([0.0, 1.0]), np.array([2.0, 1.0]), q)
+        assert lb2 == pytest.approx(0.0)
+
+    @given(st.data())
+    def test_bound_is_sound(self, data):
+        """lb <= dist(v, q) for every v inside the box (Lemma 4)."""
+        dim = data.draw(st.integers(1, 5))
+        finite = st.floats(-100, 100, allow_nan=False)
+        lo = np.array(data.draw(st.lists(finite, min_size=dim, max_size=dim)))
+        span = np.array(
+            data.draw(
+                st.lists(st.floats(0, 50, allow_nan=False), min_size=dim, max_size=dim)
+            )
+        )
+        hi = lo + span
+        frac = np.array(
+            data.draw(
+                st.lists(st.floats(0, 1, allow_nan=False), min_size=dim, max_size=dim)
+            )
+        )
+        v = lo + frac * span
+        q = np.array(data.draw(st.lists(finite, min_size=dim, max_size=dim)))
+        w = np.array(
+            data.draw(
+                st.lists(st.floats(0, 5, allow_nan=False), min_size=dim, max_size=dim)
+            )
+        )
+        for p in (1, 2):
+            m = WeightedLpDistance(w, p=p)
+            assert m.lower_bound(lo, hi, q) <= m.distance(v, q) + 1e-9
+
+    def test_bound_tight_when_box_is_point(self):
+        m = WeightedLpDistance([1.0, 1.0])
+        v = np.array([2.0, 3.0])
+        q = np.array([0.0, 1.0])
+        assert m.lower_bound(v, v, q) == pytest.approx(m.distance(v, q))
+
+    def test_lower_bound_many_matches_scalar(self):
+        m = WeightedLpDistance([1.0, 0.5])
+        lo = np.array([[0.0, 0.0], [2.0, 2.0]])
+        hi = np.array([[1.0, 1.0], [3.0, 4.0]])
+        q = np.array([2.0, 0.5])
+        many = m.lower_bound_many(lo, hi, q)
+        for i in range(2):
+            assert many[i] == pytest.approx(m.lower_bound(lo[i], hi[i], q))

@@ -1,0 +1,109 @@
+"""Tests for GPS accuracy, the drop condition, and space splitting."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.asp import RectSet
+from repro.core import Rect
+from repro.dssearch import (
+    DiscretizationGrid,
+    axis_accuracy,
+    gps_accuracy,
+    satisfies_drop_condition,
+    split_space,
+)
+
+
+class TestAccuracy:
+    def test_axis_accuracy(self):
+        assert axis_accuracy(np.array([0.0, 1.0, 3.0])) == 1.0
+        assert axis_accuracy(np.array([2.0, 2.0])) == math.inf
+        assert axis_accuracy(np.array([])) == math.inf
+
+    def test_gps_accuracy_uses_both_edges(self):
+        # x edges: {0, 3, 10, 13}: min gap 3. y edges: {0, 1, 5, 6}: min gap 1.
+        rects = RectSet([0.0, 10.0], [0.0, 5.0], [3.0, 13.0], [1.0, 6.0])
+        dx, dy = gps_accuracy(rects)
+        assert dx == 3.0
+        assert dy == 1.0
+
+    def test_drop_condition(self):
+        assert satisfies_drop_condition(0.4, 0.4, 1.0, 1.0)
+        assert not satisfies_drop_condition(0.5, 0.4, 1.0, 1.0)
+        assert not satisfies_drop_condition(0.4, 0.5, 1.0, 1.0)
+        # Infinite accuracy (all edges identical) always satisfies it.
+        assert satisfies_drop_condition(100.0, 100.0, math.inf, math.inf)
+
+
+class TestSplit:
+    def _grid(self):
+        return DiscretizationGrid(Rect(0, 0, 10, 10), ncol=10, nrow=10)
+
+    def test_no_cells(self):
+        assert split_space(self._grid(), np.array([], dtype=int), np.array([], dtype=int), np.array([])) == []
+
+    def test_single_cell(self):
+        grid = self._grid()
+        children = split_space(grid, np.array([3]), np.array([4]), np.array([0.5]))
+        assert len(children) == 1
+        assert children[0].space == grid.cell_rect(3, 4)
+        assert children[0].lower_bound == 0.5
+
+    def test_two_far_cells(self):
+        grid = self._grid()
+        rows = np.array([0, 9])
+        cols = np.array([0, 9])
+        lbs = np.array([0.25, 0.75])
+        children = split_space(grid, rows, cols, lbs)
+        assert len(children) == 2
+        spaces = {(c.space.x_min, c.space.y_min) for c in children}
+        assert (0.0, 0.0) in spaces and (9.0, 9.0) in spaces
+        assert {c.lower_bound for c in children} == {0.25, 0.75}
+
+    def test_children_cover_all_cells(self):
+        grid = self._grid()
+        rng = np.random.default_rng(11)
+        k = 25
+        rows = rng.integers(0, 10, k)
+        cols = rng.integers(0, 10, k)
+        lbs = rng.random(k)
+        children = split_space(grid, rows, cols, lbs)
+        assert 1 <= len(children) <= 2
+        for row, col in zip(rows, cols):
+            cell = grid.cell_rect(int(row), int(col))
+            assert any(c.space.contains_rect(cell) for c in children)
+        # Each child's bound is the min over some subset, hence >= global min.
+        assert min(c.lower_bound for c in children) == pytest.approx(lbs.min())
+
+    def test_children_within_parent(self):
+        grid = self._grid()
+        rng = np.random.default_rng(5)
+        rows = rng.integers(0, 10, 12)
+        cols = rng.integers(0, 10, 12)
+        lbs = rng.random(12)
+        for child in split_space(grid, rows, cols, lbs):
+            assert grid.space.contains_rect(child.space)
+
+    def test_clustered_cells_shrink(self):
+        """Two spatial clusters must produce two tight child MBRs."""
+        grid = self._grid()
+        rows = np.array([0, 0, 1, 8, 9, 9])
+        cols = np.array([0, 1, 0, 9, 8, 9])
+        lbs = np.arange(6, dtype=float)
+        children = split_space(grid, rows, cols, lbs)
+        assert len(children) == 2
+        total_area = sum(c.space.area for c in children)
+        assert total_area < 0.25 * grid.space.area
+
+    def test_full_grid_of_dirty_cells_still_shrinks(self):
+        """Even when every cell is dirty, children must shrink the space."""
+        grid = self._grid()
+        rows, cols = np.meshgrid(np.arange(10), np.arange(10))
+        rows, cols = rows.ravel(), cols.ravel()
+        lbs = np.zeros(100)
+        children = split_space(grid, rows, cols, lbs)
+        assert children
+        for child in children:
+            assert child.space.area < 0.95 * grid.space.area

@@ -1,0 +1,216 @@
+"""End-to-end DS-Search tests: exactness against the brute-force oracle
+is the central property of the reproduction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import brute_force_search
+from repro.core import (
+    ASRSQuery,
+    CompositeAggregator,
+    DistributionAggregator,
+    Rect,
+    SelectAll,
+)
+from repro.dssearch import SearchSettings, SearchStats, ds_search
+from repro.dssearch.search import DSSearchEngine
+
+from .conftest import make_random_dataset, random_aggregator
+
+SMALL = SearchSettings(ncol=6, nrow=6)
+
+
+class TestFig1Scenarios:
+    def test_query_region_itself_has_distance_zero(
+        self, fig1_dataset, fig1_regions, fig1_aggregator
+    ):
+        query = ASRSQuery.from_region(
+            fig1_dataset, fig1_regions["rq"], fig1_aggregator
+        )
+        result = ds_search(fig1_dataset, query, SMALL)
+        assert result.distance == pytest.approx(0.0, abs=1e-9)
+        np.testing.assert_allclose(
+            result.representation, query.query_rep, atol=1e-9
+        )
+
+    def test_finds_r1_profile(self, fig1_dataset, fig1_regions, fig1_aggregator):
+        """Querying with r1's exact representation must find distance 0."""
+        rep_r1 = fig1_aggregator.apply(fig1_dataset, fig1_regions["r1"])
+        query = ASRSQuery.from_vector(4.0, 4.0, fig1_aggregator, rep_r1)
+        result = ds_search(fig1_dataset, query, SMALL)
+        assert result.distance == pytest.approx(0.0, abs=1e-9)
+        # The answer region must enclose the r1 cluster's objects.
+        found = result.region
+        assert fig1_dataset.count_in_region(found) == 6
+
+    def test_matches_brute_force_on_fig1(
+        self, fig1_dataset, fig1_regions, fig1_aggregator
+    ):
+        # A target no region matches exactly: 5 apartments at average 5.
+        query = ASRSQuery.from_vector(
+            4.0, 4.0, fig1_aggregator, [5, 0, 0, 0, 5.0]
+        )
+        expected = brute_force_search(fig1_dataset, query)
+        result = ds_search(fig1_dataset, query, SMALL)
+        assert result.distance == pytest.approx(expected.distance, abs=1e-6)
+
+
+class TestEdgeCases:
+    def test_empty_dataset(self, fig1_dataset, fig1_aggregator):
+        empty = fig1_dataset.subset(np.zeros(fig1_dataset.n, dtype=bool))
+        query = ASRSQuery.from_vector(1.0, 1.0, fig1_aggregator, [1, 0, 0, 0, 0])
+        result = ds_search(empty, query, SMALL)
+        assert result.distance == pytest.approx(1.0)
+
+    def test_single_object(self, fig1_dataset, fig1_aggregator):
+        one = fig1_dataset.subset(np.array([0]))
+        query = ASRSQuery.from_vector(
+            2.0, 2.0, fig1_aggregator, [1, 0, 0, 0, 2.0]
+        )
+        result = ds_search(one, query, SMALL)
+        assert result.distance == pytest.approx(0.0, abs=1e-9)
+        assert one.count_in_region(result.region) == 1
+
+    def test_empty_region_is_best_when_target_is_zero(
+        self, fig1_dataset, fig1_aggregator
+    ):
+        query = ASRSQuery.from_vector(4.0, 4.0, fig1_aggregator, [0, 0, 0, 0, 0])
+        result = ds_search(fig1_dataset, query, SMALL)
+        assert result.distance == pytest.approx(0.0, abs=1e-9)
+        assert fig1_dataset.count_in_region(result.region) == 0
+
+    def test_coincident_objects(self):
+        """Many objects at the same location (ΔX = inf on ties)."""
+        rng = np.random.default_rng(0)
+        ds = make_random_dataset(rng, 12, extent=0.0)  # all at origin-ish
+        agg = random_aggregator()
+        query = ASRSQuery.from_vector(
+            1.0, 1.0, agg, np.zeros(agg.dim(ds)), weights=np.ones(agg.dim(ds))
+        )
+        expected = brute_force_search(ds, query)
+        result = ds_search(ds, query, SMALL)
+        assert result.distance == pytest.approx(expected.distance, abs=1e-6)
+
+    def test_invalid_delta_raises(self, fig1_dataset, fig1_aggregator):
+        query = ASRSQuery.from_vector(1.0, 1.0, fig1_aggregator, np.zeros(5))
+        with pytest.raises(ValueError):
+            DSSearchEngine(fig1_dataset, query, delta=-0.5)
+
+    def test_settings_validation(self):
+        with pytest.raises(ValueError):
+            SearchSettings(ncol=0)
+        with pytest.raises(ValueError):
+            SearchSettings(max_depth=0)
+
+
+def _random_query(rng, ds, agg):
+    """A query targeting the representation around a random anchor region."""
+    dim = agg.dim(ds)
+    if rng.random() < 0.5 and ds.n:
+        i = rng.integers(0, ds.n)
+        region = Rect.from_center(float(ds.xs[i]), float(ds.ys[i]), 14.0, 11.0)
+        rep = agg.apply(ds, region)
+    else:
+        rep = rng.uniform(0, 4, size=dim)
+    weights = np.round(rng.uniform(0.1, 2.0, size=dim), 3)
+    return ASRSQuery.from_vector(14.0, 11.0, agg, rep, weights=weights)
+
+
+class TestExactnessProperty:
+    """DS-Search must return the brute-force optimum distance."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), n=st.integers(1, 35))
+    def test_matches_brute_force(self, seed, n):
+        rng = np.random.default_rng(seed)
+        ds = make_random_dataset(rng, n, extent=60.0)
+        agg = random_aggregator()
+        query = _random_query(rng, ds, agg)
+        expected = brute_force_search(ds, query)
+        result = ds_search(ds, query, SMALL)
+        assert result.distance <= expected.distance + 1e-6
+        assert result.distance >= expected.distance - 1e-6
+        # The reported region's true distance matches the reported value.
+        true_dist = query.distance_of_region(ds, result.region)
+        assert true_dist == pytest.approx(result.distance, abs=1e-6)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        ncol=st.integers(2, 12),
+        nrow=st.integers(2, 12),
+    )
+    def test_grid_size_does_not_change_answer(self, seed, ncol, nrow):
+        rng = np.random.default_rng(seed)
+        ds = make_random_dataset(rng, 25, extent=60.0)
+        agg = random_aggregator()
+        query = _random_query(rng, ds, agg)
+        expected = brute_force_search(ds, query)
+        result = ds_search(ds, query, SearchSettings(ncol=ncol, nrow=nrow))
+        assert result.distance == pytest.approx(expected.distance, abs=1e-6)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1))
+    def test_l2_metric(self, seed):
+        rng = np.random.default_rng(seed)
+        ds = make_random_dataset(rng, 20, extent=50.0)
+        agg = random_aggregator()
+        dim = agg.dim(ds)
+        query = ASRSQuery.from_vector(
+            12.0, 9.0, agg, rng.uniform(0, 3, dim), weights=np.ones(dim), p=2
+        )
+        expected = brute_force_search(ds, query)
+        result = ds_search(ds, query, SMALL)
+        assert result.distance == pytest.approx(expected.distance, abs=1e-6)
+
+
+class TestApproximation:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        n=st.integers(1, 30),
+        delta=st.sampled_from([0.1, 0.2, 0.3, 0.4, 1.0]),
+    )
+    def test_theorem_3_guarantee(self, seed, n, delta):
+        from repro.dssearch import approximate_search
+
+        rng = np.random.default_rng(seed)
+        ds = make_random_dataset(rng, n, extent=60.0)
+        agg = random_aggregator()
+        query = _random_query(rng, ds, agg)
+        exact = brute_force_search(ds, query)
+        approx = approximate_search(ds, query, delta, SMALL)
+        assert approx.distance <= (1.0 + delta) * exact.distance + 1e-6
+        # The reported distance is a real region's distance (never below opt).
+        assert approx.distance >= exact.distance - 1e-6
+
+    def test_delta_zero_is_exact(self, fig1_dataset, fig1_aggregator):
+        from repro.dssearch import approximate_search
+
+        query = ASRSQuery.from_vector(
+            4.0, 4.0, fig1_aggregator, [5, 0, 0, 0, 5.0]
+        )
+        exact = brute_force_search(fig1_dataset, query)
+        approx = approximate_search(fig1_dataset, query, 0.0, SMALL)
+        assert approx.distance == pytest.approx(exact.distance, abs=1e-6)
+
+    def test_negative_delta_raises(self, fig1_dataset, fig1_aggregator):
+        from repro.dssearch import approximate_search
+
+        query = ASRSQuery.from_vector(4.0, 4.0, fig1_aggregator, np.zeros(5))
+        with pytest.raises(ValueError):
+            approximate_search(fig1_dataset, query, -0.1)
+
+
+class TestStats:
+    def test_stats_populated(self, fig1_dataset, fig1_aggregator):
+        query = ASRSQuery.from_vector(4.0, 4.0, fig1_aggregator, [5, 0, 0, 0, 5.0])
+        result, stats = ds_search(
+            fig1_dataset, query, SMALL, return_stats=True
+        )
+        assert isinstance(stats, SearchStats)
+        assert stats.spaces_processed >= 1
+        assert stats.clean_cells + stats.dirty_cells > 0
+        assert stats.incumbent_updates >= 1

@@ -1,0 +1,121 @@
+"""Tests for the discretization grid: classification and accumulation
+must agree with direct per-cell geometry checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asp import RectSet, reduce_to_asp
+from repro.core import ChannelCompiler, Rect
+from repro.dssearch import DiscretizationGrid
+
+from .conftest import make_random_dataset, random_aggregator
+
+
+def direct_cell_sums(grid, rects, weights):
+    """Reference computation of full/over/dirty per cell."""
+    C = weights.shape[1]
+    full = np.zeros((grid.nrow, grid.ncol, C))
+    over = np.zeros((grid.nrow, grid.ncol, C))
+    dirty = np.zeros((grid.nrow, grid.ncol), dtype=bool)
+    for row in range(grid.nrow):
+        for col in range(grid.ncol):
+            cell = grid.cell_rect(row, col)
+            for i in range(rects.n):
+                r = rects.rect_at(i)
+                if r.contains_rect(cell):
+                    full[row, col] += weights[i]
+                    over[row, col] += weights[i]
+                elif r.intersects_open(cell):
+                    over[row, col] += weights[i]
+                    dirty[row, col] = True
+    return full, over, dirty
+
+
+class TestGridGeometry:
+    def test_cell_rect_tiles_space(self):
+        grid = DiscretizationGrid(Rect(0, 0, 10, 5), ncol=5, nrow=2)
+        assert grid.cell_width == pytest.approx(2.0)
+        assert grid.cell_height == pytest.approx(2.5)
+        assert grid.cell_rect(0, 0) == Rect(0, 0, 2, 2.5)
+        assert grid.cell_rect(1, 4) == Rect(8, 2.5, 10, 5)
+
+    def test_cell_centers(self):
+        grid = DiscretizationGrid(Rect(0, 0, 4, 4), ncol=2, nrow=2)
+        cx, cy = grid.cell_centers()
+        assert cx[0, 0] == 1.0 and cx[0, 1] == 3.0
+        assert cy[0, 0] == 1.0 and cy[1, 0] == 3.0
+
+    def test_mbr_of_cells(self):
+        grid = DiscretizationGrid(Rect(0, 0, 10, 10), ncol=10, nrow=10)
+        mbr = grid.mbr_of_cells(np.array([2, 5]), np.array([1, 3]))
+        assert mbr == Rect(1.0, 2.0, 4.0, 6.0)
+
+    def test_mbr_of_zero_cells_raises(self):
+        grid = DiscretizationGrid(Rect(0, 0, 10, 10), ncol=2, nrow=2)
+        with pytest.raises(ValueError):
+            grid.mbr_of_cells(np.array([]), np.array([]))
+
+    def test_degenerate_space_padded(self):
+        grid = DiscretizationGrid(Rect(1, 0, 1, 10), ncol=3, nrow=3)
+        assert grid.cell_width > 0
+        assert grid.cell_height > 0
+
+    def test_invalid_grid_raises(self):
+        with pytest.raises(ValueError):
+            DiscretizationGrid(Rect(0, 0, 1, 1), ncol=0, nrow=2)
+
+
+class TestAccumulation:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        n=st.integers(1, 25),
+        ncol=st.integers(1, 7),
+        nrow=st.integers(1, 7),
+    )
+    def test_matches_direct_computation(self, seed, n, ncol, nrow):
+        rng = np.random.default_rng(seed)
+        ds = make_random_dataset(rng, n, extent=30.0)
+        compiler = ChannelCompiler(ds, random_aggregator())
+        rects = reduce_to_asp(ds, 8.0, 6.0)
+        grid = DiscretizationGrid(rects.bounds(), ncol=ncol, nrow=nrow)
+        acc = grid.accumulate(rects, np.arange(rects.n), compiler.weights)
+        full, over, dirty = direct_cell_sums(grid, rects, compiler.weights)
+        np.testing.assert_allclose(acc.full, full, atol=1e-9)
+        np.testing.assert_allclose(acc.over, over, atol=1e-9)
+        np.testing.assert_array_equal(acc.dirty, dirty)
+
+    def test_active_subset(self):
+        rng = np.random.default_rng(7)
+        ds = make_random_dataset(rng, 20, extent=30.0)
+        compiler = ChannelCompiler(ds, random_aggregator())
+        rects = reduce_to_asp(ds, 5.0, 5.0)
+        grid = DiscretizationGrid(rects.bounds(), ncol=4, nrow=4)
+        active = np.array([0, 3, 7])
+        acc = grid.accumulate(rects, active, compiler.weights)
+        sub = rects.take(active)
+        full, over, dirty = direct_cell_sums(grid, sub, compiler.weights[active])
+        np.testing.assert_allclose(acc.full, full, atol=1e-9)
+        np.testing.assert_allclose(acc.over, over, atol=1e-9)
+        np.testing.assert_array_equal(acc.dirty, dirty)
+
+    def test_edge_on_cell_boundary_is_clean(self):
+        """A rectangle edge exactly on a grid line must not dirty cells."""
+        rects = RectSet([0.0], [0.0], [2.0], [2.0])
+        grid = DiscretizationGrid(Rect(0, 0, 4, 4), ncol=2, nrow=2)
+        weights = np.ones((1, 1))
+        acc = grid.accumulate(rects, np.array([0]), weights)
+        assert not acc.dirty.any()
+        # Bottom-left cell fully covered, others not at all.
+        assert acc.full[0, 0, 0] == 1.0
+        assert acc.over[1, 1, 0] == 0.0
+
+    def test_no_rectangles(self):
+        rects = RectSet([], [], [], [])
+        grid = DiscretizationGrid(Rect(0, 0, 4, 4), ncol=2, nrow=2)
+        acc = grid.accumulate(rects, np.array([], dtype=int), np.zeros((0, 2)))
+        assert not acc.dirty.any()
+        assert acc.full.shape == (2, 2, 2)
+        assert not acc.full.any()

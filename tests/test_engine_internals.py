@@ -1,0 +1,138 @@
+"""Focused tests of DS-Search engine internals and settings."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import ASRSQuery, Rect
+from repro.dssearch import SearchSettings, ds_search
+from repro.dssearch.search import DSSearchEngine
+from repro.dssearch.split import split_space
+from repro.dssearch.grid import DiscretizationGrid
+
+from .conftest import make_random_dataset, random_aggregator
+
+
+class TestGridShape:
+    def test_fixed_when_adaptive_off(self):
+        s = SearchSettings(ncol=30, nrow=20, adaptive_grid=False)
+        assert s.grid_shape(5) == (30, 20)
+        assert s.grid_shape(100_000) == (30, 20)
+
+    def test_adaptive_tracks_active_count(self):
+        s = SearchSettings(ncol=30, nrow=30)
+        small = s.grid_shape(10)
+        large = s.grid_shape(10_000)
+        assert small[0] <= large[0] <= 30
+        assert small[0] >= 6  # floor
+
+    def test_probe_validation(self):
+        with pytest.raises(ValueError):
+            SearchSettings(probe_dirty_cells=-1)
+
+
+class TestResolutionFloor:
+    def test_absolute_resolution_overrides(self, fig1_dataset, fig1_aggregator):
+        query = ASRSQuery.from_vector(4.0, 4.0, fig1_aggregator, np.zeros(5))
+        engine = DSSearchEngine(
+            fig1_dataset, query, SearchSettings(resolution=0.5)
+        )
+        assert engine.delta_x >= 0.5
+        assert engine.delta_y >= 0.5
+
+    def test_factor_scales_with_query(self, fig1_dataset, fig1_aggregator):
+        query = ASRSQuery.from_vector(4.0, 8.0, fig1_aggregator, np.zeros(5))
+        engine = DSSearchEngine(
+            fig1_dataset, query, SearchSettings(resolution_factor=0.1)
+        )
+        assert engine.delta_x >= 0.4
+        assert engine.delta_y >= 0.8
+
+    def test_exactness_for_any_floor(self):
+        """Pinning the floor very high must not change the answer."""
+        from repro.baselines import brute_force_search
+
+        rng = np.random.default_rng(17)
+        ds = make_random_dataset(rng, 25, extent=60.0)
+        agg = random_aggregator()
+        query = ASRSQuery.from_vector(
+            14.0, 11.0, agg, rng.uniform(0, 3, agg.dim(ds))
+        )
+        expected = brute_force_search(ds, query)
+        for factor in (0.0, 1e-3, 0.3, 10.0):
+            result = ds_search(
+                ds, query, SearchSettings(ncol=6, nrow=6, resolution_factor=factor)
+            )
+            assert result.distance == pytest.approx(expected.distance, abs=1e-6)
+
+
+class TestSplitStrategies:
+    def test_bisect_strategy_exact(self):
+        from repro.baselines import brute_force_search
+
+        rng = np.random.default_rng(23)
+        ds = make_random_dataset(rng, 30, extent=60.0)
+        agg = random_aggregator()
+        query = ASRSQuery.from_vector(
+            14.0, 11.0, agg, rng.uniform(0, 3, agg.dim(ds))
+        )
+        expected = brute_force_search(ds, query)
+        result = ds_search(
+            ds, query, SearchSettings(ncol=6, nrow=6, split_strategy="bisect")
+        )
+        assert result.distance == pytest.approx(expected.distance, abs=1e-6)
+
+    def test_unknown_strategy_rejected(self):
+        grid = DiscretizationGrid(Rect(0, 0, 10, 10), 5, 5)
+        with pytest.raises(ValueError, match="strategy"):
+            split_space(
+                grid,
+                np.array([0, 1]),
+                np.array([0, 1]),
+                np.array([0.0, 0.0]),
+                strategy="zigzag",
+            )
+
+
+class TestEngineInvariants:
+    def test_reported_distance_is_regions_distance(self):
+        """The invariant behind every benchmark's `match` column."""
+        rng = np.random.default_rng(31)
+        for _ in range(5):
+            ds = make_random_dataset(rng, 40, extent=80.0)
+            agg = random_aggregator()
+            query = ASRSQuery.from_vector(
+                16.0, 12.0, agg, rng.uniform(0, 3, agg.dim(ds))
+            )
+            result = ds_search(ds, query, SearchSettings(ncol=8, nrow=8))
+            true = query.distance_of_region(ds, result.region)
+            assert true == pytest.approx(result.distance, abs=1e-6)
+
+    def test_region_has_query_size(self, fig1_dataset, fig1_aggregator):
+        query = ASRSQuery.from_vector(3.0, 5.0, fig1_aggregator, np.zeros(5))
+        result = ds_search(fig1_dataset, query)
+        assert result.region.width == pytest.approx(3.0)
+        assert result.region.height == pytest.approx(5.0)
+
+    def test_infinite_accuracy_on_duplicate_edges(self, fig1_aggregator):
+        """All objects at one point: accuracies are inf, drop immediate."""
+        from repro.core import SpatialDataset
+
+        ds = SpatialDataset(
+            np.full(5, 3.0),
+            np.full(5, 4.0),
+            fig1_schema_local(),
+            {"category": np.zeros(5, dtype=int), "price": np.ones(5)},
+        )
+        query = ASRSQuery.from_vector(
+            2.0, 2.0, fig1_aggregator, [5, 0, 0, 0, 1.0]
+        )
+        result = ds_search(ds, query)
+        assert result.distance == pytest.approx(0.0, abs=1e-9)
+
+
+def fig1_schema_local():
+    from tests.conftest import fig1_schema
+
+    return fig1_schema()

@@ -1,0 +1,47 @@
+"""Smoke tests: every example must run end-to-end at reduced scale."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "most similar region" in out
+        assert "distance" in out
+
+    def test_apartment_hunt(self):
+        out = run_example("apartment_hunt.py", "--n", "2000")
+        assert "best neighbourhood" in out
+        assert "ideal=" in out
+
+    def test_weekend_hotspots(self):
+        out = run_example(
+            "weekend_hotspots.py", "--n", "4000", "--granularity", "16"
+        )
+        assert "DS-Search" in out
+        assert "same answer as DS-Search: True" in out
+
+    def test_city_similarity(self):
+        out = run_example("city_similarity.py", "--n", "1500")
+        assert "Marina Bay more similar than Bugis: True" in out
+
+    def test_maxrs_demo(self):
+        out = run_example("maxrs_demo.py", "--n", "5000")
+        assert "agree: True" in out

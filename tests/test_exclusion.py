@@ -1,0 +1,131 @@
+"""Rectangle subtraction and exclusion-mode DS-Search (case-study mode)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import brute_force_search
+from repro.core import ASRSQuery, Rect
+from repro.core.geometry import subtract
+from repro.dssearch import SearchSettings, ds_search
+
+from .conftest import make_random_dataset, random_aggregator
+
+SMALL = SearchSettings(ncol=6, nrow=6)
+
+
+class TestSubtract:
+    def test_disjoint_returns_outer(self):
+        outer = Rect(0, 0, 10, 10)
+        assert subtract(outer, Rect(20, 20, 30, 30)) == [outer]
+
+    def test_hole_in_middle_gives_four_pieces(self):
+        outer = Rect(0, 0, 10, 10)
+        pieces = subtract(outer, Rect(4, 4, 6, 6))
+        assert len(pieces) == 4
+        assert sum(p.area for p in pieces) == pytest.approx(outer.area - 4.0)
+
+    def test_hole_covering_outer_gives_nothing(self):
+        assert subtract(Rect(2, 2, 4, 4), Rect(0, 0, 10, 10)) == []
+
+    def test_hole_on_edge(self):
+        outer = Rect(0, 0, 10, 10)
+        pieces = subtract(outer, Rect(-5, -5, 5, 5))
+        assert sum(p.area for p in pieces) == pytest.approx(100 - 25)
+
+    @given(
+        coords=st.lists(st.integers(-10, 20), min_size=8, max_size=8),
+    )
+    def test_pieces_tile_complement(self, coords):
+        x = sorted(coords[:2])
+        y = sorted(coords[2:4])
+        hx = sorted(coords[4:6])
+        hy = sorted(coords[6:8])
+        if x[0] == x[1] or y[0] == y[1]:
+            return
+        outer = Rect(x[0], y[0], x[1], y[1])
+        hole = Rect(hx[0], hy[0], hx[1] + 1, hy[1] + 1)
+        pieces = subtract(outer, hole)
+        inter = outer.intersection(hole)
+        hole_area = inter.area if inter else 0.0
+        assert sum(p.area for p in pieces) == pytest.approx(outer.area - hole_area)
+        # Pieces stay inside outer and never meet the hole's interior.
+        for p in pieces:
+            assert outer.contains_rect(p)
+            assert not p.intersects_open(hole)
+
+
+class TestExclusionSearch:
+    def test_excluding_query_region_finds_twin(
+        self, fig1_dataset, fig1_regions, fig1_aggregator
+    ):
+        """Querying with rq's profile but excluding rq must find r1."""
+        query = ASRSQuery.from_region(
+            fig1_dataset, fig1_regions["rq"], fig1_aggregator
+        )
+        unrestricted = ds_search(fig1_dataset, query, SMALL)
+        assert unrestricted.distance == pytest.approx(0.0, abs=1e-9)
+
+        result = ds_search(fig1_dataset, query, SMALL, exclude=fig1_regions["rq"])
+        # r1 is the most similar remaining region (distance 1.15, Example 4).
+        assert result.distance == pytest.approx(1.15)
+        assert not result.region.intersects_open(fig1_regions["rq"])
+
+    def test_exclusion_never_returns_overlapping_region(
+        self, fig1_dataset, fig1_regions, fig1_aggregator
+    ):
+        query = ASRSQuery.from_region(
+            fig1_dataset, fig1_regions["rq"], fig1_aggregator
+        )
+        for name in ("rq", "r1", "r2"):
+            result = ds_search(
+                fig1_dataset, query, SMALL, exclude=fig1_regions[name]
+            )
+            assert not result.region.intersects_open(fig1_regions[name])
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), n=st.integers(1, 30))
+    def test_exclusion_matches_filtered_brute_force(self, seed, n):
+        rng = np.random.default_rng(seed)
+        ds = make_random_dataset(rng, n, extent=60.0)
+        agg = random_aggregator()
+        dim = agg.dim(ds)
+        query = ASRSQuery.from_vector(14.0, 11.0, agg, rng.uniform(0, 4, dim))
+        exclude = Rect(20.0, 20.0, 45.0, 45.0)
+
+        result = ds_search(ds, query, SMALL, exclude=exclude)
+        assert not result.region.intersects_open(exclude)
+
+        # Oracle: brute force over the allowed mesh points only.
+        from repro.asp import reduce_to_asp, points_distances, region_for_point
+        from repro.baselines.bruteforce import _candidate_coords
+        from repro.core import ChannelCompiler
+
+        compiler = ChannelCompiler(ds, agg)
+        rects = reduce_to_asp(ds, query.width, query.height)
+        # Refine the arrangement with the forbidden-zone edges so every
+        # mesh face is entirely allowed or entirely forbidden.
+        xs = _candidate_coords(
+            np.concatenate(
+                [rects.edge_xs(), [exclude.x_min - query.width, exclude.x_max]]
+            )
+        )
+        ys = _candidate_coords(
+            np.concatenate(
+                [rects.edge_ys(), [exclude.y_min - query.height, exclude.y_max]]
+            )
+        )
+        px, py = np.meshgrid(xs, ys)
+        px, py = px.ravel(), py.ravel()
+        allowed = ~(
+            (px > exclude.x_min - query.width)
+            & (px < exclude.x_max)
+            & (py > exclude.y_min - query.height)
+            & (py < exclude.y_max)
+        )
+        best = query.distance_to(agg.empty_representation(ds))
+        if allowed.any():
+            dists = points_distances(query, compiler, rects, px[allowed], py[allowed])
+            best = min(best, float(dists.min()))
+        assert result.distance == pytest.approx(best, abs=1e-6)

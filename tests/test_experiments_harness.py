@@ -1,0 +1,72 @@
+"""Tests for the experiment harness and cached dataset builders."""
+
+import pytest
+
+from repro.experiments.datasets import (
+    paper_query_size,
+    poisyn,
+    tweet_index,
+    tweets,
+)
+from repro.experiments.harness import Table, environment_banner, timed
+
+
+class TestTable:
+    def test_add_row_and_markdown(self):
+        t = Table("demo", ["a", "b"])
+        t.add_row(1, 2.34567)
+        t.add_note("a note")
+        md = t.to_markdown()
+        assert "### demo" in md
+        assert "| a | b |" in md
+        assert "2.346" in md
+        assert "*a note*" in md
+
+    def test_row_width_checked(self):
+        t = Table("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_column(self):
+        t = Table("demo", ["a", "b"])
+        t.add_row(1, 10)
+        t.add_row(2, 20)
+        assert t.column("b") == [10, 20]
+
+    def test_show_prints(self, capsys):
+        t = Table("demo", ["a"])
+        t.add_row(1)
+        t.show()
+        assert "### demo" in capsys.readouterr().out
+
+
+class TestHelpers:
+    def test_timed(self):
+        value, seconds = timed(lambda x: x + 1, 41)
+        assert value == 42
+        assert seconds >= 0.0
+
+    def test_environment_banner(self):
+        banner = environment_banner()
+        assert "Python" in banner and "numpy" in banner
+
+
+class TestDatasetCaches:
+    def test_tweets_cached_identity(self):
+        assert tweets(500) is tweets(500)
+        assert tweets(500) is tweets(500, 7)  # normalized key
+
+    def test_poisyn_cached_identity(self):
+        assert poisyn(500) is poisyn(500)
+
+    def test_index_built_over_cached_dataset(self):
+        index = tweet_index(500, 8)
+        assert index.dataset is tweets(500)
+        assert tweet_index(500, 8) is index
+
+    def test_paper_query_size(self):
+        ds = tweets(500)
+        bounds = ds.bounds()
+        w, h = paper_query_size(ds, 10)
+        assert w == pytest.approx(10 * bounds.width / 1000)
+        assert h == pytest.approx(10 * bounds.height / 1000)

@@ -1,0 +1,56 @@
+"""Smoke tests: every experiment module must run at reduced scale and
+produce rows with the expected shape."""
+
+import pytest
+
+from repro.experiments import fig8, fig9, fig10, fig11, fig12, fig13, fig14
+from repro.experiments import table1, table2
+
+
+class TestExperimentRunners:
+    def test_fig8(self):
+        table = fig8.run(quick=True)
+        assert len(table.rows) == 8
+        assert all(row[-1] for row in table.rows)  # all match=True
+
+    def test_fig9(self):
+        table = fig9.run(quick=True)
+        assert len(table.rows) == 4
+        assert len(table.header) == 6
+
+    def test_fig10(self):
+        table = fig10.run(quick=True)
+        assert len(table.rows) == 4
+        assert all(row[-1] for row in table.rows)
+
+    def test_fig11(self):
+        table = fig11.run(quick=True)
+        assert len(table.rows) == 2
+
+    def test_table1(self):
+        table = table1.run(quick=True)
+        assert len(table.rows) == 3
+        # Index sizes grow with granularity.
+        sizes = [row[-1] for row in table.rows]
+        assert sizes == sorted(sizes)
+
+    def test_fig12(self):
+        table = fig12.run(quick=True)
+        assert len(table.rows) == 4
+
+    def test_table2(self):
+        table = table2.run(quick=True)
+        for row in table.rows:
+            for quality in row[1:]:
+                assert 1.0 - 1e-9 <= quality <= 1.5
+
+    def test_fig13(self):
+        sizes = fig13.run_sizes(quick=True)
+        scal = fig13.run_scalability(quick=True)
+        assert all(row[-1] for row in sizes.rows)  # scores match
+        assert all(row[-1] for row in scal.rows)
+
+    def test_fig14_case_study_shape(self):
+        table = fig14.run(quick=True)
+        # Fig 15 ordering note must report True.
+        assert any("True" in note for note in table.notes)

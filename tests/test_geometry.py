@@ -1,0 +1,117 @@
+"""Unit tests for the geometry substrate."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import Rect, minimum_gap
+
+
+class TestRectConstruction:
+    def test_basic_fields(self):
+        r = Rect(0.0, 1.0, 2.0, 4.0)
+        assert r.width == 2.0
+        assert r.height == 3.0
+        assert r.area == 6.0
+        assert r.center == (1.0, 2.5)
+
+    def test_malformed_raises(self):
+        with pytest.raises(ValueError):
+            Rect(2.0, 0.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            Rect(0.0, 2.0, 1.0, 1.0)
+
+    def test_degenerate_allowed(self):
+        r = Rect(1.0, 1.0, 1.0, 1.0)
+        assert r.area == 0.0
+
+    def test_from_bottom_left(self):
+        r = Rect.from_bottom_left(1.0, 2.0, 3.0, 4.0)
+        assert (r.x_min, r.y_min, r.x_max, r.y_max) == (1.0, 2.0, 4.0, 6.0)
+
+    def test_from_top_right(self):
+        r = Rect.from_top_right(4.0, 6.0, 3.0, 4.0)
+        assert (r.x_min, r.y_min, r.x_max, r.y_max) == (1.0, 2.0, 4.0, 6.0)
+
+    def test_from_center(self):
+        r = Rect.from_center(0.0, 0.0, 2.0, 4.0)
+        assert (r.x_min, r.y_min, r.x_max, r.y_max) == (-1.0, -2.0, 1.0, 2.0)
+
+    def test_bounding(self):
+        r = Rect.bounding([Rect(0, 0, 1, 1), Rect(2, -1, 3, 0.5)])
+        assert (r.x_min, r.y_min, r.x_max, r.y_max) == (0, -1, 3, 1)
+
+    def test_bounding_empty_raises(self):
+        with pytest.raises(ValueError):
+            Rect.bounding([])
+
+    def test_iter_unpacks(self):
+        x0, y0, x1, y1 = Rect(1, 2, 3, 4)
+        assert (x0, y0, x1, y1) == (1, 2, 3, 4)
+
+
+class TestCoverage:
+    def test_open_excludes_boundary(self):
+        r = Rect(0, 0, 2, 2)
+        assert r.contains_point_open(1, 1)
+        assert not r.contains_point_open(0, 1)
+        assert not r.contains_point_open(1, 2)
+        assert not r.contains_point_open(2, 2)
+
+    def test_closed_includes_boundary(self):
+        r = Rect(0, 0, 2, 2)
+        assert r.contains_point_closed(0, 0)
+        assert r.contains_point_closed(2, 2)
+        assert not r.contains_point_closed(2.1, 1)
+
+    def test_contains_rect(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.contains_rect(Rect(1, 1, 9, 9))
+        assert outer.contains_rect(outer)
+        assert not outer.contains_rect(Rect(-1, 1, 9, 9))
+
+    def test_intersects_open_edge_touch_is_not_intersection(self):
+        a = Rect(0, 0, 1, 1)
+        b = Rect(1, 0, 2, 1)
+        assert not a.intersects_open(b)
+        assert a.intersects_open(Rect(0.5, 0.5, 2, 2))
+
+    def test_intersection(self):
+        a = Rect(0, 0, 2, 2)
+        b = Rect(1, 1, 3, 3)
+        assert a.intersection(b) == Rect(1, 1, 2, 2)
+        assert a.intersection(Rect(5, 5, 6, 6)) is None
+        # Touching closures intersect in a degenerate rectangle.
+        assert a.intersection(Rect(2, 0, 3, 2)) == Rect(2, 0, 2, 2)
+
+    def test_union(self):
+        assert Rect(0, 0, 1, 1).union(Rect(2, 2, 3, 3)) == Rect(0, 0, 3, 3)
+
+    def test_expand(self):
+        assert Rect(0, 0, 1, 1).expand(1, 2) == Rect(-1, -2, 2, 3)
+
+
+class TestMinimumGap:
+    def test_simple(self):
+        assert minimum_gap([0.0, 3.0, 1.0]) == 1.0
+
+    def test_duplicates_ignored(self):
+        assert minimum_gap([0.0, 0.0, 5.0]) == 5.0
+
+    def test_degenerate_is_inf(self):
+        assert minimum_gap([1.0, 1.0]) == math.inf
+        assert minimum_gap([]) == math.inf
+
+    @given(st.lists(st.integers(min_value=0, max_value=50), min_size=2, max_size=30))
+    def test_gap_is_positive_and_attained(self, values):
+        gap = minimum_gap([float(v) for v in values])
+        distinct = sorted(set(values))
+        if len(distinct) < 2:
+            assert gap == math.inf
+        else:
+            assert gap > 0
+            assert any(
+                b - a == gap for a, b in zip(distinct, distinct[1:])
+            )

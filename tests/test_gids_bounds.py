@@ -1,0 +1,69 @@
+"""Soundness of GI-DS candidate-cell lower bounds (Section 5.3).
+
+For every candidate lattice cell, the Equation-1 bound derived from the
+bounding/bounded regions must not exceed the true distance of *any*
+candidate region bottom-left-cornered in that cell.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ASRSQuery
+from repro.dssearch.search import DSSearchEngine
+from repro.index import GridIndex
+from repro.index.gids import candidate_cell_bounds
+
+from .conftest import make_random_dataset, random_aggregator
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    n=st.integers(1, 40),
+    sx=st.integers(2, 8),
+)
+def test_candidate_cell_bounds_are_sound(seed, n, sx):
+    rng = np.random.default_rng(seed)
+    ds = make_random_dataset(rng, n, extent=60.0)
+    agg = random_aggregator()
+    dim = agg.dim(ds)
+    query = ASRSQuery.from_vector(14.0, 11.0, agg, rng.uniform(0, 4, dim))
+    engine = DSSearchEngine(ds, query)
+    index = GridIndex.build(ds, sx, sx)
+
+    cell_rects, lbs = candidate_cell_bounds(index, engine, query)
+
+    # Sample random bl-corners per cell and verify lb <= true distance.
+    for cell, lb in zip(cell_rects[:: max(1, len(cell_rects) // 25)],
+                        lbs[:: max(1, len(cell_rects) // 25)]):
+        for _ in range(3):
+            px = rng.uniform(cell.x_min, cell.x_max)
+            py = rng.uniform(cell.y_min, cell.y_max)
+            from repro.asp import region_for_point
+
+            region = region_for_point(px, py, query.width, query.height)
+            true_dist = query.distance_of_region(ds, region)
+            assert lb <= true_dist + 1e-6, (cell, lb, true_dist)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1))
+def test_lattice_covers_all_data_corners(seed):
+    """Candidate cells must cover every bl-corner whose region can hold objects."""
+    rng = np.random.default_rng(seed)
+    ds = make_random_dataset(rng, 20, extent=60.0)
+    agg = random_aggregator()
+    query = ASRSQuery.from_vector(14.0, 11.0, agg, np.zeros(agg.dim(ds)))
+    engine = DSSearchEngine(ds, query)
+    index = GridIndex.build(ds, 5, 5)
+    cell_rects, _ = candidate_cell_bounds(index, engine, query)
+
+    bounds = ds.bounds()
+    # Any corner with a non-empty region lies in [xmin - a, xmax] x ...
+    for _ in range(20):
+        px = rng.uniform(bounds.x_min - query.width, bounds.x_max)
+        py = rng.uniform(bounds.y_min - query.height, bounds.y_max)
+        assert any(
+            c.contains_point_closed(px, py) for c in cell_rects
+        ), (px, py)

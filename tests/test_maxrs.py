@@ -1,0 +1,164 @@
+"""MaxRS tests: segment tree, OE, and the DS-Search adaptation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asp import reduce_to_asp
+from repro.baselines.maxrs_oe import max_rs_oe
+from repro.baselines.segment_tree import MaxAddSegmentTree
+from repro.dssearch import SearchSettings
+from repro.dssearch.maxrs import max_rs_ds
+
+from .conftest import make_random_dataset
+
+SMALL = SearchSettings(ncol=6, nrow=6)
+
+
+class TestSegmentTree:
+    def test_single_interval(self):
+        t = MaxAddSegmentTree(1)
+        assert t.global_max() == 0.0
+        t.add(0, 1, 2.5)
+        assert t.global_max() == 2.5
+        assert t.argmax() == 0
+
+    def test_overlapping_adds(self):
+        t = MaxAddSegmentTree(8)
+        t.add(0, 5, 1.0)
+        t.add(3, 8, 1.0)
+        t.add(4, 6, 1.0)
+        assert t.global_max() == 3.0
+        assert t.argmax() == 4
+
+    def test_negative_adds_cancel(self):
+        t = MaxAddSegmentTree(4)
+        t.add(0, 4, 2.0)
+        t.add(1, 3, -2.0)
+        assert t.global_max() == 2.0
+        assert t.argmax() in (0, 3)
+
+    def test_bounds_checked(self):
+        t = MaxAddSegmentTree(4)
+        with pytest.raises(IndexError):
+            t.add(-1, 2, 1.0)
+        with pytest.raises(IndexError):
+            t.add(0, 5, 1.0)
+        with pytest.raises(ValueError):
+            MaxAddSegmentTree(0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n=st.integers(1, 24),
+        ops=st.lists(
+            st.tuples(st.integers(0, 24), st.integers(0, 24), st.floats(-5, 5)),
+            min_size=1,
+            max_size=30,
+        ),
+    )
+    def test_against_naive_array(self, n, ops):
+        t = MaxAddSegmentTree(n)
+        naive = np.zeros(n)
+        for lo, hi, v in ops:
+            lo, hi = sorted((min(lo, n), min(hi, n)))
+            t.add(lo, hi, v)
+            naive[lo:hi] += v
+        assert t.global_max() == pytest.approx(naive.max())
+        assert naive[t.argmax()] == pytest.approx(naive.max())
+
+
+def brute_force_maxrs(ds, width, height, weights=None):
+    """Mesh-scan oracle for MaxRS."""
+    if weights is None:
+        weights = np.ones(ds.n)
+    if ds.n == 0:
+        return 0.0
+    rects = reduce_to_asp(ds, width, height)
+    xs = np.unique(rects.edge_xs())
+    ys = np.unique(rects.edge_ys())
+    cand_x = (xs[:-1] + xs[1:]) / 2.0 if xs.size > 1 else xs
+    cand_y = (ys[:-1] + ys[1:]) / 2.0 if ys.size > 1 else ys
+    best = 0.0
+    for x in cand_x:
+        for y in cand_y:
+            mask = rects.covering_mask(float(x), float(y))
+            best = max(best, float(weights[mask].sum()))
+    return best
+
+
+class TestOE:
+    def test_simple_cluster(self):
+        rng = np.random.default_rng(0)
+        ds = make_random_dataset(rng, 15, extent=20.0)
+        result = max_rs_oe(ds, 50.0, 50.0)
+        assert result.score == 15.0  # huge region encloses everything
+
+    def test_empty_dataset(self, fig1_dataset):
+        empty = fig1_dataset.subset(np.zeros(fig1_dataset.n, dtype=bool))
+        assert max_rs_oe(empty, 1.0, 1.0).score == 0.0
+
+    def test_weight_validation(self, fig1_dataset):
+        with pytest.raises(ValueError):
+            max_rs_oe(fig1_dataset, 1.0, 1.0, weights=np.ones(3))
+        with pytest.raises(ValueError):
+            max_rs_oe(fig1_dataset, 1.0, 1.0, weights=-np.ones(fig1_dataset.n))
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), n=st.integers(1, 30))
+    def test_matches_brute_force(self, seed, n):
+        rng = np.random.default_rng(seed)
+        ds = make_random_dataset(rng, n, extent=40.0)
+        result = max_rs_oe(ds, 9.0, 7.0)
+        assert result.score == pytest.approx(brute_force_maxrs(ds, 9.0, 7.0))
+        # The returned region achieves the returned score.
+        enclosed = ds.count_in_region(result.region)
+        assert enclosed == pytest.approx(result.score)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), n=st.integers(1, 25))
+    def test_weighted(self, seed, n):
+        rng = np.random.default_rng(seed)
+        ds = make_random_dataset(rng, n, extent=40.0)
+        w = np.round(rng.uniform(0, 3, n), 3)
+        result = max_rs_oe(ds, 9.0, 7.0, weights=w)
+        assert result.score == pytest.approx(brute_force_maxrs(ds, 9.0, 7.0, w))
+
+
+class TestDSMaxRS:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), n=st.integers(1, 30))
+    def test_matches_oe(self, seed, n):
+        rng = np.random.default_rng(seed)
+        ds = make_random_dataset(rng, n, extent=40.0)
+        oe = max_rs_oe(ds, 9.0, 7.0)
+        ds_result = max_rs_ds(ds, 9.0, 7.0, settings=SMALL)
+        assert ds_result.score == pytest.approx(oe.score)
+        assert ds.count_in_region(ds_result.region) == pytest.approx(ds_result.score)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1))
+    def test_weighted_matches_oe(self, seed):
+        rng = np.random.default_rng(seed)
+        ds = make_random_dataset(rng, 20, extent=40.0)
+        w = np.round(rng.uniform(0, 3, 20), 3)
+        oe = max_rs_oe(ds, 9.0, 7.0, weights=w)
+        ds_result = max_rs_ds(ds, 9.0, 7.0, weights=w, settings=SMALL)
+        assert ds_result.score == pytest.approx(oe.score, abs=1e-9)
+
+    def test_empty_dataset(self, fig1_dataset):
+        empty = fig1_dataset.subset(np.zeros(fig1_dataset.n, dtype=bool))
+        assert max_rs_ds(empty, 1.0, 1.0).score == 0.0
+
+    def test_stats(self, fig1_dataset):
+        result, stats = max_rs_ds(
+            fig1_dataset, 4.0, 4.0, settings=SMALL, return_stats=True
+        )
+        assert result.score == 6.0  # the r1 cluster has six objects
+        assert stats.spaces_processed >= 1
+
+    def test_weight_validation(self, fig1_dataset):
+        with pytest.raises(ValueError):
+            max_rs_ds(fig1_dataset, 1.0, 1.0, weights=np.ones(2))
+        with pytest.raises(ValueError):
+            max_rs_ds(fig1_dataset, 1.0, 1.0, weights=-np.ones(fig1_dataset.n))

@@ -1,0 +1,111 @@
+"""Unit tests for the columnar spatial dataset."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CategoricalAttribute,
+    NumericAttribute,
+    Rect,
+    Schema,
+    SpatialDataset,
+)
+
+
+def small_dataset():
+    schema = Schema.of(
+        CategoricalAttribute("cat", ("a", "b")),
+        NumericAttribute("v"),
+    )
+    return SpatialDataset.from_columns(
+        xs=[0.0, 1.0, 2.0, 3.0],
+        ys=[0.0, 1.0, 2.0, 3.0],
+        schema=schema,
+        raw_columns={"cat": ["a", "b", "a", "b"], "v": [1.0, 2.0, 3.0, 4.0]},
+    )
+
+
+class TestConstruction:
+    def test_from_records(self, fig1_dataset):
+        assert fig1_dataset.n == 15
+        assert len(fig1_dataset) == 15
+
+    def test_mismatched_lengths_raise(self):
+        schema = Schema.of(NumericAttribute("v"))
+        with pytest.raises(ValueError):
+            SpatialDataset(
+                np.array([0.0, 1.0]), np.array([0.0]), schema, {"v": np.array([1.0])}
+            )
+
+    def test_missing_column_raises(self):
+        schema = Schema.of(NumericAttribute("v"))
+        with pytest.raises(ValueError, match="missing column"):
+            SpatialDataset(np.array([0.0]), np.array([0.0]), schema, {})
+
+    def test_bad_codes_raise(self):
+        schema = Schema.of(CategoricalAttribute("cat", ("a",)))
+        with pytest.raises(ValueError, match="outside the domain"):
+            SpatialDataset(
+                np.array([0.0]), np.array([0.0]), schema, {"cat": np.array([5])}
+            )
+
+    def test_column_length_mismatch_raises(self):
+        schema = Schema.of(NumericAttribute("v"))
+        with pytest.raises(ValueError, match="length"):
+            SpatialDataset(
+                np.array([0.0, 1.0]),
+                np.array([0.0, 1.0]),
+                schema,
+                {"v": np.array([1.0])},
+            )
+
+
+class TestRegionSemantics:
+    def test_strict_containment(self):
+        ds = small_dataset()
+        # Object at (1, 1) is strictly inside; (0,0) and (2,2) lie on edges.
+        mask = ds.mask_in_region(Rect(0.0, 0.0, 2.0, 2.0))
+        assert mask.tolist() == [False, True, False, False]
+
+    def test_count_in_region(self):
+        ds = small_dataset()
+        assert ds.count_in_region(Rect(-1.0, -1.0, 4.0, 4.0)) == 4
+        assert ds.count_in_region(Rect(10.0, 10.0, 11.0, 11.0)) == 0
+
+    def test_bounds(self):
+        ds = small_dataset()
+        assert ds.bounds() == Rect(0.0, 0.0, 3.0, 3.0)
+
+    def test_empty_bounds_raise(self):
+        schema = Schema.of(NumericAttribute("v"))
+        ds = SpatialDataset(np.array([]), np.array([]), schema, {"v": np.array([])})
+        with pytest.raises(ValueError):
+            ds.bounds()
+
+
+class TestViewsAndSubset:
+    def test_object_at_decodes(self):
+        ds = small_dataset()
+        obj = ds.object_at(1)
+        assert obj.x == 1.0 and obj.y == 1.0
+        assert obj["cat"] == "b"
+        assert obj["v"] == 2.0
+
+    def test_iteration(self):
+        ds = small_dataset()
+        cats = [o["cat"] for o in ds]
+        assert cats == ["a", "b", "a", "b"]
+
+    def test_subset_by_mask(self):
+        ds = small_dataset()
+        sub = ds.subset(ds.column("cat") == 0)
+        assert sub.n == 2
+        assert sub.column("v").tolist() == [1.0, 3.0]
+
+    def test_subset_by_indices(self):
+        ds = small_dataset()
+        sub = ds.subset(np.array([3, 0]))
+        assert sub.xs.tolist() == [3.0, 0.0]
+
+    def test_repr(self):
+        assert "SpatialDataset" in repr(small_dataset())

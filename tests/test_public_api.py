@@ -1,0 +1,51 @@
+"""The package-level public API must expose the documented entry points."""
+
+import pytest
+
+import repro
+
+
+class TestPublicExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_core_types_importable(self):
+        for name in (
+            "ASRSQuery",
+            "CompositeAggregator",
+            "DistributionAggregator",
+            "AverageAggregator",
+            "SumAggregator",
+            "Rect",
+            "Schema",
+            "SpatialDataset",
+            "WeightedLpDistance",
+        ):
+            assert hasattr(repro, name), name
+
+    def test_lazy_search_entry_points(self):
+        assert callable(repro.ds_search)
+        assert callable(repro.approximate_search)
+        assert callable(repro.gi_ds_search)
+        assert repro.SearchSettings is not None
+        assert repro.GridIndex is not None
+        assert callable(repro.max_rs_ds)
+        assert callable(repro.max_rs_oe)
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            repro.definitely_not_an_attribute
+
+    def test_lazy_and_direct_imports_agree(self):
+        from repro.dssearch import ds_search as direct
+
+        assert repro.ds_search is direct
+
+
+class TestEndToEndViaPublicApi:
+    def test_minimal_flow(self, fig1_dataset, fig1_regions, fig1_aggregator):
+        query = repro.ASRSQuery.from_region(
+            fig1_dataset, fig1_regions["rq"], fig1_aggregator
+        )
+        result = repro.ds_search(fig1_dataset, query)
+        assert result.distance == pytest.approx(0.0, abs=1e-9)

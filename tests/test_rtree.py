@@ -1,0 +1,118 @@
+"""Tests for the aggregate R-tree substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ChannelCompiler, Rect
+from repro.index.rtree import AggregateRTree
+
+from .conftest import make_random_dataset, random_aggregator
+
+
+class TestConstruction:
+    def test_basic_shape(self):
+        rng = np.random.default_rng(0)
+        ds = make_random_dataset(rng, 500)
+        tree = AggregateRTree(ds, leaf_capacity=16)
+        assert tree.height >= 2
+        assert tree.levels[-1].n == 1 or tree.height == 1
+        assert tree.n_nodes >= 500 // 16
+
+    def test_single_point(self):
+        rng = np.random.default_rng(1)
+        ds = make_random_dataset(rng, 1)
+        tree = AggregateRTree(ds)
+        assert tree.height == 1
+        assert tree.levels[0].n == 1
+
+    def test_validation(self):
+        rng = np.random.default_rng(2)
+        ds = make_random_dataset(rng, 5)
+        with pytest.raises(ValueError):
+            AggregateRTree(ds.subset(np.zeros(5, dtype=bool)))
+        with pytest.raises(ValueError):
+            AggregateRTree(ds, leaf_capacity=0)
+
+    def test_boxes_contain_children(self):
+        rng = np.random.default_rng(3)
+        ds = make_random_dataset(rng, 300)
+        tree = AggregateRTree(ds, leaf_capacity=8)
+        for upper, lower in zip(tree.levels[1:], tree.levels[:-1]):
+            for i in range(upper.n):
+                for c in range(upper.child_lo[i], upper.child_hi[i]):
+                    assert upper.x_min[i] <= lower.x_min[c]
+                    assert upper.x_max[i] >= lower.x_max[c]
+                    assert upper.y_min[i] <= lower.y_min[c]
+                    assert upper.y_max[i] >= lower.y_max[c]
+
+    def test_leaves_partition_points(self):
+        rng = np.random.default_rng(4)
+        ds = make_random_dataset(rng, 200)
+        tree = AggregateRTree(ds, leaf_capacity=10)
+        assert sorted(tree.point_order.tolist()) == list(range(200))
+
+
+class TestAugmentedQueries:
+    def test_wrong_dataset_rejected(self):
+        rng = np.random.default_rng(5)
+        ds = make_random_dataset(rng, 50)
+        other = ds.subset(np.arange(50))
+        tree = AggregateRTree(ds)
+        with pytest.raises(ValueError):
+            tree.augment(ChannelCompiler(other, random_aggregator()))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        n=st.integers(1, 120),
+        cap=st.integers(2, 32),
+    )
+    def test_range_sums_exact(self, seed, n, cap):
+        """Tree range sums equal the direct masked sums."""
+        rng = np.random.default_rng(seed)
+        ds = make_random_dataset(rng, n, extent=50.0)
+        compiler = ChannelCompiler(ds, random_aggregator())
+        tree = AggregateRTree(ds, leaf_capacity=cap).augment(compiler)
+        for _ in range(5):
+            x0, x1 = np.sort(rng.uniform(-5, 55, 2))
+            y0, y1 = np.sort(rng.uniform(-5, 55, 2))
+            region = Rect(float(x0), float(y0), float(x1), float(y1))
+            want = compiler.weights[ds.mask_in_region(region)].sum(axis=0)
+            got = tree.range_sums(region)
+            np.testing.assert_allclose(got, want, atol=1e-9)
+
+    def test_range_sums_open_semantics(self):
+        """Objects exactly on the region boundary are excluded."""
+        rng = np.random.default_rng(6)
+        ds = make_random_dataset(rng, 30, extent=10.0, snap=1.0)
+        compiler = ChannelCompiler(ds, random_aggregator())
+        tree = AggregateRTree(ds, leaf_capacity=4).augment(compiler)
+        x = float(ds.xs[0])
+        region = Rect(x, -100.0, x + 0.0001, 100.0)  # sliver at an object x
+        want = compiler.weights[ds.mask_in_region(region)].sum(axis=0)
+        np.testing.assert_allclose(tree.range_sums(region), want, atol=1e-9)
+
+    def test_bound_sums_ordering(self):
+        rng = np.random.default_rng(7)
+        ds = make_random_dataset(rng, 100, extent=50.0)
+        compiler = ChannelCompiler(ds, random_aggregator())
+        tree = AggregateRTree(ds, leaf_capacity=8).augment(compiler)
+        inner = Rect(20.0, 20.0, 30.0, 30.0)
+        outer = Rect(10.0, 10.0, 40.0, 40.0)
+        full, over = tree.bound_sums(inner, outer)
+        # Presence-like non-negative channels must be ordered.
+        counts_full = full[-1] if full.size else 0
+        counts_over = over[-1] if over.size else 0
+        assert counts_full <= counts_over + 1e-9
+
+    def test_bound_sums_degenerate_inner(self):
+        rng = np.random.default_rng(8)
+        ds = make_random_dataset(rng, 20, extent=50.0)
+        compiler = ChannelCompiler(ds, random_aggregator())
+        tree = AggregateRTree(ds, leaf_capacity=8).augment(compiler)
+        outer = Rect(0.0, 0.0, 50.0, 50.0)
+        full, over = tree.bound_sums(None, outer)
+        assert not full.any()
+        np.testing.assert_allclose(over, tree.range_sums(outer))

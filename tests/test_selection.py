@@ -1,0 +1,52 @@
+"""Unit tests for selection functions (gamma)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SelectAll, SelectByValue, SelectWhere
+
+
+class TestSelectAll:
+    def test_selects_everything(self, fig1_dataset):
+        assert SelectAll().mask(fig1_dataset).all()
+
+    def test_label(self):
+        assert SelectAll().label == "all"
+
+
+class TestSelectByValue:
+    def test_selects_matching_category(self, fig1_dataset):
+        mask = SelectByValue("category", "Apartment").mask(fig1_dataset)
+        assert int(mask.sum()) == 7  # 2 in rq, 3 in r1, 2 in r2
+
+    def test_label(self):
+        sel = SelectByValue("category", "Apartment")
+        assert sel.label == "category=Apartment"
+        assert sel.attribute == "category"
+        assert sel.value == "Apartment"
+
+    def test_unknown_value_raises(self, fig1_dataset):
+        with pytest.raises(KeyError):
+            SelectByValue("category", "Castle").mask(fig1_dataset)
+
+    def test_numeric_attribute_raises(self, fig1_dataset):
+        with pytest.raises(TypeError):
+            SelectByValue("price", 1.0).mask(fig1_dataset)
+
+
+class TestSelectWhere:
+    def test_predicate(self, fig1_dataset):
+        sel = SelectWhere(lambda ds: ds.column("price") > 2.5, "expensive")
+        mask = sel.mask(fig1_dataset)
+        assert int(mask.sum()) == 2  # prices 3.0 and 2.8
+        assert sel.label == "expensive"
+
+    def test_bad_predicate_shape_raises(self, fig1_dataset):
+        sel = SelectWhere(lambda ds: np.array([True]), "broken")
+        with pytest.raises(ValueError):
+            sel.mask(fig1_dataset)
+
+    def test_bad_predicate_dtype_raises(self, fig1_dataset):
+        sel = SelectWhere(lambda ds: ds.column("price"), "broken")
+        with pytest.raises(ValueError):
+            sel.mask(fig1_dataset)

@@ -1,0 +1,49 @@
+"""The sweep-line baseline must agree with the brute-force oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import brute_force_search
+from repro.baselines.sweepline import sweep_line_search
+from repro.core import ASRSQuery
+
+from .conftest import make_random_dataset, random_aggregator
+
+
+class TestSweepLine:
+    def test_fig1_exact_match(self, fig1_dataset, fig1_regions, fig1_aggregator):
+        query = ASRSQuery.from_region(
+            fig1_dataset, fig1_regions["rq"], fig1_aggregator
+        )
+        result = sweep_line_search(fig1_dataset, query)
+        assert result.distance == pytest.approx(0.0, abs=1e-9)
+
+    def test_empty_dataset(self, fig1_dataset, fig1_aggregator):
+        empty = fig1_dataset.subset(np.zeros(fig1_dataset.n, dtype=bool))
+        query = ASRSQuery.from_vector(1.0, 1.0, fig1_aggregator, [1, 0, 0, 0, 0])
+        assert sweep_line_search(empty, query).distance == pytest.approx(1.0)
+
+    def test_empty_region_optimum(self, fig1_dataset, fig1_aggregator):
+        query = ASRSQuery.from_vector(4.0, 4.0, fig1_aggregator, np.zeros(5))
+        result = sweep_line_search(fig1_dataset, query)
+        assert result.distance == pytest.approx(0.0, abs=1e-9)
+        assert fig1_dataset.count_in_region(result.region) == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), n=st.integers(1, 30))
+    def test_matches_brute_force(self, seed, n):
+        rng = np.random.default_rng(seed)
+        ds = make_random_dataset(rng, n, extent=60.0)
+        agg = random_aggregator()
+        dim = agg.dim(ds)
+        query = ASRSQuery.from_vector(
+            13.0, 9.0, agg, rng.uniform(0, 4, dim), weights=np.ones(dim)
+        )
+        expected = brute_force_search(ds, query)
+        result = sweep_line_search(ds, query)
+        assert result.distance == pytest.approx(expected.distance, abs=1e-6)
+        # Reported distance is achieved by the reported region.
+        true_dist = query.distance_of_region(ds, result.region)
+        assert true_dist == pytest.approx(result.distance, abs=1e-6)
