@@ -1,0 +1,180 @@
+"""Micro-benchmark of the zero-churn query engine (DESIGN.md §7).
+
+Times three ways of answering a batch of same-shaped ASRS queries on
+the Fig. 10 scalability workload (Tweet + POISyn, query size 10q):
+
+* **cold** -- one public ``gi_ds_search`` call per query, paying the
+  index build and every per-dataset precomputation each time;
+* **warm** -- a pre-warmed :class:`repro.engine.QuerySession`, one
+  ``solve`` per query;
+* **batch** -- ``QuerySession.solve_batch`` on a fresh session, i.e.
+  warm-path throughput *including* the one-off session warm-up.
+
+All three must return bitwise-identical results; the script fails if
+they do not.  Results land in ``BENCH_engine.json`` so the perf
+trajectory is tracked across PRs::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py --out BENCH_engine.json
+
+    # CI smoke (small sizes, seconds instead of minutes):
+    PYTHONPATH=src python benchmarks/bench_engine.py --smoke --out BENCH_engine.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+
+import numpy as np
+
+from repro.core.query import ASRSQuery
+from repro.data import (
+    generate_poisyn_dataset,
+    generate_tweet_dataset,
+    poisyn_query,
+    weekend_query,
+)
+from repro.engine import QuerySession
+from repro.experiments.datasets import SEED, paper_query_size
+from repro.index import gi_ds_search
+
+SIZE_FACTOR = 10  # the Fig. 10 query size, in units of q = extent/1000
+
+
+def make_queries(kind: str, n: int, n_queries: int) -> tuple:
+    """The Fig. 10 query plus mild (±10%) target perturbations.
+
+    Perturbing only the *target* models session traffic: many users ask
+    for regions similar to different examples, while the region size and
+    the aggregator -- everything the session memoizes -- stay shared.
+    """
+    if kind == "tweet":
+        dataset = generate_tweet_dataset(n, seed=SEED)
+        base = weekend_query(dataset, *paper_query_size(dataset, SIZE_FACTOR))
+    else:
+        dataset = generate_poisyn_dataset(n, seed=SEED)
+        base = poisyn_query(dataset, *paper_query_size(dataset, SIZE_FACTOR))
+    rng = np.random.default_rng(SEED)
+    queries = [base]
+    for _ in range(n_queries - 1):
+        target = base.query_rep * rng.uniform(0.9, 1.1, base.query_rep.shape)
+        queries.append(
+            ASRSQuery(base.width, base.height, base.aggregator, target, base.metric)
+        )
+    return dataset, queries
+
+
+def identical(a, b) -> bool:
+    return (
+        a.region == b.region
+        and a.distance == b.distance
+        and np.array_equal(a.representation, b.representation)
+    )
+
+
+def bench_config(kind: str, n: int, n_queries: int) -> dict:
+    dataset, queries = make_queries(kind, n, n_queries)
+    session = QuerySession(dataset)
+    granularity = session.granularity
+
+    # Cold: the public per-query API at the same configuration (the only
+    # configuration under which results are comparable bit-for-bit).
+    t0 = time.perf_counter()
+    cold = [gi_ds_search(dataset, q, granularity=granularity) for q in queries]
+    cold_s = time.perf_counter() - t0
+
+    # Warm: session caches populated by one untimed solve.
+    session.solve(queries[0])
+    t0 = time.perf_counter()
+    warm = [session.solve(q) for q in queries]
+    warm_s = time.perf_counter() - t0
+
+    # Batch: a fresh session, warm-up included in the measurement.
+    t0 = time.perf_counter()
+    batch = QuerySession(dataset).solve_batch(queries)
+    batch_s = time.perf_counter() - t0
+
+    ok = all(
+        identical(c, w) and identical(c, b)
+        for c, w, b in zip(cold, warm, batch)
+    )
+    return {
+        "kind": kind,
+        "n": n,
+        "n_queries": n_queries,
+        "granularity": list(granularity),
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "batch_s": round(batch_s, 4),
+        "speedup_warm": round(cold_s / warm_s, 2),
+        "speedup_batch": round(cold_s / batch_s, 2),
+        "identical": ok,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_engine.json")
+    parser.add_argument("--kinds", default="tweet,poisyn")
+    parser.add_argument("--sizes", default="5000,10000,20000,40000")
+    parser.add_argument("--queries", type=int, default=16)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny sizes for CI: checks identity + writes the JSON fast",
+    )
+    args = parser.parse_args(argv)
+
+    kinds = args.kinds.split(",")
+    sizes = [int(s) for s in args.sizes.split(",")]
+    n_queries = args.queries
+    if args.smoke:
+        sizes, n_queries = [2000], 4
+
+    configs = []
+    for kind in kinds:
+        for n in sizes:
+            cfg = bench_config(kind, n, n_queries)
+            configs.append(cfg)
+            print(
+                f"{kind} n={n}: cold {cfg['cold_s']}s warm {cfg['warm_s']}s "
+                f"batch {cfg['batch_s']}s -> warm {cfg['speedup_warm']}x "
+                f"batch {cfg['speedup_batch']}x identical={cfg['identical']}"
+            )
+
+    tot_cold = sum(c["cold_s"] for c in configs)
+    tot_warm = sum(c["warm_s"] for c in configs)
+    tot_batch = sum(c["batch_s"] for c in configs)
+    report = {
+        "benchmark": "engine",
+        "workload": f"fig10 size={SIZE_FACTOR}q",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "smoke": args.smoke,
+        "configs": configs,
+        "aggregate": {
+            "cold_s": round(tot_cold, 4),
+            "warm_s": round(tot_warm, 4),
+            "batch_s": round(tot_batch, 4),
+            "speedup_warm": round(tot_cold / tot_warm, 2),
+            "speedup_batch": round(tot_cold / tot_batch, 2),
+        },
+        "all_identical": all(c["identical"] for c in configs),
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+    print(
+        f"aggregate: warm {report['aggregate']['speedup_warm']}x, "
+        f"batch {report['aggregate']['speedup_batch']}x -> {args.out}"
+    )
+    if not report["all_identical"]:
+        print("FAIL: warm/batch results differ from the cold path", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

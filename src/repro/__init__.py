@@ -84,6 +84,10 @@ def __getattr__(name):
         from .index import gids as _gids
 
         return getattr(_gids, name)
+    if name == "QuerySession":
+        from .engine.session import QuerySession
+
+        return QuerySession
     if name in ("max_rs_ds", "max_rs_oe"):
         from .dssearch.maxrs import max_rs_ds
         from .baselines.maxrs_oe import max_rs_oe

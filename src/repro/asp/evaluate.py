@@ -69,16 +69,19 @@ def points_distances(
     xs = np.asarray(xs, dtype=np.float64)
     ys = np.asarray(ys, dtype=np.float64)
     if active is None:
-        active = np.arange(rects.n)
+        # Whole-set evaluation: skip the take()/gather, which would copy
+        # four n-sized coordinate columns per probe call.
+        sub, weights = rects, compiler.weights
     else:
         active = np.asarray(active)
-    sub = rects.take(active)
+        sub = rects.take(active)
+        weights = compiler.weights[active]
     cover = (
         (sub.x_min[np.newaxis, :] < xs[:, np.newaxis])
         & (xs[:, np.newaxis] < sub.x_max[np.newaxis, :])
         & (sub.y_min[np.newaxis, :] < ys[:, np.newaxis])
         & (ys[:, np.newaxis] < sub.y_max[np.newaxis, :])
     )
-    sums = cover.astype(np.float64) @ compiler.weights[active]
+    sums = cover.astype(np.float64) @ weights
     reps = compiler.rep_from_sums(sums)
     return query.metric.distance_many(reps, query.query_rep)

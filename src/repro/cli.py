@@ -20,11 +20,24 @@ Densest region of a given size::
 
     python -m repro.cli maxrs --data tweets.csv \
         --categorical day_of_week --numeric length --width 0.5 --height 0.25
+
+A batch of queries through one warm :class:`repro.engine.QuerySession`
+(index state shared across the whole batch)::
+
+    python -m repro.cli batch --data tweets.csv \
+        --categorical day_of_week --queries queries.json
+
+where ``queries.json`` holds shared defaults plus per-query overrides::
+
+    {"terms": ["fD:day_of_week"], "width": 0.5, "height": 0.25,
+     "queries": [{"target": [0,0,0,0,0,200,200]},
+                 {"target": [50,50,50,50,50,0,0]}]}
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
@@ -126,6 +139,57 @@ def cmd_search(args) -> int:
     return 0
 
 
+def cmd_batch(args) -> int:
+    from .engine import QuerySession
+
+    dataset = _load(args)
+    with open(args.queries) as fh:
+        spec = json.load(fh)
+    if "queries" not in spec:
+        raise SystemExit("queries file needs a top-level 'queries' list")
+
+    # One aggregator object per distinct term list: queries sharing it
+    # hit every QuerySession cache (compiler, channel tables, lattice).
+    aggregators: dict = {}
+    queries = []
+    for i, entry in enumerate(spec["queries"]):
+        term_specs = tuple(entry.get("terms", spec.get("terms", ())))
+        if not term_specs:
+            raise SystemExit(f"query #{i}: no terms (set them per query or shared)")
+        aggregator = aggregators.get(term_specs)
+        if aggregator is None:
+            aggregator = CompositeAggregator([parse_term(t) for t in term_specs])
+            aggregators[term_specs] = aggregator
+        width = entry.get("width", spec.get("width"))
+        height = entry.get("height", spec.get("height"))
+        if width is None or height is None:
+            raise SystemExit(f"query #{i}: missing width/height")
+        if "target" not in entry:
+            raise SystemExit(f"query #{i}: missing target")
+        target = np.asarray(entry["target"], dtype=np.float64)
+        dim = aggregator.dim(dataset)
+        if target.shape[0] != dim:
+            raise SystemExit(
+                f"query #{i}: target has {target.shape[0]} dims, aggregator has {dim}"
+            )
+        weights = entry.get("weights", spec.get("weights"))
+        queries.append(
+            ASRSQuery.from_vector(width, height, aggregator, target, weights=weights)
+        )
+
+    session = QuerySession(dataset)
+    results = session.solve_batch(queries, method=args.method)
+    for i, result in enumerate(results):
+        region = result.region
+        print(
+            f"query #{i} region=({region.x_min:.6g}, {region.y_min:.6g}, "
+            f"{region.x_max:.6g}, {region.y_max:.6g}) distance={result.distance:.6g}"
+        )
+    if args.verbose:
+        print(f"session: {session!r}")
+    return 0
+
+
 def cmd_maxrs(args) -> int:
     from .dssearch.maxrs import max_rs_ds
 
@@ -171,6 +235,19 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--topk", type=int, default=1)
     search.add_argument("--verbose", action="store_true")
     search.set_defaults(func=cmd_search)
+
+    batch = sub.add_parser(
+        "batch", help="run a batch of ASRS queries through one QuerySession"
+    )
+    batch.add_argument("--data", required=True, help="CSV with x,y,attr columns")
+    batch.add_argument("--categorical", action="append", default=[], metavar="COLUMN")
+    batch.add_argument("--numeric", action="append", default=[], metavar="COLUMN")
+    batch.add_argument(
+        "--queries", required=True, help="JSON file of query specs (see module doc)"
+    )
+    batch.add_argument("--method", choices=("gids", "ds"), default="gids")
+    batch.add_argument("--verbose", action="store_true")
+    batch.set_defaults(func=cmd_batch)
 
     maxrs = sub.add_parser("maxrs", help="find the densest region")
     add_data_args(maxrs)

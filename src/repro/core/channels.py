@@ -212,6 +212,7 @@ class ChannelCompiler:
             if columns
             else np.zeros((dataset.n, 0))
         )
+        self._weights_ext: np.ndarray | None = None
         self._rep_dim = rep_at
         self._avg_inputs = avg_inputs
 
@@ -228,6 +229,21 @@ class ChannelCompiler:
     def weights(self) -> np.ndarray:
         """Per-object channel weights, shape ``(n, n_channels)``."""
         return self._weights
+
+    @property
+    def weights_ext(self) -> np.ndarray:
+        """Weights with the presence channel appended, ``(n, C+1)``.
+
+        The discretization grid needs a weight-1 presence channel for
+        its clean/dirty classification; materializing it here once lets
+        every processed space gather one matrix instead of gathering and
+        re-concatenating per space.
+        """
+        if self._weights_ext is None:
+            self._weights_ext = np.concatenate(
+                [self._weights, np.ones((self._dataset.n, 1))], axis=1
+            )
+        return self._weights_ext
 
     @property
     def n_channels(self) -> int:

@@ -2,7 +2,7 @@
 
 from .approx import approximate_search
 from .drop import axis_accuracy, gps_accuracy, satisfies_drop_condition
-from .grid import DiscretizationGrid, GridAccumulation
+from .grid import BufferPool, DiscretizationGrid, GridAccumulation, axis_cell_range
 from .maxrs import MaxRSEngine, max_rs_ds
 from .search import DSSearchEngine, SearchSettings, SearchStats, ds_search
 from .split import SubSpace, split_space
@@ -15,6 +15,7 @@ from .structure import (
 from .topk import ds_search_topk, subtract_many
 
 __all__ = [
+    "BufferPool",
     "DSSearchEngine",
     "DiscretizationGrid",
     "GridAccumulation",
@@ -25,6 +26,7 @@ __all__ = [
     "SubSpace",
     "approximate_search",
     "axis_accuracy",
+    "axis_cell_range",
     "ds_search",
     "ds_search_topk",
     "gps_accuracy",

@@ -35,28 +35,83 @@ class CellRanges:
     over_hi: np.ndarray
 
 
+def axis_cell_range(
+    boundaries: np.ndarray,
+    lo: np.ndarray,
+    hi: np.ndarray,
+    n_cells: int,
+    kind: str = "full",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cell index range [a, b) fully / openly covered by each [lo_i, hi_i].
+
+    Cell ``i`` spans ``[boundaries[i], boundaries[i+1]]``.  ``"full"``
+    coverage is closure containment; ``"over"`` is open-interval
+    intersection, so a rectangle whose edge lies exactly on a cell border
+    does not touch the neighbouring cell.  Shared by the discretization
+    grid (per-rectangle ranges) and the GI-DS candidate lattice
+    (per-cell bounding/bounded region ranges).
+    """
+    if kind == "full":
+        a = boundaries.searchsorted(lo, side="left")
+        b = boundaries.searchsorted(hi, side="right") - 1
+    elif kind == "over":
+        a = boundaries.searchsorted(lo, side="right") - 1
+        b = boundaries.searchsorted(hi, side="left")
+    else:
+        raise ValueError(f"kind must be 'full' or 'over', got {kind!r}")
+    # Raw ufunc clamps: np.clip's dispatch overhead dominates at this
+    # call frequency (once per processed space).
+    for arr in (a, b):
+        np.maximum(arr, 0, out=arr)
+        np.minimum(arr, n_cells, out=arr)
+    np.maximum(b, a, out=b)
+    return a, b
+
+
 def _axis_ranges(
     boundaries: np.ndarray, lo: np.ndarray, hi: np.ndarray, n_cells: int
 ) -> CellRanges:
-    """Cell index ranges [lo, hi) fully / openly covered by [lo_i, hi_i].
-
-    Cell ``i`` spans ``[boundaries[i], boundaries[i+1]]``.  Full coverage
-    is closure containment; overlap is open-interval intersection, so a
-    rectangle whose edge lies exactly on a cell border does not touch
-    the neighbouring cell.
-    """
-    full_lo = boundaries.searchsorted(lo, side="left")
-    full_hi = boundaries.searchsorted(hi, side="right") - 1
-    over_lo = boundaries.searchsorted(lo, side="right") - 1
-    over_hi = boundaries.searchsorted(hi, side="left")
-    # Raw ufunc clamps: np.clip's dispatch overhead dominates at this
-    # call frequency (once per processed space).
-    for arr in (full_lo, full_hi, over_lo, over_hi):
-        np.maximum(arr, 0, out=arr)
-        np.minimum(arr, n_cells, out=arr)
-    np.maximum(full_hi, full_lo, out=full_hi)
-    np.maximum(over_hi, over_lo, out=over_hi)
+    """Both coverage kinds for one axis (see :func:`axis_cell_range`)."""
+    full_lo, full_hi = axis_cell_range(boundaries, lo, hi, n_cells, "full")
+    over_lo, over_hi = axis_cell_range(boundaries, lo, hi, n_cells, "over")
     return CellRanges(full_lo, full_hi, over_lo, over_hi)
+
+
+#: Read-only ``arange`` cache: every grid needs ``0..n`` multipliers for
+#: its boundary arrays, and grid shapes repeat heavily within a search.
+_ARANGE_CACHE: dict = {}
+
+
+def _arange(n: int) -> np.ndarray:
+    arr = _ARANGE_CACHE.get(n)
+    if arr is None:
+        arr = np.arange(n, dtype=np.float64)
+        arr.setflags(write=False)
+        _ARANGE_CACHE[n] = arr
+    return arr
+
+
+class BufferPool:
+    """Recycles float64 scratch buffers keyed by length.
+
+    DS-Search builds one short-lived grid per processed space; its
+    boundary buffers are dead the moment the space is processed, so an
+    engine-owned pool turns thousands of allocations into a handful.
+    Buffers must only be returned (:meth:`give`) once nothing references
+    them anymore.
+    """
+
+    def __init__(self) -> None:
+        self._free: dict[int, list] = {}
+
+    def take(self, n: int) -> np.ndarray:
+        stack = self._free.get(n)
+        if stack:
+            return stack.pop()
+        return np.empty(n, dtype=np.float64)
+
+    def give(self, arr: np.ndarray) -> None:
+        self._free.setdefault(arr.shape[0], []).append(arr)
 
 
 def _corner_keys(
@@ -81,9 +136,12 @@ def _accumulate_both(
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Difference-array accumulation of full and over sums in one pass.
 
-    The full and over accumulations share one composite-key ``bincount``
-    (offsetting the over keys by one table length), halving the numpy
-    call count on the hottest path of the whole package.
+    The full and over accumulations share one corner-key array per
+    coverage kind and one ``bincount`` per channel (offsetting the over
+    keys by one table length).  Channels are scattered from a
+    channel-major signed-weight block: expanding composite
+    ``key*channel`` arrays instead costs an extra ``8·m·C`` integer and
+    float temp on the hottest path of the whole package.
     """
     n_channels = weights.shape[1]
     padded = (nrow + 1) * (ncol + 1)
@@ -100,15 +158,29 @@ def _accumulate_both(
 
     w_f = weights if keep_f.all() else weights[keep_f]
     w_o = weights if keep_o.all() else weights[keep_o]
-    signed = np.concatenate([w_f, -w_f, -w_f, w_f, w_o, -w_o, -w_o, w_o])
+    m_f, m_o = w_f.shape[0], w_o.shape[0]
+    # Channel-major signed weights: row ``ch`` is the contiguous
+    # bincount weight vector for channel ``ch``.
+    signed = np.empty((n_channels, 4 * m_f + 4 * m_o))
+    wt_f, wt_o = w_f.T, w_o.T
+    signed[:, 0 * m_f : 1 * m_f] = wt_f
+    np.negative(wt_f, out=signed[:, 1 * m_f : 2 * m_f])
+    signed[:, 2 * m_f : 3 * m_f] = signed[:, m_f : 2 * m_f]
+    signed[:, 3 * m_f : 4 * m_f] = wt_f
+    base = 4 * m_f
+    signed[:, base + 0 * m_o : base + 1 * m_o] = wt_o
+    np.negative(wt_o, out=signed[:, base + 1 * m_o : base + 2 * m_o])
+    signed[:, base + 2 * m_o : base + 3 * m_o] = signed[:, base + m_o : base + 2 * m_o]
+    signed[:, base + 3 * m_o : base + 4 * m_o] = wt_o
     flat = np.concatenate([flat_f, flat_o + padded])
-    keys = (flat[:, np.newaxis] * n_channels + np.arange(n_channels)).ravel()
-    acc = np.bincount(
-        keys, weights=signed.ravel(), minlength=2 * padded * n_channels
-    )
-    acc = acc.reshape(2, nrow + 1, ncol + 1, n_channels)
-    acc = acc.cumsum(axis=1).cumsum(axis=2)
-    return acc[0, :nrow, :ncol], acc[1, :nrow, :ncol]
+    acc = np.empty((n_channels, 2 * padded))
+    for ch in range(n_channels):
+        acc[ch] = np.bincount(flat, weights=signed[ch], minlength=2 * padded)
+    acc = acc.reshape(n_channels, 2, nrow + 1, ncol + 1)
+    acc = acc.cumsum(axis=2).cumsum(axis=3)
+    full = np.ascontiguousarray(np.moveaxis(acc[:, 0, :nrow, :ncol], 0, -1))
+    over = np.ascontiguousarray(np.moveaxis(acc[:, 1, :nrow, :ncol], 0, -1))
+    return full, over
 
 
 @dataclass
@@ -127,7 +199,9 @@ class GridAccumulation:
 class DiscretizationGrid:
     """An ``nrow x ncol`` grid over a space."""
 
-    def __init__(self, space: Rect, ncol: int, nrow: int) -> None:
+    def __init__(
+        self, space: Rect, ncol: int, nrow: int, pool: BufferPool | None = None
+    ) -> None:
         if ncol < 1 or nrow < 1:
             raise ValueError("grid must have at least one row and column")
         if space.width <= 0 or space.height <= 0:
@@ -139,13 +213,35 @@ class DiscretizationGrid:
         self.space = space
         self.ncol = ncol
         self.nrow = nrow
-        # arange-based boundaries: linspace's dispatch is measurable at
-        # one grid per processed space.  The last boundary is pinned to
-        # the space edge to avoid accumulation drift.
-        self.xs = space.x_min + np.arange(ncol + 1) * (space.width / ncol)
-        self.xs[-1] = space.x_max
-        self.ys = space.y_min + np.arange(nrow + 1) * (space.height / nrow)
-        self.ys[-1] = space.y_max
+        self._pool = pool
+        self._centers: Tuple[np.ndarray, np.ndarray] | None = None
+        # Cached-arange boundaries written into pooled buffers: the grid
+        # is the per-space allocation hot spot, and linspace/arange
+        # dispatch is measurable at one grid per processed space.  The
+        # last boundary is pinned to the space edge to avoid
+        # accumulation drift.
+        self.xs = self._boundaries(space.x_min, space.x_max, space.width, ncol)
+        self.ys = self._boundaries(space.y_min, space.y_max, space.height, nrow)
+
+    def _boundaries(self, lo: float, hi: float, extent: float, n: int) -> np.ndarray:
+        buf = self._pool.take(n + 1) if self._pool is not None else np.empty(n + 1)
+        np.multiply(_arange(n + 1), extent / n, out=buf)
+        buf += lo
+        buf[-1] = hi
+        return buf
+
+    def release(self) -> None:
+        """Return the boundary buffers to the pool.
+
+        Only call once the grid (and anything holding views into its
+        boundary arrays) is no longer used; the engine does this at the
+        end of each processed space.
+        """
+        if self._pool is not None:
+            self._pool.give(self.xs)
+            self._pool.give(self.ys)
+            self._pool = None
+            self.xs = self.ys = None  # fail fast on use-after-release
 
     @property
     def cell_width(self) -> float:
@@ -165,12 +261,21 @@ class DiscretizationGrid:
         )
 
     def cell_centers(self) -> Tuple[np.ndarray, np.ndarray]:
-        """(cx, cy) arrays of shape (nrow, ncol)."""
-        cx = (self.xs[:-1] + self.xs[1:]) / 2.0
-        cy = (self.ys[:-1] + self.ys[1:]) / 2.0
-        return np.broadcast_to(cx, (self.nrow, self.ncol)), np.broadcast_to(
-            cy[:, np.newaxis], (self.nrow, self.ncol)
-        )
+        """(cx, cy) arrays of shape (nrow, ncol), memoized.
+
+        The search consults centers up to twice per space (clean-cell
+        incumbent update, then dirty-cell probing); the memo halves that.
+        The returned arrays do not alias the boundary buffers, so they
+        stay valid after :meth:`release`.
+        """
+        if self._centers is None:
+            cx = (self.xs[:-1] + self.xs[1:]) / 2.0
+            cy = (self.ys[:-1] + self.ys[1:]) / 2.0
+            self._centers = (
+                np.broadcast_to(cx, (self.nrow, self.ncol)),
+                np.broadcast_to(cy[:, np.newaxis], (self.nrow, self.ncol)),
+            )
+        return self._centers
 
     def mbr_of_cells(self, rows: np.ndarray, cols: np.ndarray) -> Rect:
         """MBR of a set of cells given by parallel row/col index arrays."""
@@ -190,20 +295,27 @@ class DiscretizationGrid:
         active: np.ndarray,
         weights: np.ndarray,
         _taken: RectSet | None = None,
+        _has_presence: bool = False,
     ) -> GridAccumulation:
         """Channel sums for the active rectangles, plus dirty flags.
 
         ``weights`` must align with *dataset* rows; ``active`` selects the
         rectangle/object indices participating in this space.  An extra
         presence channel (weight 1 per rectangle) is appended internally
-        to drive the clean/dirty classification.  ``_taken`` lets callers
-        that already materialized ``rects.take(active)`` avoid a second
+        to drive the clean/dirty classification -- unless
+        ``_has_presence`` declares it is already the last ``weights``
+        column (the engine passes the compiler's cached extended matrix,
+        saving a per-space concatenation).  ``_taken`` lets callers that
+        already materialized ``rects.take(active)`` avoid a second
         gather.
         """
         active = np.asarray(active)
         sub = _taken if _taken is not None else rects.take(active)
-        w = weights[active]
-        w_ext = np.concatenate([w, np.ones((w.shape[0], 1))], axis=1)
+        if _has_presence:
+            w_ext = weights[active]
+        else:
+            w = weights[active]
+            w_ext = np.concatenate([w, np.ones((w.shape[0], 1))], axis=1)
         cols = _axis_ranges(self.xs, sub.x_min, sub.x_max, self.ncol)
         rows = _axis_ranges(self.ys, sub.y_min, sub.y_max, self.nrow)
         full, over = _accumulate_both(rows, cols, w_ext, self.nrow, self.ncol)

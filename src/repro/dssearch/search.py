@@ -38,8 +38,14 @@ from ..core.objects import SpatialDataset
 from ..core.query import ASRSQuery, RegionResult
 from .bounds import dirty_cell_lower_bounds
 from .drop import gps_accuracy, satisfies_drop_condition
-from .grid import DiscretizationGrid
+from .grid import BufferPool, DiscretizationGrid, GridAccumulation
 from .split import split_space
+
+
+def _ragged_arange(counts: np.ndarray) -> np.ndarray:
+    """Concatenation of ``arange(c)`` for each ``c`` in ``counts``."""
+    starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
+    return np.arange(int(counts.sum())) - np.repeat(starts, counts)
 
 
 @dataclass(frozen=True)
@@ -118,6 +124,11 @@ class DSSearchEngine:
         settings: SearchSettings | None = None,
         compiler: ChannelCompiler | None = None,
         delta: float = 0.0,
+        *,
+        rects: RectSet | None = None,
+        accuracy: tuple[float, float] | None = None,
+        empty_rep: np.ndarray | None = None,
+        pool: BufferPool | None = None,
     ) -> None:
         if delta < 0:
             raise ValueError("delta must be non-negative")
@@ -126,10 +137,19 @@ class DSSearchEngine:
         self.settings = settings or SearchSettings()
         self.compiler = compiler or ChannelCompiler(dataset, query.aggregator)
         self.delta = delta
-        self.rects: RectSet = reduce_to_asp(
-            dataset, query.width, query.height, self.settings.anchor
+        # The keyword-only parameters are the warm path of
+        # :class:`~repro.engine.QuerySession`: a session hands in its
+        # memoized ASP reduction, GPS accuracy, empty representation and
+        # scratch-buffer pool so repeat queries skip every O(n)
+        # precomputation.  Each defaults to the cold computation.
+        self.rects: RectSet = (
+            rects
+            if rects is not None
+            else reduce_to_asp(
+                dataset, query.width, query.height, self.settings.anchor
+            )
         )
-        dx, dy = gps_accuracy(self.rects)
+        dx, dy = accuracy if accuracy is not None else gps_accuracy(self.rects)
         # Floor the accuracies: splitting below the floor is replaced by
         # the exact per-cell edge enumeration, so results stay exact
         # while tie plateaus (many positionally distinct regions with
@@ -143,9 +163,11 @@ class DSSearchEngine:
             floor_y = self.settings.resolution_factor * query.height
         self.delta_x, self.delta_y = max(dx, floor_x), max(dy, floor_y)
         self.stats = SearchStats()
+        self._pool = pool if pool is not None else BufferPool()
 
         # Seed: the empty region is always a valid answer.
-        empty_rep = query.aggregator.empty_representation(dataset)
+        if empty_rep is None:
+            empty_rep = query.aggregator.empty_representation(dataset)
         self.best_distance = query.distance_to(empty_rep)
         if dataset.n:
             bounds = self.rects.bounds()
@@ -169,8 +191,48 @@ class DSSearchEngine:
         return RegionResult(region=region, distance=self.best_distance, representation=rep)
 
     # ------------------------------------------------------------------
-    def search_space(self, space: Rect, space_lb: float, active: np.ndarray) -> None:
-        """Run the discretize-split loop on one space."""
+    def level0_accumulation(
+        self, space: Rect, active: np.ndarray, sub: RectSet
+    ) -> GridAccumulation:
+        """The root-space grid accumulation, computed standalone.
+
+        Deterministic in ``(space, active, weights)`` and independent of
+        the query target, so GI-DS sessions memoize it per searched
+        index cell (DESIGN.md §7.1) and seed :meth:`search_space` with
+        the result; the seeded search is bit-for-bit the search that
+        would have recomputed it.
+        """
+        ncol, nrow = self.settings.grid_shape(active.size)
+        grid = DiscretizationGrid(space, ncol, nrow, pool=self._pool)
+        try:
+            return grid.accumulate(
+                self.rects,
+                active,
+                self.compiler.weights_ext,
+                _taken=sub,
+                _has_presence=True,
+            )
+        finally:
+            grid.release()
+
+    def search_space(
+        self,
+        space: Rect,
+        space_lb: float,
+        active: np.ndarray,
+        seed: tuple | None = None,
+    ) -> None:
+        """Run the discretize-split loop on one space.
+
+        Heap entries carry either a concrete active-index array or a
+        lazy ``(parent_rects, parent_active)`` pair; the child's indices
+        are materialized only when the entry is actually popped below
+        the threshold, so entries pruned by a shrinking incumbent never
+        pay for the overlap test or the index copy.
+
+        ``seed`` optionally provides the root space's
+        ``(sub_rects, accumulation)`` from :meth:`level0_accumulation`.
+        """
         if active.size == 0:
             return
         heap: list = []
@@ -178,10 +240,16 @@ class DSSearchEngine:
             heap, (space_lb, next(self._tiebreak), space, active, 0)
         )
         while heap:
-            lb, _, space, active, depth = heapq.heappop(heap)
+            lb, _, space, payload, depth = heapq.heappop(heap)
             if lb >= self._threshold():
                 break
-            self._process_space(heap, space, active, depth)
+            if type(payload) is tuple:
+                parent_sub, parent_active = payload
+                payload = parent_active[parent_sub.overlap_mask(space)]
+            if payload.size == 0:
+                continue
+            self._process_space(heap, space, payload, depth, seed=seed)
+            seed = None  # only the root space is precomputed
 
     def _threshold(self) -> float:
         """Bound below which a cell/space can still improve the result.
@@ -199,6 +267,7 @@ class DSSearchEngine:
         space: Rect,
         active: np.ndarray,
         depth: int,
+        seed: tuple | None = None,
     ) -> None:
         st = self.stats
         st.spaces_processed += 1
@@ -206,9 +275,35 @@ class DSSearchEngine:
         settings = self.settings
 
         ncol, nrow = settings.grid_shape(active.size)
-        grid = DiscretizationGrid(space, ncol, nrow)
-        sub = self.rects.take(active)
-        acc = grid.accumulate(self.rects, active, self.compiler.weights, _taken=sub)
+        grid = DiscretizationGrid(space, ncol, nrow, pool=self._pool)
+        try:
+            self._discretize_and_expand(heap, grid, active, depth, seed)
+        finally:
+            # The grid's boundary buffers are dead once the space is
+            # processed (children carry plain floats); recycle them.
+            grid.release()
+
+    def _discretize_and_expand(
+        self,
+        heap: list,
+        grid: DiscretizationGrid,
+        active: np.ndarray,
+        depth: int,
+        seed: tuple | None = None,
+    ) -> None:
+        st = self.stats
+        settings = self.settings
+        if seed is not None:
+            sub, acc = seed
+        else:
+            sub = self.rects.take(active)
+            acc = grid.accumulate(
+                self.rects,
+                active,
+                self.compiler.weights_ext,
+                _taken=sub,
+                _has_presence=True,
+            )
 
         # Clean cells: exact distances; best center updates the incumbent.
         clean = acc.clean
@@ -250,6 +345,9 @@ class DSSearchEngine:
         # Probe the most promising dirty cells' centers: an exact point
         # evaluation is cheap and an early incumbent improvement prunes
         # whole subtrees that splitting would otherwise have to visit.
+        # The post-probe re-prune is fused with the drop/split dispatch:
+        # the surviving arrays are filtered exactly once here, and both
+        # the exact resolution and the split consume them as-is.
         n_probe = min(settings.probe_dirty_cells, lbs.size)
         if n_probe:
             probe = np.argpartition(lbs, n_probe - 1)[:n_probe]
@@ -268,11 +366,12 @@ class DSSearchEngine:
                 keep = lbs < self._threshold()
                 if not keep.any():
                     return
-                dirty_rows, dirty_cols, lbs = (
-                    dirty_rows[keep],
-                    dirty_cols[keep],
-                    lbs[keep],
-                )
+                if not keep.all():
+                    dirty_rows, dirty_cols, lbs = (
+                        dirty_rows[keep],
+                        dirty_cols[keep],
+                        lbs[keep],
+                    )
 
         drop = (
             satisfies_drop_condition(
@@ -282,7 +381,7 @@ class DSSearchEngine:
             or depth >= settings.max_depth
         )
         if drop:
-            self._resolve_cells_exactly(grid, dirty_rows, dirty_cols, lbs, active, sub)
+            self._resolve_cells_exactly(grid, dirty_rows, dirty_cols, active, sub)
             return
 
         st.splits += 1
@@ -292,16 +391,15 @@ class DSSearchEngine:
         for child in children:
             if child.lower_bound >= self._threshold():
                 continue
-            child_active = active[sub.overlap_mask(child.space)]
-            if child_active.size == 0:
-                continue
+            # Lazy payload: the child's active indices are derived from
+            # (sub, active) only if the entry survives to its pop.
             heapq.heappush(
                 heap,
                 (
                     child.lower_bound,
                     next(self._tiebreak),
                     child.space,
-                    child_active,
+                    (sub, active),
                     depth + 1,
                 ),
             )
@@ -312,7 +410,6 @@ class DSSearchEngine:
         grid: DiscretizationGrid,
         rows: np.ndarray,
         cols: np.ndarray,
-        lbs: np.ndarray,
         active: np.ndarray,
         sub: RectSet,
     ) -> None:
@@ -321,32 +418,26 @@ class DSSearchEngine:
         Every surviving dirty cell is cut by the rectangle edges crossing
         its interior into uniform sub-cells; the candidate points of all
         cells are evaluated against the active rectangles in one batch.
+        The caller has already pruned ``rows``/``cols`` against the
+        current threshold (the re-prune is fused into the dispatch).
         """
         st = self.stats
-        keep = lbs < self._threshold()
-        if not keep.any():
-            return
-        rows, cols = rows[keep], cols[keep]
         st.resolved_dirty_cells += rows.size
-        all_px, all_py = [], []
-        for row, col in zip(rows, cols):
-            cell = grid.cell_rect(int(row), int(col))
-            in_cell = sub.overlap_mask(cell)
-            xs = self._cut_points(
-                np.concatenate([sub.x_min[in_cell], sub.x_max[in_cell]]),
-                cell.x_min,
-                cell.x_max,
-            )
-            ys = self._cut_points(
-                np.concatenate([sub.y_min[in_cell], sub.y_max[in_cell]]),
-                cell.y_min,
-                cell.y_max,
-            )
-            px, py = np.meshgrid(xs, ys)
-            all_px.append(px.ravel())
-            all_py.append(py.ravel())
-        px = np.concatenate(all_px)
-        py = np.concatenate(all_py)
+        # Chunk the cell batch so the (cells x 2·active) scratch
+        # matrices stay bounded even when a depth-capped space drops
+        # with a huge active set.
+        cell_chunk = max(1, 2_000_000 // max(1, 2 * sub.n))
+        if rows.size > cell_chunk:
+            parts = [
+                self._candidate_points(
+                    grid, rows[s : s + cell_chunk], cols[s : s + cell_chunk], sub
+                )
+                for s in range(0, rows.size, cell_chunk)
+            ]
+            px = np.concatenate([p[0] for p in parts])
+            py = np.concatenate([p[1] for p in parts])
+        else:
+            px, py = self._candidate_points(grid, rows, cols, sub)
         st.candidate_points_evaluated += px.size
         # Chunk so the (points x active) coverage matrix stays small.
         chunk = max(1, 4_000_000 // max(1, active.size))
@@ -362,11 +453,87 @@ class DSSearchEngine:
                 st.incumbent_updates += 1
 
     @staticmethod
-    def _cut_points(edges: np.ndarray, lo: float, hi: float) -> np.ndarray:
-        """Midpoints of the intervals the edges induce inside (lo, hi)."""
-        inside = np.unique(edges[(edges > lo) & (edges < hi)])
-        cuts = np.concatenate([[lo], inside, [hi]])
-        return (cuts[:-1] + cuts[1:]) / 2.0
+    def _candidate_points(
+        grid: DiscretizationGrid,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        sub: RectSet,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Candidate points of all cells' edge-induced sub-cells, batched.
+
+        For every cell, the rectangle edges crossing its interior cut it
+        into sub-intervals per axis; the candidate points are the cross
+        products of the interval midpoints (cell borders included as cut
+        ends, duplicate edges deduplicated, matching the open-face
+        midpoint convention shared with the brute-force oracles).  The
+        whole batch is computed with ragged-array arithmetic -- numpy
+        passes over a ``(cells, 2·active)`` matrix per axis -- because a
+        per-cell Python loop here was the single largest slice of the
+        search runtime.
+        """
+
+        def axis_mids(values: np.ndarray, sel: np.ndarray, lo: np.ndarray,
+                      hi: np.ndarray):
+            # values: (2m,) edge coordinates; sel: (k, 2m) edges strictly
+            # inside each cell; lo/hi: (k,) cell borders.  Returns the
+            # (k, 2m+1) midpoint matrix and the per-cell midpoint count.
+            k = lo.shape[0]
+            vals = np.where(sel, values[np.newaxis, :], np.inf)
+            vals.sort(axis=1)
+            # Dedup within each row: repeats (and the inf padding, where
+            # inf == inf) become padding, and a second sort compacts the
+            # survivors to the row front.
+            vals[:, 1:][vals[:, 1:] == vals[:, :-1]] = np.inf
+            vals.sort(axis=1)
+            counts = np.isfinite(vals).sum(axis=1) + 1
+            np.minimum(vals, hi[:, np.newaxis], out=vals)  # padding -> hi
+            left = np.empty((k, vals.shape[1] + 1))
+            left[:, 0] = lo
+            left[:, 1:] = vals
+            right = np.empty_like(left)
+            right[:, :-1] = vals
+            right[:, -1] = hi
+            mids = left
+            mids += right
+            mids *= 0.5
+            return mids, counts
+
+        gxs, gys = grid.xs, grid.ys
+        ex = np.concatenate([sub.x_min, sub.x_max])
+        ey = np.concatenate([sub.y_min, sub.y_max])
+        lox, hix = gxs[cols], gxs[cols + 1]
+        loy, hiy = gys[rows], gys[rows + 1]
+        # Rectangles overlapping each cell, then their edges strictly
+        # inside the cell, all as (cells, 2·active) masks.
+        xov = (sub.x_min[np.newaxis, :] < hix[:, np.newaxis]) & (
+            lox[:, np.newaxis] < sub.x_max[np.newaxis, :]
+        )
+        yov = (sub.y_min[np.newaxis, :] < hiy[:, np.newaxis]) & (
+            loy[:, np.newaxis] < sub.y_max[np.newaxis, :]
+        )
+        ov = xov & yov
+        ov2 = np.concatenate([ov, ov], axis=1)
+        in_x = ov2 & (ex[np.newaxis, :] > lox[:, np.newaxis]) & (
+            ex[np.newaxis, :] < hix[:, np.newaxis]
+        )
+        in_y = ov2 & (ey[np.newaxis, :] > loy[:, np.newaxis]) & (
+            ey[np.newaxis, :] < hiy[:, np.newaxis]
+        )
+        mx, nx = axis_mids(ex, in_x, lox, hix)
+        my, ny = axis_mids(ey, in_y, loy, hiy)
+
+        # Ragged cross product: cell c contributes nx[c]·ny[c] points,
+        # x-major within each y (tile xs per y, repeat each y nx times).
+        per_cell = nx * ny
+        n_points = int(per_cell.sum())
+        width = mx.shape[1]
+        flat_y = my[np.arange(ny.size).repeat(ny), _ragged_arange(ny)]
+        py = np.repeat(flat_y, np.repeat(nx, ny))
+        cell_of = np.repeat(np.arange(per_cell.size), per_cell)
+        starts = np.concatenate([[0], np.cumsum(per_cell)[:-1]])
+        within = np.arange(n_points) - np.repeat(starts, per_cell)
+        px = mx.ravel()[cell_of * width + within % np.repeat(nx, per_cell)]
+        return px, py
 
 
 def ds_search(

@@ -112,17 +112,20 @@ def split_space(
 
     g1 = [x0[s1], y0[s1], x1[s1], y1[s1]]
     g2 = [x0[s2], y0[s2], x1[s2], y1[s2]]
-    group = np.zeros(k, dtype=np.int8)
-    group[s1], group[s2] = 1, 2
 
     # Assign the most-constrained cells first: large |d1 - d2| means the
-    # cell clearly belongs to one seed's neighbourhood.
+    # cell clearly belongs to one seed's neighbourhood.  Group keys and
+    # minimum lower bounds are tracked inside the loop -- the former
+    # boolean-mask reductions were two extra passes over arrays this
+    # function has already walked.
     d1 = (cx - cx[s1]) ** 2 + (cy - cy[s1]) ** 2
     d2 = (cx - cx[s2]) ** 2 + (cy - cy[s2]) ** 2
     order = np.argsort(-np.abs(d1 - d2), kind="stable")
     x0l, y0l, x1l, y1l = x0.tolist(), y0.tolist(), x1.tolist(), y1.tolist()
+    lbl = lbs.tolist()
+    lb1, lb2 = lbl[s1], lbl[s2]
     for i in order.tolist():
-        if group[i]:
+        if i == s1 or i == s2:
             continue
         cx0, cy0, cx1, cy1 = x0l[i], y0l[i], x1l[i], y1l[i]
         area1 = (g1[2] - g1[0]) * (g1[3] - g1[1])
@@ -135,14 +138,14 @@ def split_space(
         )
         if grown1 - area1 > grown2 - area2:
             g2 = [min(g2[0], cx0), min(g2[1], cy0), max(g2[2], cx1), max(g2[3], cy1)]
-            group[i] = 2
+            lb2 = min(lb2, lbl[i])
         else:
             g1 = [min(g1[0], cx0), min(g1[1], cy0), max(g1[2], cx1), max(g1[3], cy1)]
-            group[i] = 1
+            lb1 = min(lb1, lbl[i])
 
     children = [
-        SubSpace(Rect(*g1), float(lbs[group == 1].min())),
-        SubSpace(Rect(*g2), float(lbs[group == 2].min())),
+        SubSpace(Rect(*g1), float(lb1)),
+        SubSpace(Rect(*g2), float(lb2)),
     ]
 
     # Termination guard: if the heuristic failed to shrink the space,

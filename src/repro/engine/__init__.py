@@ -1,0 +1,13 @@
+"""The zero-churn query engine (DESIGN.md §7).
+
+:class:`QuerySession` binds a dataset once, memoizes every
+query-independent artefact (grid index, channel tables, compilers, ASP
+reductions, bound contexts), and serves single queries (:meth:`solve`)
+or batches (:meth:`solve_batch`) with answers bitwise-identical to the
+cold :func:`~repro.dssearch.ds_search` / :func:`~repro.index.gi_ds_search`
+paths.
+"""
+
+from .session import QuerySession
+
+__all__ = ["QuerySession"]

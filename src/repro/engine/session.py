@@ -1,0 +1,315 @@
+"""The zero-churn query engine: a dataset-bound :class:`QuerySession`.
+
+Serving many ASRS queries over one dataset repeats a lot of work that
+depends only on the dataset (or on coarse query parameters), not on the
+query target: the grid index and its channel suffix tables, the channel
+compilation of each aggregator, the ASP reduction for each region size,
+the GPS accuracies, the bound contexts, and the empty-region seed.  A
+cold :func:`~repro.dssearch.ds_search` / :func:`~repro.index.gi_ds_search`
+call recomputes all of it per query.
+
+A :class:`QuerySession` binds a dataset once and memoizes every one of
+those artefacts (DESIGN.md §7):
+
+* the :class:`~repro.index.GridIndex` (built lazily on the first GI-DS
+  solve);
+* one :class:`~repro.core.channels.ChannelCompiler` per aggregator;
+* the index channel suffix table and full-dataset
+  :class:`~repro.core.channels.BoundContext` per compiler;
+* the ASP :class:`~repro.asp.rectset.RectSet` and its GPS accuracy per
+  ``(width, height, anchor)``;
+* the empty representation per aggregator;
+* the candidate-lattice interval bounds and the level-0 state (active
+  set + root grid accumulation) of every searched lattice cell, per
+  ``(width, height, aggregator)``;
+* one shared :class:`~repro.dssearch.grid.BufferPool` of grid scratch
+  buffers.
+
+Caches key aggregators by object identity: reusing the *same*
+aggregator object across queries -- the natural way to phrase a
+workload -- hits every cache, while structurally equal copies are
+merely cache misses, never wrong answers.  All cached artefacts are
+deterministic functions of the dataset, so session answers are
+bitwise-identical to cold calls made at the session's configuration
+(granularity and settings).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence, Tuple
+
+import numpy as np
+
+from ..asp.rectset import RectSet
+from ..asp.reduction import reduce_to_asp
+from ..core.aggregators import CompositeAggregator
+from ..core.channels import BoundContext, ChannelCompiler
+from ..core.objects import SpatialDataset
+from ..core.query import ASRSQuery, RegionResult
+from ..dssearch.drop import gps_accuracy
+from ..dssearch.grid import BufferPool
+from ..dssearch.search import DSSearchEngine, SearchSettings
+from ..index.gids import GIDSStats, candidate_lattice_intervals, gi_ds_search
+from ..index.grid_index import GridIndex
+
+
+class QuerySession:
+    """Binds a dataset once; amortizes all index state across queries.
+
+    Parameters
+    ----------
+    dataset:
+        The spatial dataset every query of this session runs against.
+    granularity:
+        Grid-index granularity ``(sx, sy)`` for GI-DS solves; the index
+        is built lazily on first use.
+    settings:
+        DS-Search settings shared by all solves (the ``anchor`` also
+        keys the ASP-reduction cache).
+    """
+
+    def __init__(
+        self,
+        dataset: SpatialDataset,
+        granularity: Tuple[int, int] | str = "auto",
+        settings: SearchSettings | None = None,
+    ) -> None:
+        self.dataset = dataset
+        if granularity == "auto":
+            # A session amortizes the index build, so it affords a finer
+            # grid than a cold call: tighter cell bounds prune more and
+            # shrink the per-cell active sets.  ~2·sqrt(n) per axis
+            # (capped) measures best on the Fig. 10 workloads.
+            side = int(round(2.0 * np.sqrt(max(dataset.n, 1))))
+            granularity = (min(256, max(8, side)),) * 2
+        self.granularity = granularity
+        self.settings = settings or SearchSettings()
+        self._pool = BufferPool()
+        self._index: GridIndex | None = None
+        # Aggregators are kept referenced so their ids stay unique for
+        # the session's lifetime.
+        self._aggregators: Dict[int, CompositeAggregator] = {}
+        self._compilers: Dict[int, ChannelCompiler] = {}
+        self._tables: Dict[int, np.ndarray] = {}
+        self._contexts: Dict[int, BoundContext] = {}
+        self._empty_reps: Dict[int, np.ndarray] = {}
+        self._reductions: Dict[
+            Tuple[float, float, str], Tuple[RectSet, Tuple[float, float]]
+        ] = {}
+        self._lattices: Dict[Tuple[float, float, int], tuple] = {}
+        self._cells: Dict[Tuple[float, float, int], dict] = {}
+
+    # ------------------------------------------------------------------
+    # Memoized artefacts
+    # ------------------------------------------------------------------
+    @property
+    def index(self) -> GridIndex:
+        """The session's grid index, built on first access."""
+        if self._index is None:
+            self._index = GridIndex.build(self.dataset, *self.granularity)
+        return self._index
+
+    def compiler_for(self, aggregator: CompositeAggregator) -> ChannelCompiler:
+        """The memoized channel compiler of an aggregator object."""
+        key = id(aggregator)
+        compiler = self._compilers.get(key)
+        if compiler is None:
+            compiler = ChannelCompiler(self.dataset, aggregator)
+            self._aggregators[key] = aggregator
+            self._compilers[key] = compiler
+        return compiler
+
+    def channel_tables(self, compiler: ChannelCompiler) -> np.ndarray:
+        """The memoized index suffix table of a compiler's channels."""
+        key = id(compiler)
+        tables = self._tables.get(key)
+        if tables is None:
+            tables = self.index.channel_tables(compiler)
+            self._tables[key] = tables
+        return tables
+
+    def context_for(self, compiler: ChannelCompiler) -> BoundContext:
+        """The memoized full-dataset bound context of a compiler."""
+        key = id(compiler)
+        ctx = self._contexts.get(key)
+        if ctx is None:
+            ctx = compiler.make_context()
+            self._contexts[key] = ctx
+        return ctx
+
+    def empty_rep_for(self, aggregator: CompositeAggregator) -> np.ndarray:
+        """The memoized empty-region representation of an aggregator."""
+        key = id(aggregator)
+        rep = self._empty_reps.get(key)
+        if rep is None:
+            rep = aggregator.empty_representation(self.dataset)
+            self._empty_reps[key] = rep
+        return rep
+
+    def lattice_for(
+        self, width: float, height: float, compiler: ChannelCompiler
+    ) -> tuple:
+        """The memoized candidate-lattice intervals for a region size.
+
+        Target-independent (DESIGN.md §7.1): a warm GI-DS solve reduces
+        its whole lattice-bounding phase to one ``lower_bound_many``.
+        """
+        key = (float(width), float(height), id(compiler))
+        lattice = self._lattices.get(key)
+        if lattice is None:
+            lattice = candidate_lattice_intervals(
+                self.index,
+                compiler,
+                width,
+                height,
+                tables=self.channel_tables(compiler),
+                ctx=self.context_for(compiler),
+            )
+            self._lattices[key] = lattice
+        return lattice
+
+    def reduction_for(
+        self, width: float, height: float
+    ) -> Tuple[RectSet, Tuple[float, float]]:
+        """The memoized ASP reduction + GPS accuracy for a region size."""
+        key = (float(width), float(height), self.settings.anchor)
+        cached = self._reductions.get(key)
+        if cached is None:
+            rects = reduce_to_asp(self.dataset, width, height, self.settings.anchor)
+            cached = (rects, gps_accuracy(rects))
+            self._reductions[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+    def _engine(self, query: ASRSQuery, delta: float) -> DSSearchEngine:
+        """A search engine assembled entirely from cached artefacts."""
+        compiler = self.compiler_for(query.aggregator)
+        if self.dataset.n:
+            rects, accuracy = self.reduction_for(query.width, query.height)
+        else:
+            rects, accuracy = None, None
+        return DSSearchEngine(
+            self.dataset,
+            query,
+            self.settings,
+            compiler=compiler,
+            delta=delta,
+            rects=rects,
+            accuracy=accuracy,
+            empty_rep=self.empty_rep_for(query.aggregator),
+            pool=self._pool,
+        )
+
+    def solve(
+        self,
+        query: ASRSQuery,
+        method: str = "gids",
+        delta: float = 0.0,
+        probe_cells: int = 16,
+        return_stats: bool = False,
+    ):
+        """Solve one ASRS query on the warm path.
+
+        ``method`` is ``"gids"`` (Algorithm 2 over the session index,
+        the default) or ``"ds"`` (plain Algorithm 1, no index).
+        Results are bitwise-identical to the corresponding cold call
+        *at the session's configuration*:
+        ``gi_ds_search(dataset, query, granularity=session.granularity,
+        settings=session.settings)`` resp. ``ds_search(dataset, query,
+        session.settings)``.  A cold call at a different granularity
+        can return a different equally-optimal region on tie plateaus.
+        """
+        if method not in ("gids", "ds"):
+            raise ValueError(f"method must be 'gids' or 'ds', got {method!r}")
+        engine = self._engine(query, delta)
+        if self.dataset.n == 0:
+            result: RegionResult = engine.result()
+            if return_stats:
+                # Match the stats type of the corresponding cold call.
+                return result, (GIDSStats() if method == "gids" else engine.stats)
+            return result
+        if method == "ds":
+            result = engine.run()
+            return (result, engine.stats) if return_stats else result
+        compiler = engine.compiler
+        cell_key = (float(query.width), float(query.height), id(compiler))
+        return gi_ds_search(
+            self.dataset,
+            query,
+            index=self.index,
+            probe_cells=probe_cells,
+            return_stats=return_stats,
+            engine=engine,
+            channel_tables=self.channel_tables(compiler),
+            bound_context=self.context_for(compiler),
+            lattice_intervals=self.lattice_for(query.width, query.height, compiler),
+            cell_cache=self._cells.setdefault(cell_key, {}),
+        )
+
+    def solve_batch(
+        self,
+        queries: Sequence[ASRSQuery] | Iterable[ASRSQuery],
+        method: str = "gids",
+        delta: float = 0.0,
+        probe_cells: int = 16,
+        return_stats: bool = False,
+    ) -> list:
+        """Solve a batch of queries, sharing every cached artefact.
+
+        Queries that reuse aggregator objects and region sizes hit the
+        session caches; the first query of each distinct shape warms
+        them.  Returns one entry per query, in order -- plain
+        :class:`RegionResult` s, or ``(result, stats)`` pairs with
+        ``return_stats=True``.
+        """
+        return [
+            self.solve(
+                q,
+                method=method,
+                delta=delta,
+                probe_cells=probe_cells,
+                return_stats=return_stats,
+            )
+            for q in queries
+        ]
+
+    # ------------------------------------------------------------------
+    def clear_caches(self) -> None:
+        """Drop every memoized artefact (memory pressure relief).
+
+        The next solve re-warms lazily; answers are unaffected.  The
+        per-cell level-0 cache is additionally capped at
+        :data:`repro.index.gids.CELL_CACHE_CAP` entries per
+        ``(width, height, aggregator)`` key, so calling this is only
+        needed to reclaim memory across many distinct query shapes.
+        """
+        self._index = None
+        self._aggregators.clear()
+        self._compilers.clear()
+        self._tables.clear()
+        self._contexts.clear()
+        self._empty_reps.clear()
+        self._reductions.clear()
+        self._lattices.clear()
+        self._cells.clear()
+
+    def cache_info(self) -> dict:
+        """Occupancy of the session caches (for tests and diagnostics)."""
+        return {
+            "index_built": self._index is not None,
+            "compilers": len(self._compilers),
+            "channel_tables": len(self._tables),
+            "contexts": len(self._contexts),
+            "empty_reps": len(self._empty_reps),
+            "reductions": len(self._reductions),
+            "lattices": len(self._lattices),
+            "cached_cells": sum(len(c) for c in self._cells.values()),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"QuerySession(n={self.dataset.n}, granularity={self.granularity}, "
+            f"caches={self.cache_info()})"
+        )

@@ -1,6 +1,11 @@
 """Grid index, aggregate R-tree, and the GI-DS search (Section 5)."""
 
-from .gids import GIDSStats, candidate_cell_bounds, gi_ds_search
+from .gids import (
+    GIDSStats,
+    candidate_cell_arrays,
+    candidate_cell_bounds,
+    gi_ds_search,
+)
 from .grid_index import GridIndex
 from .rtree import AggregateRTree, AugmentedRTree
 from .summary import cell_sums_to_suffix_table, range_sums
@@ -10,6 +15,7 @@ __all__ = [
     "AugmentedRTree",
     "GIDSStats",
     "GridIndex",
+    "candidate_cell_arrays",
     "candidate_cell_bounds",
     "cell_sums_to_suffix_table",
     "gi_ds_search",

@@ -150,3 +150,87 @@ class TestCommands:
         )
         assert rc == 0
         assert "score=6" in capsys.readouterr().out
+
+    def test_batch(self, tmp_path, fig1_dataset, capsys):
+        import json
+
+        data = self._write_fig1(tmp_path, fig1_dataset)
+        spec = {
+            "terms": ["fD:category", "fA:price@category=Apartment"],
+            "width": 4.0,
+            "height": 4.0,
+            "queries": [
+                {"target": [2, 1, 1, 1, 1.75]},
+                {"target": [3, 1, 1, 1, 1.6]},
+                {"target": [2, 0, 2, 0, 2.9], "width": 5.0, "height": 5.0},
+            ],
+        }
+        queries = tmp_path / "queries.json"
+        queries.write_text(json.dumps(spec))
+        rc = main(
+            [
+                "batch",
+                "--data", data,
+                "--categorical", "category",
+                "--numeric", "price",
+                "--queries", str(queries),
+                "--verbose",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "query #0" in out and "query #2" in out
+        assert "distance=0" in out  # the fig1 targets are achievable
+        assert "QuerySession" in out
+
+    def test_batch_missing_target(self, tmp_path, fig1_dataset):
+        import json
+
+        data = self._write_fig1(tmp_path, fig1_dataset)
+        queries = tmp_path / "queries.json"
+        queries.write_text(
+            json.dumps(
+                {
+                    "terms": ["fD:category"],
+                    "width": 4.0,
+                    "height": 4.0,
+                    "queries": [{}],
+                }
+            )
+        )
+        with pytest.raises(SystemExit, match="missing target"):
+            main(
+                [
+                    "batch",
+                    "--data", data,
+                    "--categorical", "category",
+                    "--numeric", "price",
+                    "--queries", str(queries),
+                ]
+            )
+
+    def test_batch_dim_mismatch(self, tmp_path, fig1_dataset):
+        import json
+
+        data = self._write_fig1(tmp_path, fig1_dataset)
+        queries = tmp_path / "queries.json"
+        queries.write_text(
+            json.dumps(
+                {
+                    "terms": ["fD:category"],
+                    "width": 4.0,
+                    "height": 4.0,
+                    "queries": [{"target": [1, 2]}],
+                }
+            )
+        )
+        with pytest.raises(SystemExit, match="dims"):
+            main(
+                [
+                    "batch",
+                    "--data", data,
+                    "--categorical", "category",
+                    "--numeric", "price",
+                    "--queries", str(queries),
+                ]
+            )

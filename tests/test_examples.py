@@ -45,3 +45,8 @@ class TestExamples:
     def test_maxrs_demo(self):
         out = run_example("maxrs_demo.py", "--n", "5000")
         assert "agree: True" in out
+
+    def test_batch_sessions(self):
+        out = run_example("batch_sessions.py", "--n", "3000", "--queries", "4")
+        assert "batch answers identical to cold calls: True" in out
+        assert "best region over the batch" in out
