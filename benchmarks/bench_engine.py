@@ -1,6 +1,6 @@
-"""Micro-benchmark of the zero-churn query engine (DESIGN.md §7).
+"""Micro-benchmark of the zero-churn query engine (DESIGN.md §7-§8).
 
-Times three ways of answering a batch of same-shaped ASRS queries on
+Times five ways of answering a batch of same-shaped ASRS queries on
 the Fig. 10 scalability workload (Tweet + POISyn, query size 10q):
 
 * **cold** -- one public ``gi_ds_search`` call per query, paying the
@@ -8,9 +8,15 @@ the Fig. 10 scalability workload (Tweet + POISyn, query size 10q):
 * **warm** -- a pre-warmed :class:`repro.engine.QuerySession`, one
   ``solve`` per query;
 * **batch** -- ``QuerySession.solve_batch`` on a fresh session, i.e.
-  warm-path throughput *including* the one-off session warm-up.
+  warm-path throughput *including* the one-off session warm-up;
+* **parallel** -- ``solve_batch(workers=N)`` on the pre-warmed session:
+  the thread-safe caches under concurrent solves (numpy releases the
+  GIL on the heavy kernels, so multi-core runners overlap real work;
+  single-core runners degenerate to ~warm);
+* **warm-from-disk** -- ``save_session`` + ``load_session`` + a serial
+  batch: what a restarted server pays instead of the cold build.
 
-All three must return bitwise-identical results; the script fails if
+All five must return bitwise-identical results; the script fails if
 they do not.  Results land in ``BENCH_engine.json`` so the perf
 trajectory is tracked across PRs::
 
@@ -24,8 +30,10 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
+import tempfile
 import time
 
 import numpy as np
@@ -37,7 +45,7 @@ from repro.data import (
     poisyn_query,
     weekend_query,
 )
-from repro.engine import QuerySession
+from repro.engine import QuerySession, load_session, save_session
 from repro.experiments.datasets import SEED, paper_query_size
 from repro.index import gi_ds_search
 
@@ -75,7 +83,7 @@ def identical(a, b) -> bool:
     )
 
 
-def bench_config(kind: str, n: int, n_queries: int) -> dict:
+def bench_config(kind: str, n: int, n_queries: int, workers: int) -> dict:
     dataset, queries = make_queries(kind, n, n_queries)
     session = QuerySession(dataset)
     granularity = session.granularity
@@ -97,20 +105,50 @@ def bench_config(kind: str, n: int, n_queries: int) -> dict:
     batch = QuerySession(dataset).solve_batch(queries)
     batch_s = time.perf_counter() - t0
 
+    # Parallel: a thread pool over a session warmed exactly like the
+    # warm row (one untimed solve) -- NOT the session the warm row ran
+    # on, whose per-cell caches the timed warm solves already filled;
+    # that would conflate cell-cache reuse with parallelism.
+    psession = QuerySession(dataset)
+    psession.solve(queries[0])
+    t0 = time.perf_counter()
+    parallel = psession.solve_batch(queries, workers=workers)
+    parallel_s = time.perf_counter() - t0
+
+    # Warm-from-disk: persist the warm session, restore it into a fresh
+    # one, serve the batch.  Load and solve are reported separately so
+    # the restart cost is visible next to the steady-state rate.
+    with tempfile.TemporaryDirectory() as tmp:
+        bundle = os.path.join(tmp, "session.idx")
+        save_session(session, bundle)
+        t0 = time.perf_counter()
+        restored = load_session(bundle, dataset)
+        disk_load_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        disk = restored.solve_batch(queries)
+        disk_solve_s = time.perf_counter() - t0
+
     ok = all(
-        identical(c, w) and identical(c, b)
-        for c, w, b in zip(cold, warm, batch)
+        identical(c, w) and identical(c, b) and identical(c, p) and identical(c, d)
+        for c, w, b, p, d in zip(cold, warm, batch, parallel, disk)
     )
     return {
         "kind": kind,
         "n": n,
         "n_queries": n_queries,
         "granularity": list(granularity),
+        "workers": workers,
         "cold_s": round(cold_s, 4),
         "warm_s": round(warm_s, 4),
         "batch_s": round(batch_s, 4),
+        "parallel_s": round(parallel_s, 4),
+        "disk_load_s": round(disk_load_s, 4),
+        "disk_solve_s": round(disk_solve_s, 4),
         "speedup_warm": round(cold_s / warm_s, 2),
         "speedup_batch": round(cold_s / batch_s, 2),
+        "speedup_parallel": round(cold_s / parallel_s, 2),
+        "parallel_vs_warm": round(warm_s / parallel_s, 2),
+        "speedup_warm_disk": round(cold_s / (disk_load_s + disk_solve_s), 2),
         "identical": ok,
     }
 
@@ -122,6 +160,12 @@ def main(argv=None) -> int:
     parser.add_argument("--sizes", default="5000,10000,20000,40000")
     parser.add_argument("--queries", type=int, default=16)
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="threads for the parallel row (default: cpu count)",
+    )
+    parser.add_argument(
         "--smoke",
         action="store_true",
         help="tiny sizes for CI: checks identity + writes the JSON fast",
@@ -131,36 +175,52 @@ def main(argv=None) -> int:
     kinds = args.kinds.split(",")
     sizes = [int(s) for s in args.sizes.split(",")]
     n_queries = args.queries
+    # At least two workers so the threaded path is really exercised
+    # (single-core runners then measure the thread-pool overhead).
+    workers = args.workers or max(2, os.cpu_count() or 1)
     if args.smoke:
         sizes, n_queries = [2000], 4
 
     configs = []
     for kind in kinds:
         for n in sizes:
-            cfg = bench_config(kind, n, n_queries)
+            cfg = bench_config(kind, n, n_queries, workers)
             configs.append(cfg)
             print(
                 f"{kind} n={n}: cold {cfg['cold_s']}s warm {cfg['warm_s']}s "
-                f"batch {cfg['batch_s']}s -> warm {cfg['speedup_warm']}x "
-                f"batch {cfg['speedup_batch']}x identical={cfg['identical']}"
+                f"batch {cfg['batch_s']}s parallel {cfg['parallel_s']}s "
+                f"disk {cfg['disk_load_s']}+{cfg['disk_solve_s']}s -> "
+                f"warm {cfg['speedup_warm']}x batch {cfg['speedup_batch']}x "
+                f"parallel {cfg['speedup_parallel']}x "
+                f"warm-disk {cfg['speedup_warm_disk']}x "
+                f"identical={cfg['identical']}"
             )
 
     tot_cold = sum(c["cold_s"] for c in configs)
     tot_warm = sum(c["warm_s"] for c in configs)
     tot_batch = sum(c["batch_s"] for c in configs)
+    tot_parallel = sum(c["parallel_s"] for c in configs)
+    tot_disk = sum(c["disk_load_s"] + c["disk_solve_s"] for c in configs)
     report = {
         "benchmark": "engine",
         "workload": f"fig10 size={SIZE_FACTOR}q",
         "python": platform.python_version(),
         "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+        "workers": workers,
         "smoke": args.smoke,
         "configs": configs,
         "aggregate": {
             "cold_s": round(tot_cold, 4),
             "warm_s": round(tot_warm, 4),
             "batch_s": round(tot_batch, 4),
+            "parallel_s": round(tot_parallel, 4),
+            "warm_disk_s": round(tot_disk, 4),
             "speedup_warm": round(tot_cold / tot_warm, 2),
             "speedup_batch": round(tot_cold / tot_batch, 2),
+            "speedup_parallel": round(tot_cold / tot_parallel, 2),
+            "parallel_vs_warm": round(tot_warm / tot_parallel, 2),
+            "speedup_warm_disk": round(tot_cold / tot_disk, 2),
         },
         "all_identical": all(c["identical"] for c in configs),
     }
@@ -168,7 +228,10 @@ def main(argv=None) -> int:
         json.dump(report, fh, indent=2)
     print(
         f"aggregate: warm {report['aggregate']['speedup_warm']}x, "
-        f"batch {report['aggregate']['speedup_batch']}x -> {args.out}"
+        f"batch {report['aggregate']['speedup_batch']}x, "
+        f"parallel {report['aggregate']['speedup_parallel']}x "
+        f"({workers} workers on {os.cpu_count()} cpus), "
+        f"warm-from-disk {report['aggregate']['speedup_warm_disk']}x -> {args.out}"
     )
     if not report["all_identical"]:
         print("FAIL: warm/batch results differ from the cold path", file=sys.stderr)

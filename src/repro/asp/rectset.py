@@ -40,6 +40,16 @@ class RectSet:
     def n(self) -> int:
         return int(self.x_min.shape[0])
 
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the coordinate columns (session accounting)."""
+        return (
+            self.x_min.nbytes
+            + self.y_min.nbytes
+            + self.x_max.nbytes
+            + self.y_max.nbytes
+        )
+
     def __len__(self) -> int:
         return self.n
 

@@ -32,6 +32,16 @@ where ``queries.json`` holds shared defaults plus per-query overrides::
     {"terms": ["fD:day_of_week"], "width": 0.5, "height": 0.25,
      "queries": [{"target": [0,0,0,0,0,200,200]},
                  {"target": [50,50,50,50,50,0,0]}]}
+
+Precompute the session index once and serve batches warm from disk
+(``--workers`` additionally solves the batch on a thread pool)::
+
+    python -m repro.cli index-build --data tweets.csv \
+        --categorical day_of_week --queries queries.json --out tweets.idx
+
+    python -m repro.cli batch --data tweets.csv \
+        --categorical day_of_week --queries queries.json \
+        --index tweets.idx --workers 4
 """
 
 from __future__ import annotations
@@ -139,11 +149,9 @@ def cmd_search(args) -> int:
     return 0
 
 
-def cmd_batch(args) -> int:
-    from .engine import QuerySession
-
-    dataset = _load(args)
-    with open(args.queries) as fh:
+def _parse_batch_spec(dataset, path) -> list:
+    """The query list of a batch/index-build JSON spec (see module doc)."""
+    with open(path) as fh:
         spec = json.load(fh)
     if "queries" not in spec:
         raise SystemExit("queries file needs a top-level 'queries' list")
@@ -176,9 +184,41 @@ def cmd_batch(args) -> int:
         queries.append(
             ASRSQuery.from_vector(width, height, aggregator, target, weights=weights)
         )
+    return queries
 
-    session = QuerySession(dataset)
-    results = session.solve_batch(queries, method=args.method)
+
+def _parse_granularity(text):
+    if text is None or text == "auto":
+        return "auto"
+    try:
+        sx, sy = (int(v) for v in text.split(","))
+    except ValueError:
+        raise SystemExit(f"bad granularity {text!r}: expected 'auto' or SX,SY")
+    if sx < 1 or sy < 1:
+        raise SystemExit(f"bad granularity {text!r}: SX and SY must be >= 1")
+    return (sx, sy)
+
+
+def cmd_batch(args) -> int:
+    dataset = _load(args)
+    queries = _parse_batch_spec(dataset, args.queries)
+
+    if args.index:
+        import zipfile
+
+        from .engine import load_session
+
+        try:
+            session = load_session(args.index, dataset)
+        except (ValueError, OSError, zipfile.BadZipFile) as exc:
+            raise SystemExit(f"cannot load --index {args.index}: {exc}")
+    else:
+        from .engine import QuerySession
+
+        session = QuerySession(dataset)
+    results = session.solve_batch(
+        queries, method=args.method, workers=args.workers
+    )
     for i, result in enumerate(results):
         region = result.region
         print(
@@ -187,6 +227,33 @@ def cmd_batch(args) -> int:
         )
     if args.verbose:
         print(f"session: {session!r}")
+    return 0
+
+
+def cmd_index_build(args) -> int:
+    """Warm a session for a batch spec's query shapes and save it.
+
+    The bundle feeds ``batch --index`` (or a server's
+    :func:`repro.engine.load_session`): every target-independent
+    artefact of the spec's (aggregator, width, height) shapes -- grid
+    index, channel tables, ASP reductions, lattice intervals -- is
+    precomputed here so a restarted server skips the cold build.
+    """
+    from .engine import QuerySession, save_session
+
+    dataset = _load(args)
+    queries = _parse_batch_spec(dataset, args.queries)
+    session = QuerySession(dataset, granularity=_parse_granularity(args.granularity))
+    shapes = set()
+    for query in queries:
+        shapes.add((id(query.aggregator), query.width, query.height))
+        session.warm_for(query)
+    save_session(session, args.out)
+    print(
+        f"wrote session index for {len(shapes)} query shape(s) "
+        f"(granularity {session.granularity[0]}x{session.granularity[1]}, "
+        f"n={dataset.n}) to {args.out}"
+    )
     return 0
 
 
@@ -246,8 +313,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--queries", required=True, help="JSON file of query specs (see module doc)"
     )
     batch.add_argument("--method", choices=("gids", "ds"), default="gids")
+    batch.add_argument(
+        "--index",
+        help="session bundle from `index-build`: start warm instead of cold",
+    )
+    batch.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="solve the batch on N threads (0/1 = serial; answers identical)",
+    )
     batch.add_argument("--verbose", action="store_true")
     batch.set_defaults(func=cmd_batch)
+
+    index_build = sub.add_parser(
+        "index-build",
+        help="precompute and save a session index for a batch spec",
+    )
+    index_build.add_argument(
+        "--data", required=True, help="CSV with x,y,attr columns"
+    )
+    index_build.add_argument(
+        "--categorical", action="append", default=[], metavar="COLUMN"
+    )
+    index_build.add_argument(
+        "--numeric", action="append", default=[], metavar="COLUMN"
+    )
+    index_build.add_argument(
+        "--queries",
+        required=True,
+        help="JSON batch spec: its (terms, width, height) shapes get warmed",
+    )
+    index_build.add_argument("--out", required=True, help="bundle path to write")
+    index_build.add_argument(
+        "--granularity",
+        default="auto",
+        help="grid granularity 'auto' (default) or 'SX,SY'",
+    )
+    index_build.set_defaults(func=cmd_index_build)
 
     maxrs = sub.add_parser("maxrs", help="find the densest region")
     add_data_args(maxrs)

@@ -250,6 +250,14 @@ class ChannelCompiler:
         return int(self._weights.shape[1])
 
     @property
+    def nbytes(self) -> int:
+        """Bytes held by the compiled weight matrices (session accounting)."""
+        total = self._weights.nbytes
+        if self._weights_ext is not None:
+            total += self._weights_ext.nbytes
+        return total
+
+    @property
     def rep_dim(self) -> int:
         return self._rep_dim
 

@@ -16,6 +16,7 @@ which is what makes the Python implementation practical.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Tuple
 
@@ -79,6 +80,9 @@ def _axis_ranges(
 
 #: Read-only ``arange`` cache: every grid needs ``0..n`` multipliers for
 #: its boundary arrays, and grid shapes repeat heavily within a search.
+#: Unlocked by design: entries are immutable (write=False) deterministic
+#: functions of the key and dict get/set are atomic in CPython, so a
+#: racing duplicate build is merely wasted work, never a wrong array.
 _ARANGE_CACHE: dict = {}
 
 
@@ -99,19 +103,56 @@ class BufferPool:
     engine-owned pool turns thousands of allocations into a handful.
     Buffers must only be returned (:meth:`give`) once nothing references
     them anymore.
+
+    The pool is thread-safe (DESIGN.md §8.1): one
+    :class:`~repro.engine.QuerySession` pool is shared by every engine
+    the session assembles, and concurrent solves take and give buffers
+    freely.  :meth:`give` validates what it accepts -- only 1-D float64
+    arrays, each at most once while pooled -- because a silently aliased
+    or wrong-typed buffer would corrupt a *later, unrelated* grid, the
+    kind of failure that is near-impossible to trace back here.
     """
 
     def __init__(self) -> None:
         self._free: dict[int, list] = {}
+        # ids of arrays currently sitting in the pool: a pooled array is
+        # referenced by `_free`, so its id cannot be recycled by the
+        # allocator while tracked -- the membership test is exact.
+        self._pooled_ids: set[int] = set()
+        self._lock = threading.Lock()
 
     def take(self, n: int) -> np.ndarray:
-        stack = self._free.get(n)
-        if stack:
-            return stack.pop()
+        with self._lock:
+            stack = self._free.get(n)
+            if stack:
+                arr = stack.pop()
+                self._pooled_ids.discard(id(arr))
+                return arr
         return np.empty(n, dtype=np.float64)
 
     def give(self, arr: np.ndarray) -> None:
-        self._free.setdefault(arr.shape[0], []).append(arr)
+        if (
+            not isinstance(arr, np.ndarray)
+            or arr.dtype != np.float64
+            or arr.ndim != 1
+        ):
+            raise ValueError(
+                "BufferPool.give accepts only 1-D float64 arrays, got "
+                f"{type(arr).__name__}"
+                + (
+                    f" dtype={arr.dtype} ndim={arr.ndim}"
+                    if isinstance(arr, np.ndarray)
+                    else ""
+                )
+            )
+        with self._lock:
+            if id(arr) in self._pooled_ids:
+                raise ValueError(
+                    "buffer returned to the pool twice -- a later take() "
+                    "would hand out two aliases of the same scratch array"
+                )
+            self._pooled_ids.add(id(arr))
+            self._free.setdefault(arr.shape[0], []).append(arr)
 
 
 def _corner_keys(

@@ -1,13 +1,25 @@
-"""The zero-churn query engine (DESIGN.md §7).
+"""The zero-churn query engine (DESIGN.md §7-§8).
 
 :class:`QuerySession` binds a dataset once, memoizes every
 query-independent artefact (grid index, channel tables, compilers, ASP
 reductions, bound contexts), and serves single queries (:meth:`solve`)
-or batches (:meth:`solve_batch`) with answers bitwise-identical to the
-cold :func:`~repro.dssearch.ds_search` / :func:`~repro.index.gi_ds_search`
-paths.
+or batches (:meth:`solve_batch`, optionally on a thread pool) with
+answers bitwise-identical to the cold
+:func:`~repro.dssearch.ds_search` / :func:`~repro.index.gi_ds_search`
+paths.  Sessions are thread-safe; :class:`SessionPool` manages one per
+dataset under an LRU memory budget, and
+:func:`save_session` / :func:`load_session` persist a session's warm
+index state to disk so a restarted server skips the cold build.
 """
 
-from .session import QuerySession
+from .persist import load_session, save_session
+from .pool import SessionPool
+from .session import QuerySession, aggregator_signature
 
-__all__ = ["QuerySession"]
+__all__ = [
+    "QuerySession",
+    "SessionPool",
+    "aggregator_signature",
+    "load_session",
+    "save_session",
+]

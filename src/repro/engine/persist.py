@@ -1,0 +1,236 @@
+"""Disk persistence of :class:`~repro.engine.QuerySession` state.
+
+A restarted server should not re-pay the cold build (DESIGN.md §8.3):
+:func:`save_session` snapshots every *persistable* warm artefact of a
+session -- the built :class:`~repro.index.GridIndex`, the channel
+suffix tables, the ASP reductions with their GPS accuracies, and the
+candidate-lattice intervals -- into a single compressed ``.npz`` bundle
+whose ``meta`` member is a JSON document describing the payload;
+:func:`load_session` restores them into a fresh session without
+recomputation.
+
+Identity-keyed caches cannot survive a process restart, so persisted
+per-aggregator artefacts are keyed by the structural
+:func:`~repro.engine.session.aggregator_signature` and adopted lazily
+by the session when a matching aggregator first appears.  Artefacts
+that are cheap to rebuild (compilers, bound contexts, empty
+representations) or unboundedly large (the per-cell level-0 cache) are
+deliberately not persisted.
+
+Every saved array round-trips bit-for-bit through ``.npz``, so a
+``load_session``-warmed session answers queries bitwise-identically to
+the session that was saved -- and therefore to the cold paths.  The
+bundle records a fingerprint (length + SHA-256 over coordinates and
+attribute columns) of the dataset it was built over; loading against
+any other dataset raises ``ValueError`` instead of silently answering
+from the wrong index.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import asdict
+
+import numpy as np
+
+from ..asp.rectset import RectSet
+from ..core.objects import SpatialDataset
+from ..dssearch.search import SearchSettings
+from ..index.grid_index import GridIndex
+from .session import QuerySession, aggregator_signature
+
+#: Bump when the bundle layout changes; load_session refuses mismatches.
+FORMAT_VERSION = 1
+
+
+def dataset_fingerprint(dataset: SpatialDataset) -> dict:
+    """A content fingerprint binding a bundle to one dataset."""
+    digest = hashlib.sha256()
+    digest.update(dataset.xs.tobytes())
+    digest.update(dataset.ys.tobytes())
+    for name in dataset.schema.names:
+        digest.update(name.encode("utf-8"))
+        digest.update(np.ascontiguousarray(dataset.column(name)).tobytes())
+    return {
+        "n": dataset.n,
+        "sha256": digest.hexdigest(),
+        "attributes": list(dataset.schema.names),
+    }
+
+
+def save_session(session: QuerySession, path) -> str:
+    """Snapshot a session's warm state to an ``.npz``+JSON bundle.
+
+    Saves exactly what is warm: call
+    :meth:`~repro.engine.QuerySession.warm` (or solve representative
+    queries) first -- ``repro index-build`` does precisely that.
+    Returns the path written.
+    """
+    meta: dict = {
+        "format_version": FORMAT_VERSION,
+        "granularity": list(session.granularity),
+        "settings": asdict(session.settings),
+        "fingerprint": dataset_fingerprint(session.dataset),
+        "reductions": [],
+        "tables": [],
+        "lattices": [],
+    }
+    arrays: dict = {}
+
+    # Shallow-snapshot the cache dicts under the session's memo lock:
+    # a session may be serving queries while it is saved, and _memo
+    # inserts mid-iteration would otherwise blow up the save.  The
+    # values themselves are immutable-once-stored, so copies of the
+    # dicts are a consistent snapshot.
+    with session._memo_lock:
+        index = session._index
+        reductions = dict(session._reductions)
+        compilers = dict(session._compilers)
+        tables_by_id = dict(session._tables)
+        lattices_by_key = dict(session._lattices)
+        pending_tables = dict(session._pending_tables)
+        pending_lattices = dict(session._pending_lattices)
+
+    if index is not None:
+        index_meta, index_arrays = index.snapshot()
+        meta["index"] = index_meta
+        for name, arr in index_arrays.items():
+            arrays[f"index_{name}"] = arr
+
+    for (width, height, anchor), (rects, accuracy) in reductions.items():
+        j = len(meta["reductions"])
+        meta["reductions"].append(
+            {
+                "width": width,
+                "height": height,
+                "anchor": anchor,
+                "accuracy": list(accuracy),
+            }
+        )
+        arrays[f"red_{j}"] = np.stack(
+            [rects.x_min, rects.y_min, rects.x_max, rects.y_max]
+        )
+
+    # Per-aggregator artefacts: translate id-keys to structural
+    # signatures.  Unsignaturable aggregators (custom terms, predicate
+    # selections) are skipped; not-yet-adopted artefacts of a loaded
+    # session (still signature-keyed) are carried over as-is.
+    signature_of = {
+        id(compiler): aggregator_signature(compiler.aggregator)
+        for compiler in compilers.values()
+    }
+
+    tables: dict = {}
+    for compiler_id, table in tables_by_id.items():
+        signature = signature_of.get(compiler_id)
+        if signature is not None:
+            tables.setdefault(signature, table)
+    for signature, table in pending_tables.items():
+        tables.setdefault(signature, table)
+    for signature, table in tables.items():
+        j = len(meta["tables"])
+        meta["tables"].append({"signature": signature})
+        arrays[f"tab_{j}"] = table
+
+    lattices: dict = {}
+    for (width, height, compiler_id), lattice in lattices_by_key.items():
+        signature = signature_of.get(compiler_id)
+        if signature is not None:
+            lattices.setdefault((width, height, signature), lattice)
+    for key, lattice in pending_lattices.items():
+        lattices.setdefault(key, lattice)
+    for (width, height, signature), lattice in lattices.items():
+        j = len(meta["lattices"])
+        meta["lattices"].append(
+            {"width": width, "height": height, "signature": signature}
+        )
+        for part, arr in zip(("x0", "y0", "lo", "hi"), lattice):
+            arrays[f"lat_{j}_{part}"] = arr
+
+    arrays["meta"] = np.array(json.dumps(meta))
+    # Write-then-rename: a crash mid-save must not destroy the previous
+    # good bundle a server's restart path depends on.  (Passing an open
+    # file object also keeps np.savez from appending ".npz" to the
+    # caller's path.)
+    target = os.fspath(path)
+    fd, tmp = tempfile.mkstemp(
+        dir=os.path.dirname(os.path.abspath(target)) or ".",
+        prefix=os.path.basename(target) + ".",
+        suffix=".tmp",
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return target
+
+
+def load_session(
+    path,
+    dataset: SpatialDataset,
+    settings: SearchSettings | None = None,
+) -> QuerySession:
+    """Restore a session from a :func:`save_session` bundle.
+
+    ``dataset`` must be the dataset the bundle was saved over (verified
+    by fingerprint).  ``settings`` defaults to the saved settings; a
+    caller override is honoured, but saved reductions are keyed by
+    their anchor, so an override with a different anchor falls back to
+    cold reductions (answers stay correct either way).
+    """
+    with np.load(path, allow_pickle=False) as bundle:
+        if "meta" not in bundle.files:
+            raise ValueError(
+                f"{path!s} is not a session bundle (no 'meta' member); "
+                "build one with `repro index-build`"
+            )
+        meta = json.loads(str(bundle["meta"][()]))
+        version = meta.get("format_version")
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"session bundle {path!s} has format version {version}, "
+                f"this build reads {FORMAT_VERSION}"
+            )
+        fingerprint = dataset_fingerprint(dataset)
+        if fingerprint != meta["fingerprint"]:
+            raise ValueError(
+                f"session bundle {path!s} was built over a different dataset "
+                f"(saved n={meta['fingerprint']['n']}, got n={fingerprint['n']}); "
+                "rebuild it with `repro index-build`"
+            )
+        session = QuerySession(
+            dataset,
+            granularity=tuple(int(g) for g in meta["granularity"]),
+            settings=settings or SearchSettings(**meta["settings"]),
+        )
+        if "index" in meta:
+            index_arrays = {
+                name[len("index_"):]: bundle[name]
+                for name in bundle.files
+                if name.startswith("index_")
+            }
+            session._index = GridIndex.restore(dataset, meta["index"], index_arrays)
+        for j, entry in enumerate(meta["reductions"]):
+            block = bundle[f"red_{j}"]
+            key = (float(entry["width"]), float(entry["height"]), entry["anchor"])
+            session._reductions[key] = (
+                RectSet(block[0], block[1], block[2], block[3]),
+                tuple(float(v) for v in entry["accuracy"]),
+            )
+        for j, entry in enumerate(meta["tables"]):
+            session._pending_tables[entry["signature"]] = bundle[f"tab_{j}"]
+        for j, entry in enumerate(meta["lattices"]):
+            key = (float(entry["width"]), float(entry["height"]), entry["signature"])
+            session._pending_lattices[key] = tuple(
+                bundle[f"lat_{j}_{part}"] for part in ("x0", "y0", "lo", "hi")
+            )
+    return session

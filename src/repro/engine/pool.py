@@ -1,0 +1,247 @@
+"""Cross-dataset session management: the :class:`SessionPool`.
+
+A server answering ASRS queries over many datasets wants one warm
+:class:`~repro.engine.QuerySession` per dataset, but warm sessions hold
+real memory (index tables, channel weights, lattice intervals, cached
+cell states).  The pool bounds that (DESIGN.md §8.2): sessions are
+kept in LRU order and, past the byte budget or session cap, the
+least-recently-used ones are evicted -- eviction drops the session from
+the pool *and* calls :meth:`~repro.engine.QuerySession.clear_caches`,
+so memory is reclaimed even while a caller still holds the session
+object.
+
+The pool is thread-safe, and eviction is safe to race with in-flight
+solves on the evicted session: a mid-solve ``clear_caches`` only forces
+lazy recomputation, never a different answer (see
+:meth:`QuerySession.clear_caches`).  The most-recently-used session is
+never evicted, so the pool always serves the active dataset warm even
+when one session alone exceeds the budget.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Hashable, Tuple
+
+from ..core.objects import SpatialDataset
+from ..dssearch.search import SearchSettings
+from .session import QuerySession
+
+
+class SessionPool:
+    """Serves per-dataset :class:`QuerySession` s under a memory budget.
+
+    Parameters
+    ----------
+    max_bytes:
+        Budget over the summed :meth:`QuerySession.cache_nbytes` of all
+        pooled sessions; ``None`` disables byte-based eviction.
+    max_sessions:
+        Hard cap on resident sessions; ``None`` disables it.
+    granularity, settings:
+        Defaults handed to sessions the pool creates (overridable per
+        :meth:`session` call).
+    """
+
+    def __init__(
+        self,
+        max_bytes: int | None = None,
+        max_sessions: int | None = None,
+        granularity: Tuple[int, int] | str = "auto",
+        settings: SearchSettings | None = None,
+    ) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive (or None)")
+        if max_sessions is not None and max_sessions < 1:
+            raise ValueError("max_sessions must be >= 1 (or None)")
+        self.max_bytes = max_bytes
+        self.max_sessions = max_sessions
+        self._granularity = granularity
+        self._settings = settings
+        self._sessions: OrderedDict[Hashable, QuerySession] = OrderedDict()
+        # Cached cache_nbytes() per key: a full sweep of every resident
+        # session's artefacts per solve would put O(total warm state)
+        # on the hot path, so only the just-touched session is
+        # re-measured and the rest reuse their last measurement.
+        self._nbytes_cache: dict = {}
+        self._lock = threading.RLock()
+        self._evictions = 0
+
+    # ------------------------------------------------------------------
+    def session(
+        self,
+        key: Hashable,
+        dataset: SpatialDataset | None = None,
+        *,
+        granularity: Tuple[int, int] | str | None = None,
+        settings: SearchSettings | None = None,
+        index_path=None,
+    ) -> QuerySession:
+        """The session registered under ``key``, creating it on first use.
+
+        ``dataset`` is required the first time a key is seen (otherwise
+        ``KeyError``); later calls may omit it.  ``index_path`` warms a
+        newly created session from a
+        :func:`~repro.engine.persist.save_session` bundle instead of
+        starting cold.  Every access marks the session most recently
+        used.  The byte budget is re-measured by :meth:`solve` /
+        :meth:`solve_batch`, not by this accessor -- growth through
+        solves made directly on the returned session object is only
+        picked up at the next pool solve for its key, so route queries
+        through the pool when the budget must track every one.
+        """
+        with self._lock:
+            session = self._sessions.get(key)
+            if session is not None:
+                self._sessions.move_to_end(key)
+                return session
+        if dataset is None:
+            raise KeyError(f"unknown session key {key!r} and no dataset to bind")
+        # Create (or restore from disk) outside the lock: load_session
+        # fingerprints the whole dataset and inflates the bundle, and
+        # other datasets' traffic must not stall behind that.  On a
+        # creation race the first insert wins and the loser is dropped.
+        if index_path is not None:
+            from .persist import load_session
+
+            created = load_session(
+                index_path, dataset, settings=settings or self._settings
+            )
+        else:
+            created = QuerySession(
+                dataset,
+                granularity=(
+                    granularity if granularity is not None else self._granularity
+                ),
+                settings=settings or self._settings,
+            )
+        with self._lock:
+            session = self._sessions.setdefault(key, created)
+            self._sessions.move_to_end(key)
+            self._enforce_budget(touched=key)
+            return session
+
+    def solve(self, key: Hashable, query, dataset=None, **kwargs):
+        """Solve one query on the keyed session (created if ``dataset``).
+
+        Re-checks the byte budget afterwards -- solving grows caches.
+        """
+        result = self.session(key, dataset).solve(query, **kwargs)
+        with self._lock:
+            self._enforce_budget(touched=key)
+        return result
+
+    def solve_batch(self, key: Hashable, queries, dataset=None, **kwargs) -> list:
+        """Batch counterpart of :meth:`solve` (supports ``workers=``)."""
+        results = self.session(key, dataset).solve_batch(queries, **kwargs)
+        with self._lock:
+            self._enforce_budget(touched=key)
+        return results
+
+    # ------------------------------------------------------------------
+    def _enforce_budget(self, touched: Hashable | None = None) -> None:
+        """Evict LRU sessions past the caps (callers hold ``_lock``).
+
+        ``touched`` names the session whose caches may just have grown;
+        it alone is re-measured, the others reuse cached measurements
+        (sessions only grow through pool calls, so staleness is bounded
+        by one solve).  The most-recently-used session survives even
+        when it alone exceeds ``max_bytes``: evicting it would just
+        force the active dataset to re-warm on the very next query.
+        """
+        if self.max_sessions is not None:
+            while len(self._sessions) > self.max_sessions:
+                self._evict_lru()
+        if self.max_bytes is None:
+            return
+        if touched is not None and touched in self._sessions:
+            self._nbytes_cache[touched] = self._sessions[touched].cache_nbytes()
+        total = 0
+        for key, session in self._sessions.items():
+            size = self._nbytes_cache.get(key)
+            if size is None:
+                size = self._nbytes_cache[key] = session.cache_nbytes()
+            total += size
+        while len(self._sessions) > 1 and total > self.max_bytes:
+            total -= self._evict_lru()
+
+    def _evict_lru(self) -> int:
+        """Evict the LRU session; returns its last measured byte count."""
+        key, session = self._sessions.popitem(last=False)
+        freed = self._nbytes_cache.pop(key, 0)
+        session.clear_caches()
+        self._evictions += 1
+        return freed
+
+    # ------------------------------------------------------------------
+    def nbytes(self) -> int:
+        """Summed cache bytes of all resident sessions (exact re-measure)."""
+        with self._lock:
+            total = 0
+            for key, session in self._sessions.items():
+                size = session.cache_nbytes()
+                self._nbytes_cache[key] = size
+                total += size
+            return total
+
+    def evict(self, key: Hashable) -> bool:
+        """Explicitly evict one session; returns whether it was resident."""
+        with self._lock:
+            session = self._sessions.pop(key, None)
+            self._nbytes_cache.pop(key, None)
+        if session is None:
+            return False
+        session.clear_caches()
+        self._evictions += 1
+        return True
+
+    def clear(self) -> None:
+        """Evict everything."""
+        with self._lock:
+            sessions = list(self._sessions.values())
+            self._sessions.clear()
+            self._nbytes_cache.clear()
+        for session in sessions:
+            session.clear_caches()
+            self._evictions += 1
+
+    def info(self) -> dict:
+        """Occupancy snapshot (for tests and diagnostics).
+
+        ``bytes`` reports the cached per-session measurements (sessions
+        never measured yet are measured once here); call
+        :meth:`nbytes` for an exact full re-measure -- ``info`` stays
+        cheap so logging/``repr`` cannot stall query traffic with a
+        sweep over every resident session's artefacts.
+        """
+        with self._lock:
+            total = 0
+            for key, session in self._sessions.items():
+                size = self._nbytes_cache.get(key)
+                if size is None:
+                    size = self._nbytes_cache[key] = session.cache_nbytes()
+                total += size
+            return {
+                "sessions": len(self._sessions),
+                "keys": list(self._sessions),
+                "bytes": total,
+                "evictions": self._evictions,
+                "max_bytes": self.max_bytes,
+                "max_sessions": self.max_sessions,
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._sessions
+
+    def __repr__(self) -> str:
+        info = self.info()
+        return (
+            f"SessionPool(sessions={info['sessions']}, "
+            f"bytes={info['bytes']}, evictions={info['evictions']})"
+        )

@@ -32,25 +32,118 @@ merely cache misses, never wrong answers.  All cached artefacts are
 deterministic functions of the dataset, so session answers are
 bitwise-identical to cold calls made at the session's configuration
 (granularity and settings).
+
+Sessions are thread-safe (DESIGN.md §8.1): every memoization goes
+through an in-flight-deduplicated get-or-compute, so concurrent
+``solve`` calls share warm artefacts, never compute one twice, and
+return results bitwise-identical to serial execution.  Each solve
+assembles its own :class:`~repro.dssearch.search.DSSearchEngine`
+(private incumbent state); the only cross-thread mutables are the
+caches, whose values are deterministic and used read-only, and the
+lock-guarded :class:`~repro.dssearch.grid.BufferPool`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Sequence, Tuple
+import threading
+from typing import Callable, Dict, Iterable, Sequence, Tuple
 
 import numpy as np
 
 from ..asp.rectset import RectSet
 from ..asp.reduction import reduce_to_asp
-from ..core.aggregators import CompositeAggregator
+from ..core.aggregators import (
+    AverageAggregator,
+    CompositeAggregator,
+    DistributionAggregator,
+    SumAggregator,
+)
 from ..core.channels import BoundContext, ChannelCompiler
 from ..core.objects import SpatialDataset
 from ..core.query import ASRSQuery, RegionResult
+from ..core.selection import SelectAll, SelectByValue
 from ..dssearch.drop import gps_accuracy
 from ..dssearch.grid import BufferPool
 from ..dssearch.search import DSSearchEngine, SearchSettings
 from ..index.gids import GIDSStats, candidate_lattice_intervals, gi_ds_search
 from ..index.grid_index import GridIndex
+
+_TERM_TAGS = {
+    DistributionAggregator: "fD",
+    AverageAggregator: "fA",
+    SumAggregator: "fS",
+}
+
+
+def aggregator_signature(aggregator: CompositeAggregator) -> str | None:
+    """A process-independent structural key for an aggregator, or ``None``.
+
+    Session caches key aggregators by object identity, which cannot
+    survive a save/load cycle; persisted per-aggregator artefacts
+    (channel tables, lattice intervals) are keyed by this signature
+    instead.  Only exact built-in terms with value-describable
+    selections are signaturable -- subclasses and predicate selections
+    return ``None`` and are simply not persisted (their artefacts are
+    recomputed on first use, answers unaffected).
+
+    The signature is the ``repr`` of a structured tuple, not a
+    delimiter-joined string: attribute names are user-controlled, so
+    flat joins could let two different term lists collide and adopt
+    each other's persisted artefacts.
+    """
+    parts = []
+    for term in aggregator.terms:
+        tag = _TERM_TAGS.get(type(term))
+        if tag is None:
+            return None
+        sel = term.selection
+        if type(sel) is SelectAll:
+            sel_key: tuple = ("all",)
+        elif type(sel) is SelectByValue:
+            sel_key = ("value", sel.attribute, repr(sel.value))
+        else:
+            return None
+        parts.append((tag, term.attribute, sel_key))
+    return repr(tuple(parts))
+
+
+def _validated_granularity(
+    granularity: Tuple[int, int] | str, n: int
+) -> Tuple[int, int]:
+    """``(sx, sy)`` from the granularity argument, or raise ``ValueError``.
+
+    Accepts ``"auto"`` or a pair of integers >= 1.  Any other string
+    used to reach ``GridIndex.build(dataset, *granularity)`` and splat
+    its *characters* as arguments -- validated here instead.
+    """
+    if isinstance(granularity, str):
+        if granularity != "auto":
+            raise ValueError(
+                "granularity must be 'auto' or a pair of ints >= 1, "
+                f"got {granularity!r}"
+            )
+        # A session amortizes the index build, so it affords a finer
+        # grid than a cold call: tighter cell bounds prune more and
+        # shrink the per-cell active sets.  ~2·sqrt(n) per axis
+        # (capped) measures best on the Fig. 10 workloads.
+        side = int(round(2.0 * np.sqrt(max(n, 1))))
+        return (min(256, max(8, side)),) * 2
+    try:
+        sx, sy = granularity
+    except (TypeError, ValueError):
+        raise ValueError(
+            "granularity must be 'auto' or a pair of ints >= 1, "
+            f"got {granularity!r}"
+        ) from None
+    if not all(
+        isinstance(v, (int, np.integer)) and not isinstance(v, bool) and v >= 1
+        for v in (sx, sy)
+    ):
+        raise ValueError(
+            "granularity must be 'auto' or a pair of ints >= 1, "
+            f"got {granularity!r}"
+        )
+    return (int(sx), int(sy))
 
 
 class QuerySession:
@@ -61,8 +154,8 @@ class QuerySession:
     dataset:
         The spatial dataset every query of this session runs against.
     granularity:
-        Grid-index granularity ``(sx, sy)`` for GI-DS solves; the index
-        is built lazily on first use.
+        Grid-index granularity ``(sx, sy)`` for GI-DS solves, or
+        ``"auto"``; the index is built lazily on first use.
     settings:
         DS-Search settings shared by all solves (the ``anchor`` also
         keys the ASP-reduction cache).
@@ -75,20 +168,17 @@ class QuerySession:
         settings: SearchSettings | None = None,
     ) -> None:
         self.dataset = dataset
-        if granularity == "auto":
-            # A session amortizes the index build, so it affords a finer
-            # grid than a cold call: tighter cell bounds prune more and
-            # shrink the per-cell active sets.  ~2·sqrt(n) per axis
-            # (capped) measures best on the Fig. 10 workloads.
-            side = int(round(2.0 * np.sqrt(max(dataset.n, 1))))
-            granularity = (min(256, max(8, side)),) * 2
-        self.granularity = granularity
+        self.granularity = _validated_granularity(granularity, dataset.n)
         self.settings = settings or SearchSettings()
         self._pool = BufferPool()
         self._index: GridIndex | None = None
-        # Aggregators are kept referenced so their ids stay unique for
-        # the session's lifetime.
-        self._aggregators: Dict[int, CompositeAggregator] = {}
+        # Every aggregator/compiler whose id() keys a cache entry is
+        # pinned here, atomically with the entry (inside _memo's store):
+        # an id-keyed entry must never outlive its key object, or
+        # CPython id reuse could hand a *different* aggregator a stale
+        # artefact -- including entries repopulated by an in-flight
+        # solve after a mid-solve clear_caches.
+        self._pins: Dict[int, object] = {}
         self._compilers: Dict[int, ChannelCompiler] = {}
         self._tables: Dict[int, np.ndarray] = {}
         self._contexts: Dict[int, BoundContext] = {}
@@ -98,6 +188,71 @@ class QuerySession:
         ] = {}
         self._lattices: Dict[Tuple[float, float, int], tuple] = {}
         self._cells: Dict[Tuple[float, float, int], dict] = {}
+        # Disk-restored artefacts keyed by aggregator *signature* (ids
+        # do not survive a process restart); adopted into the id-keyed
+        # caches on first use.  See engine/persist.py.
+        self._pending_tables: Dict[str, np.ndarray] = {}
+        self._pending_lattices: Dict[Tuple[float, float, str], tuple] = {}
+        # Concurrency (DESIGN.md §8.1): the index gets a dedicated lock
+        # (its build is the one expensive single-shot artefact); every
+        # other cache goes through the in-flight-deduplicated _memo.
+        self._index_lock = threading.Lock()
+        self._memo_lock = threading.Lock()
+        self._inflight: Dict[tuple, threading.Event] = {}
+
+    # ------------------------------------------------------------------
+    # Memoization machinery
+    # ------------------------------------------------------------------
+    def _memo(self, cache: dict, key, compute: Callable, pin=None):
+        """Get-or-compute with per-key in-flight deduplication.
+
+        The fast path is a bare ``dict.get`` (atomic in CPython).  On a
+        miss, exactly one thread computes while any concurrent requester
+        of the *same* key waits on an event -- compute-once matters
+        beyond efficiency, because downstream caches key artefacts by
+        ``id()`` and must all observe the same object.  ``compute``
+        runs with no lock held, so nested memoizations (lattice ->
+        tables -> index) cannot deadlock; the artefact dependency graph
+        is acyclic, so neither can the event waits.
+
+        ``pin`` names the object whose ``id()`` appears in ``key``; it
+        is stored into ``_pins`` under the same lock acquisition as the
+        entry, so a concurrent ``clear_caches`` (which drops entries
+        and pins together) can never leave an entry keyed by the id of
+        a collectable object.
+        """
+        value = cache.get(key)
+        if value is not None:
+            return value
+        inflight_key = (id(cache), key)
+        with self._memo_lock:
+            value = cache.get(key)
+            if value is not None:
+                return value
+            event = self._inflight.get(inflight_key)
+            if event is None:
+                self._inflight[inflight_key] = event = threading.Event()
+                owner = True
+            else:
+                owner = False
+        if not owner:
+            event.wait()
+            value = cache.get(key)
+            if value is not None:
+                return value
+            # The owner failed (its compute raised): take over.
+            return self._memo(cache, key, compute, pin=pin)
+        try:
+            value = compute()
+            with self._memo_lock:
+                if pin is not None:
+                    self._pins[id(pin)] = pin
+                cache[key] = value
+        finally:
+            with self._memo_lock:
+                del self._inflight[inflight_key]
+            event.set()
+        return value
 
     # ------------------------------------------------------------------
     # Memoized artefacts
@@ -105,46 +260,52 @@ class QuerySession:
     @property
     def index(self) -> GridIndex:
         """The session's grid index, built on first access."""
-        if self._index is None:
-            self._index = GridIndex.build(self.dataset, *self.granularity)
-        return self._index
+        idx = self._index
+        if idx is None:
+            with self._index_lock:
+                if self._index is None:
+                    self._index = GridIndex.build(self.dataset, *self.granularity)
+                idx = self._index
+        return idx
 
     def compiler_for(self, aggregator: CompositeAggregator) -> ChannelCompiler:
         """The memoized channel compiler of an aggregator object."""
-        key = id(aggregator)
-        compiler = self._compilers.get(key)
-        if compiler is None:
-            compiler = ChannelCompiler(self.dataset, aggregator)
-            self._aggregators[key] = aggregator
-            self._compilers[key] = compiler
-        return compiler
+        return self._memo(
+            self._compilers,
+            id(aggregator),
+            lambda: ChannelCompiler(self.dataset, aggregator),
+            pin=aggregator,
+        )
 
     def channel_tables(self, compiler: ChannelCompiler) -> np.ndarray:
         """The memoized index suffix table of a compiler's channels."""
-        key = id(compiler)
-        tables = self._tables.get(key)
-        if tables is None:
-            tables = self.index.channel_tables(compiler)
-            self._tables[key] = tables
-        return tables
+
+        def compute():
+            if self._pending_tables:
+                sig = aggregator_signature(compiler.aggregator)
+                pending = (
+                    self._pending_tables.get(sig) if sig is not None else None
+                )
+                if pending is not None:
+                    return pending
+            return self.index.channel_tables(compiler)
+
+        return self._memo(self._tables, id(compiler), compute, pin=compiler)
 
     def context_for(self, compiler: ChannelCompiler) -> BoundContext:
         """The memoized full-dataset bound context of a compiler."""
-        key = id(compiler)
-        ctx = self._contexts.get(key)
-        if ctx is None:
-            ctx = compiler.make_context()
-            self._contexts[key] = ctx
-        return ctx
+        return self._memo(
+            self._contexts, id(compiler), compiler.make_context, pin=compiler
+        )
 
     def empty_rep_for(self, aggregator: CompositeAggregator) -> np.ndarray:
         """The memoized empty-region representation of an aggregator."""
-        key = id(aggregator)
-        rep = self._empty_reps.get(key)
-        if rep is None:
-            rep = aggregator.empty_representation(self.dataset)
-            self._empty_reps[key] = rep
-        return rep
+        return self._memo(
+            self._empty_reps,
+            id(aggregator),
+            lambda: aggregator.empty_representation(self.dataset),
+            pin=aggregator,
+        )
 
     def lattice_for(
         self, width: float, height: float, compiler: ChannelCompiler
@@ -155,9 +316,17 @@ class QuerySession:
         its whole lattice-bounding phase to one ``lower_bound_many``.
         """
         key = (float(width), float(height), id(compiler))
-        lattice = self._lattices.get(key)
-        if lattice is None:
-            lattice = candidate_lattice_intervals(
+
+        def compute():
+            if self._pending_lattices:
+                sig = aggregator_signature(compiler.aggregator)
+                if sig is not None:
+                    pending = self._pending_lattices.get(
+                        (float(width), float(height), sig)
+                    )
+                    if pending is not None:
+                        return pending
+            return candidate_lattice_intervals(
                 self.index,
                 compiler,
                 width,
@@ -165,20 +334,45 @@ class QuerySession:
                 tables=self.channel_tables(compiler),
                 ctx=self.context_for(compiler),
             )
-            self._lattices[key] = lattice
-        return lattice
+
+        return self._memo(self._lattices, key, compute, pin=compiler)
 
     def reduction_for(
         self, width: float, height: float
     ) -> Tuple[RectSet, Tuple[float, float]]:
         """The memoized ASP reduction + GPS accuracy for a region size."""
         key = (float(width), float(height), self.settings.anchor)
-        cached = self._reductions.get(key)
-        if cached is None:
-            rects = reduce_to_asp(self.dataset, width, height, self.settings.anchor)
-            cached = (rects, gps_accuracy(rects))
-            self._reductions[key] = cached
-        return cached
+
+        def compute():
+            rects = reduce_to_asp(
+                self.dataset, width, height, self.settings.anchor
+            )
+            return (rects, gps_accuracy(rects))
+
+        return self._memo(self._reductions, key, compute)
+
+    def warm(
+        self, aggregator: CompositeAggregator, width: float, height: float
+    ) -> "QuerySession":
+        """Precompute every target-independent artefact of a query shape.
+
+        After warming, the first ``solve`` of a query with this
+        aggregator object and region size pays only the target-dependent
+        search.  This is also what ``repro index-build`` persists via
+        :func:`~repro.engine.persist.save_session`.
+        """
+        compiler = self.compiler_for(aggregator)
+        self.empty_rep_for(aggregator)
+        if self.dataset.n:
+            self.channel_tables(compiler)
+            self.context_for(compiler)
+            self.reduction_for(width, height)
+            self.lattice_for(width, height, compiler)
+        return self
+
+    def warm_for(self, query: ASRSQuery) -> "QuerySession":
+        """:meth:`warm` for a query's aggregator and region size."""
+        return self.warm(query.aggregator, query.width, query.height)
 
     # ------------------------------------------------------------------
     # Solving
@@ -220,6 +414,9 @@ class QuerySession:
         settings=session.settings)`` resp. ``ds_search(dataset, query,
         session.settings)``.  A cold call at a different granularity
         can return a different equally-optimal region on tie plateaus.
+
+        Safe to call from many threads at once: every solve runs on a
+        private engine, and shared cached artefacts are read-only.
         """
         if method not in ("gids", "ds"):
             raise ValueError(f"method must be 'gids' or 'ds', got {method!r}")
@@ -245,7 +442,7 @@ class QuerySession:
             channel_tables=self.channel_tables(compiler),
             bound_context=self.context_for(compiler),
             lattice_intervals=self.lattice_for(query.width, query.height, compiler),
-            cell_cache=self._cells.setdefault(cell_key, {}),
+            cell_cache=self._memo(self._cells, cell_key, dict, pin=compiler),
         )
 
     def solve_batch(
@@ -255,6 +452,7 @@ class QuerySession:
         delta: float = 0.0,
         probe_cells: int = 16,
         return_stats: bool = False,
+        workers: int | None = None,
     ) -> list:
         """Solve a batch of queries, sharing every cached artefact.
 
@@ -263,17 +461,30 @@ class QuerySession:
         them.  Returns one entry per query, in order -- plain
         :class:`RegionResult` s, or ``(result, stats)`` pairs with
         ``return_stats=True``.
+
+        ``workers`` > 1 solves the batch on a thread pool against the
+        now-thread-safe caches; answers are bitwise-identical to the
+        serial path in any case (numpy releases the GIL on the heavy
+        kernels, so multi-core runners overlap real work).  ``None`` or
+        values <= 1 keep the serial path.
         """
-        return [
-            self.solve(
+
+        def one(q: ASRSQuery):
+            return self.solve(
                 q,
                 method=method,
                 delta=delta,
                 probe_cells=probe_cells,
                 return_stats=return_stats,
             )
-            for q in queries
-        ]
+
+        queries = list(queries)
+        if workers is None or workers <= 1 or len(queries) <= 1:
+            return [one(q) for q in queries]
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=min(workers, len(queries))) as ex:
+            return list(ex.map(one, queries))
 
     # ------------------------------------------------------------------
     def clear_caches(self) -> None:
@@ -284,16 +495,25 @@ class QuerySession:
         :data:`repro.index.gids.CELL_CACHE_CAP` entries per
         ``(width, height, aggregator)`` key, so calling this is only
         needed to reclaim memory across many distinct query shapes.
+
+        Safe to call while other threads are mid-solve (a
+        :class:`~repro.engine.pool.SessionPool` evicting under memory
+        pressure does exactly that): running solves hold direct
+        references to the artefacts they already fetched and recompute
+        anything they re-request, so their answers are unchanged.
         """
-        self._index = None
-        self._aggregators.clear()
-        self._compilers.clear()
-        self._tables.clear()
-        self._contexts.clear()
-        self._empty_reps.clear()
-        self._reductions.clear()
-        self._lattices.clear()
-        self._cells.clear()
+        with self._memo_lock:
+            self._index = None
+            self._pins.clear()
+            self._compilers.clear()
+            self._tables.clear()
+            self._contexts.clear()
+            self._empty_reps.clear()
+            self._reductions.clear()
+            self._lattices.clear()
+            self._cells.clear()
+            self._pending_tables.clear()
+            self._pending_lattices.clear()
 
     def cache_info(self) -> dict:
         """Occupancy of the session caches (for tests and diagnostics)."""
@@ -305,8 +525,55 @@ class QuerySession:
             "empty_reps": len(self._empty_reps),
             "reductions": len(self._reductions),
             "lattices": len(self._lattices),
-            "cached_cells": sum(len(c) for c in self._cells.values()),
+            # list(): solves may insert cell caches concurrently.
+            "cached_cells": sum(len(c) for c in list(self._cells.values())),
         }
+
+    def cache_nbytes(self) -> int:
+        """Approximate bytes held by the session caches.
+
+        Drives :class:`~repro.engine.pool.SessionPool` eviction; counts
+        the numpy payloads (index tables, channel weights, suffix
+        tables, lattice intervals, ASP rectangles, cached cell states)
+        and ignores interpreter overhead.
+        """
+        total = 0
+        # Adopted pending artefacts alias their id-keyed entries (the
+        # session keeps the signature-keyed reference for later equal-
+        # signature aggregators), so each distinct array counts once.
+        seen: set = set()
+
+        def arr_bytes(arr) -> int:
+            if id(arr) in seen:
+                return 0
+            seen.add(id(arr))
+            return arr.nbytes
+
+        index = self._index
+        if index is not None:
+            total += index.index_nbytes() + index.xs.nbytes + index.ys.nbytes
+        for compiler in list(self._compilers.values()):
+            total += compiler.nbytes
+        for table in list(self._tables.values()):
+            total += arr_bytes(table)
+        for rep in list(self._empty_reps.values()):
+            total += rep.nbytes
+        for rects, _ in list(self._reductions.values()):
+            total += rects.nbytes
+        for lattice in list(self._lattices.values()):
+            total += sum(arr_bytes(arr) for arr in lattice)
+        for table in list(self._pending_tables.values()):
+            total += arr_bytes(table)
+        for lattice in list(self._pending_lattices.values()):
+            total += sum(arr_bytes(arr) for arr in lattice)
+        for cells in list(self._cells.values()):
+            for entry in list(cells.values()):
+                if not entry:
+                    continue
+                active, sub, acc = entry
+                total += active.nbytes + sub.nbytes
+                total += acc.full.nbytes + acc.over.nbytes + acc.dirty.nbytes
+        return total
 
     def __repr__(self) -> str:
         return (

@@ -217,7 +217,10 @@ def gi_ds_search(
     stats.total_cells = int(x0.size)
     cw, ch = index.cell_width, index.cell_height
 
-    if probe_cells:
+    # Guard against an empty candidate lattice (e.g. injected intervals
+    # from a stale snapshot): ``min(probe_cells, 0)`` would otherwise
+    # reach ``argpartition(lbs, -1)`` on an empty array and crash.
+    if probe_cells and stats.total_cells:
         from ..asp.evaluate import points_distances
 
         k = min(probe_cells, stats.total_cells)

@@ -183,6 +183,175 @@ class TestCommands:
         assert "distance=0" in out  # the fig1 targets are achievable
         assert "QuerySession" in out
 
+    def test_index_build_then_warm_batch(self, tmp_path, fig1_dataset, capsys):
+        """index-build + batch --index must print exactly what a cold
+        batch prints (bitwise-identical serving), warm from disk."""
+        import json
+
+        data = self._write_fig1(tmp_path, fig1_dataset)
+        spec = {
+            "terms": ["fD:category", "fA:price@category=Apartment"],
+            "width": 4.0,
+            "height": 4.0,
+            "queries": [
+                {"target": [2, 1, 1, 1, 1.75]},
+                {"target": [3, 1, 1, 1, 1.6]},
+            ],
+        }
+        queries = tmp_path / "queries.json"
+        queries.write_text(json.dumps(spec))
+        common = [
+            "--data", data,
+            "--categorical", "category",
+            "--numeric", "price",
+            "--queries", str(queries),
+        ]
+        bundle = tmp_path / "fig1.idx"
+        rc = main(["index-build", *common, "--out", str(bundle)])
+        assert rc == 0
+        assert "wrote session index" in capsys.readouterr().out
+        assert bundle.exists()
+
+        rc = main(["batch", *common])
+        assert rc == 0
+        cold_out = capsys.readouterr().out
+
+        rc = main(["batch", *common, "--index", str(bundle), "--workers", "2"])
+        assert rc == 0
+        warm_out = capsys.readouterr().out
+        assert warm_out == cold_out
+
+    def test_index_build_custom_granularity(self, tmp_path, fig1_dataset, capsys):
+        import json
+
+        data = self._write_fig1(tmp_path, fig1_dataset)
+        queries = tmp_path / "queries.json"
+        queries.write_text(
+            json.dumps(
+                {
+                    "terms": ["fD:category"],
+                    "width": 4.0,
+                    "height": 4.0,
+                    "queries": [{"target": [2, 1, 1, 1]}],
+                }
+            )
+        )
+        bundle = tmp_path / "fig1.idx"
+        rc = main(
+            [
+                "index-build",
+                "--data", data,
+                "--categorical", "category",
+                "--numeric", "price",
+                "--queries", str(queries),
+                "--granularity", "5,6",
+                "--out", str(bundle),
+            ]
+        )
+        assert rc == 0
+        assert "granularity 5x6" in capsys.readouterr().out
+
+    def test_index_build_bad_granularity(self, tmp_path, fig1_dataset):
+        import json
+
+        data = self._write_fig1(tmp_path, fig1_dataset)
+        queries = tmp_path / "queries.json"
+        queries.write_text(
+            json.dumps(
+                {
+                    "terms": ["fD:category"],
+                    "width": 4.0,
+                    "height": 4.0,
+                    "queries": [{"target": [2, 1, 1, 1]}],
+                }
+            )
+        )
+        with pytest.raises(SystemExit, match="granularity"):
+            main(
+                [
+                    "index-build",
+                    "--data", data,
+                    "--categorical", "category",
+                    "--numeric", "price",
+                    "--queries", str(queries),
+                    "--granularity", "wide",
+                    "--out", str(tmp_path / "x.idx"),
+                ]
+            )
+
+    def test_index_build_nonpositive_granularity(self, tmp_path, fig1_dataset):
+        import json
+
+        data = self._write_fig1(tmp_path, fig1_dataset)
+        queries = tmp_path / "queries.json"
+        queries.write_text(
+            json.dumps(
+                {
+                    "terms": ["fD:category"],
+                    "width": 4.0,
+                    "height": 4.0,
+                    "queries": [{"target": [2, 1, 1, 1]}],
+                }
+            )
+        )
+        with pytest.raises(SystemExit, match=">= 1"):
+            main(
+                [
+                    "index-build",
+                    "--data", data,
+                    "--categorical", "category",
+                    "--numeric", "price",
+                    "--queries", str(queries),
+                    "--granularity", "0,5",
+                    "--out", str(tmp_path / "x.idx"),
+                ]
+            )
+
+    def test_batch_with_mismatched_index(self, tmp_path, fig1_dataset):
+        """--index built over different data must fail loudly."""
+        import json
+
+        import numpy as np
+
+        data = self._write_fig1(tmp_path, fig1_dataset)
+        other_csv = tmp_path / "other.csv"
+        save_csv(fig1_dataset.subset(np.arange(fig1_dataset.n - 1)), other_csv)
+        queries = tmp_path / "queries.json"
+        queries.write_text(
+            json.dumps(
+                {
+                    "terms": ["fD:category"],
+                    "width": 4.0,
+                    "height": 4.0,
+                    "queries": [{"target": [2, 1, 1, 1]}],
+                }
+            )
+        )
+        bundle = tmp_path / "other.idx"
+        rc = main(
+            [
+                "index-build",
+                "--data", str(other_csv),
+                "--categorical", "category",
+                "--numeric", "price",
+                "--queries", str(queries),
+                "--out", str(bundle),
+            ]
+        )
+        assert rc == 0
+        assert bundle.exists()
+        with pytest.raises(SystemExit, match="different dataset"):
+            main(
+                [
+                    "batch",
+                    "--data", data,
+                    "--categorical", "category",
+                    "--numeric", "price",
+                    "--queries", str(queries),
+                    "--index", str(bundle),
+                ]
+            )
+
     def test_batch_missing_target(self, tmp_path, fig1_dataset):
         import json
 

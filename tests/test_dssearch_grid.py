@@ -1,5 +1,6 @@
 """Tests for the discretization grid: classification and accumulation
-must agree with direct per-cell geometry checks."""
+must agree with direct per-cell geometry checks; plus the BufferPool's
+recycling and return-validation contracts."""
 
 import numpy as np
 import pytest
@@ -9,6 +10,7 @@ from hypothesis import strategies as st
 from repro.asp import RectSet, reduce_to_asp
 from repro.core import ChannelCompiler, Rect
 from repro.dssearch import DiscretizationGrid
+from repro.dssearch.grid import BufferPool
 
 from .conftest import make_random_dataset, random_aggregator
 
@@ -119,3 +121,73 @@ class TestAccumulation:
         assert not acc.dirty.any()
         assert acc.full.shape == (2, 2, 2)
         assert not acc.full.any()
+
+
+class TestBufferPool:
+    def test_recycles_by_length(self):
+        pool = BufferPool()
+        a = pool.take(7)
+        assert a.shape == (7,) and a.dtype == np.float64
+        pool.give(a)
+        assert pool.take(7) is a  # recycled, not reallocated
+        assert pool.take(7) is not a  # pool is empty again
+
+    def test_rejects_wrong_dtype(self):
+        pool = BufferPool()
+        with pytest.raises(ValueError, match="float64"):
+            pool.give(np.zeros(4, dtype=np.float32))
+
+    def test_rejects_wrong_ndim(self):
+        pool = BufferPool()
+        with pytest.raises(ValueError, match="1-D"):
+            pool.give(np.zeros((2, 2)))
+
+    def test_rejects_non_array(self):
+        pool = BufferPool()
+        with pytest.raises(ValueError):
+            pool.give([0.0, 1.0])
+
+    def test_rejects_double_return(self):
+        """Regression: a buffer given twice would later be taken twice,
+        silently aliasing two 'independent' scratch arrays."""
+        pool = BufferPool()
+        a = pool.take(5)
+        pool.give(a)
+        with pytest.raises(ValueError, match="twice"):
+            pool.give(a)
+        # Once re-taken, giving it back is legitimate again.
+        assert pool.take(5) is a
+        pool.give(a)
+
+    def test_concurrent_take_give_unique(self):
+        """Hammered from threads, the pool must never hand one buffer
+        to two concurrent holders."""
+        import threading
+
+        pool = BufferPool()
+        errors = []
+        in_use = set()
+        in_use_lock = threading.Lock()
+
+        def worker():
+            try:
+                for _ in range(300):
+                    arr = pool.take(16)
+                    with in_use_lock:
+                        if id(arr) in in_use:
+                            errors.append("aliased buffer handed out")
+                            return
+                        in_use.add(id(arr))
+                    arr[0] = 1.0
+                    with in_use_lock:
+                        in_use.discard(id(arr))
+                    pool.give(arr)
+            except Exception as exc:  # pragma: no cover
+                errors.append(repr(exc))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors

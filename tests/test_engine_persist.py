@@ -1,0 +1,243 @@
+"""Tests for session persistence (engine/persist.py, DESIGN.md §8.3).
+
+The contract: a ``load_session``-warmed session answers queries
+bitwise-identically to the saved session and to the cold paths, never
+pays the index build again, and refuses to serve a dataset it was not
+built over.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ASRSQuery, CompositeAggregator, SumAggregator
+from repro.core.selection import SelectWhere
+from repro.dssearch import SearchSettings
+from repro.engine import (
+    QuerySession,
+    aggregator_signature,
+    load_session,
+    save_session,
+)
+from repro.engine.persist import FORMAT_VERSION, dataset_fingerprint
+from repro.index import gi_ds_search
+
+from .conftest import make_random_dataset, random_aggregator
+
+SMALL = SearchSettings(ncol=6, nrow=6, max_depth=16)
+
+
+def _same_result(a, b) -> bool:
+    return (
+        a.region == b.region
+        and a.distance == b.distance
+        and np.array_equal(a.representation, b.representation)
+    )
+
+
+def _instance(seed: int, n: int):
+    rng = np.random.default_rng(seed)
+    dataset = make_random_dataset(rng, n, extent=60.0)
+    aggregator = random_aggregator()
+    dim = aggregator.dim(dataset)
+    queries = [
+        ASRSQuery.from_vector(13.0, 9.0, aggregator, rng.uniform(0, 4, dim))
+        for _ in range(3)
+    ]
+    return dataset, aggregator, queries
+
+
+class TestRoundTrip:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), n=st.integers(1, 50))
+    def test_roundtrip_bitwise_identical(self, seed, n, tmp_path_factory):
+        dataset, aggregator, queries = _instance(seed, n)
+        session = QuerySession(dataset, settings=SMALL)
+        expected = session.solve_batch(queries)
+
+        path = tmp_path_factory.mktemp("persist") / "session.idx"
+        save_session(session, path)
+        restored = load_session(path, dataset)
+        for want, got in zip(expected, restored.solve_batch(queries)):
+            assert _same_result(want, got)
+
+    def test_load_skips_cold_build_and_adopts_artefacts(self, tmp_path):
+        dataset, aggregator, queries = _instance(5, 60)
+        session = QuerySession(dataset, settings=SMALL)
+        session.warm_for(queries[0])
+        path = tmp_path / "session.idx"
+        save_session(session, path)
+
+        restored = load_session(path, dataset)
+        info = restored.cache_info()
+        assert info["index_built"]  # restored, not rebuilt
+        assert info["reductions"] == 1
+        assert len(restored._pending_tables) == 1
+        assert len(restored._pending_lattices) == 1
+
+        # The restored index must be the saved one, array for array.
+        np.testing.assert_array_equal(restored.index.xs, session.index.xs)
+        assert restored.index.sx == session.index.sx
+        assert restored.granularity == session.granularity
+        assert restored.settings == session.settings
+
+        # Solving with a structurally equal aggregator *object* adopts
+        # the persisted suffix table and lattice instead of recomputing.
+        restored.solve(queries[0])
+        info = restored.cache_info()
+        table_id = id(restored.compiler_for(queries[0].aggregator))
+        sig = aggregator_signature(aggregator)
+        assert restored._tables[table_id] is restored._pending_tables[sig]
+
+    def test_loaded_matches_cold_path(self, tmp_path):
+        dataset, aggregator, queries = _instance(7, 40)
+        session = QuerySession(dataset, settings=SMALL)
+        session.solve_batch(queries)
+        path = tmp_path / "session.idx"
+        save_session(session, path)
+        restored = load_session(path, dataset)
+        for query in queries:
+            cold = gi_ds_search(
+                dataset,
+                query,
+                granularity=restored.granularity,
+                settings=SMALL,
+            )
+            assert _same_result(cold, restored.solve(query))
+
+    def test_adoption_does_not_double_count_bytes(self, tmp_path):
+        """Adopted pending artefacts alias the id-keyed entries; the
+        byte accounting must count each array once (SessionPool budgets
+        depend on it)."""
+        dataset, aggregator, queries = _instance(21, 50)
+        session = QuerySession(dataset, settings=SMALL)
+        session.warm_for(queries[0])
+        path = tmp_path / "session.idx"
+        save_session(session, path)
+        restored = load_session(path, dataset)
+        restored.solve(queries[0])  # adopts the pending table + lattice
+        sig = aggregator_signature(aggregator)
+        compiler = restored.compiler_for(queries[0].aggregator)
+        assert restored._tables[id(compiler)] is restored._pending_tables[sig]
+        with_alias = restored.cache_nbytes()
+        # Dropping the pending references removes only aliases of the
+        # adopted arrays -- a dedup-correct measurement cannot change.
+        restored._pending_tables.clear()
+        restored._pending_lattices.clear()
+        assert restored.cache_nbytes() == with_alias
+
+    def test_save_overwrites_atomically(self, tmp_path):
+        """Re-saving over an existing bundle must leave a loadable file
+        and no temp droppings."""
+        dataset, aggregator, queries = _instance(23, 20)
+        session = QuerySession(dataset, settings=SMALL)
+        path = tmp_path / "session.idx"
+        save_session(session, path)
+        session.warm_for(queries[0])
+        save_session(session, path)  # overwrite in place
+        restored = load_session(path, dataset)
+        assert restored.cache_info()["index_built"]
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+
+    def test_unwarmed_session_roundtrip(self, tmp_path):
+        dataset, aggregator, queries = _instance(9, 20)
+        session = QuerySession(dataset, settings=SMALL)  # nothing warm
+        path = tmp_path / "session.idx"
+        save_session(session, path)
+        restored = load_session(path, dataset)
+        assert restored.cache_info()["index_built"] is False
+        assert _same_result(
+            restored.solve(queries[0]),
+            QuerySession(dataset, settings=SMALL).solve(queries[0]),
+        )
+
+    def test_empty_dataset_roundtrip(self, tmp_path):
+        dataset, aggregator, queries = _instance(11, 5)
+        empty = dataset.subset(np.zeros(dataset.n, dtype=bool))
+        session = QuerySession(empty, settings=SMALL)
+        result = session.solve(queries[0])
+        path = tmp_path / "session.idx"
+        save_session(session, path)
+        restored = load_session(path, empty)
+        assert _same_result(result, restored.solve(queries[0]))
+
+    def test_unsignaturable_aggregator_skipped_but_loadable(self, tmp_path):
+        """Predicate selections have no stable signature: their
+        artefacts are not persisted, and the loaded session simply
+        recomputes them."""
+        dataset, _, _ = _instance(13, 30)
+        aggregator = CompositeAggregator(
+            [SumAggregator("score", SelectWhere(lambda d: d.xs > 0, "x>0"))]
+        )
+        assert aggregator_signature(aggregator) is None
+        query = ASRSQuery.from_vector(10.0, 10.0, aggregator, np.zeros(1))
+        session = QuerySession(dataset, settings=SMALL)
+        expected = session.solve(query)
+        path = tmp_path / "session.idx"
+        save_session(session, path)
+        restored = load_session(path, dataset)
+        assert not restored._pending_tables
+        assert _same_result(expected, restored.solve(query))
+
+
+class TestValidation:
+    def test_wrong_dataset_rejected(self, tmp_path):
+        dataset, _, _ = _instance(15, 30)
+        other, _, _ = _instance(16, 30)
+        session = QuerySession(dataset, settings=SMALL)
+        path = tmp_path / "session.idx"
+        save_session(session, path)
+        with pytest.raises(ValueError, match="different dataset"):
+            load_session(path, other)
+
+    def test_non_bundle_npz_rejected(self, tmp_path):
+        dataset, _, _ = _instance(25, 10)
+        path = tmp_path / "not_a_bundle.npz"
+        np.savez(path, some_array=np.arange(3))
+        with pytest.raises(ValueError, match="not a session bundle"):
+            load_session(path, dataset)
+
+    def test_format_version_rejected(self, tmp_path):
+        import json
+
+        dataset, _, _ = _instance(17, 10)
+        session = QuerySession(dataset, settings=SMALL)
+        path = tmp_path / "session.idx"
+        save_session(session, path)
+        with np.load(path, allow_pickle=False) as bundle:
+            meta = json.loads(str(bundle["meta"][()]))
+            arrays = {name: bundle[name] for name in bundle.files}
+        meta["format_version"] = FORMAT_VERSION + 1
+        arrays["meta"] = np.array(json.dumps(meta))
+        with open(path, "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+        with pytest.raises(ValueError, match="format version"):
+            load_session(path, dataset)
+
+    def test_fingerprint_tracks_attribute_values(self):
+        dataset, _, _ = _instance(19, 10)
+        tweaked_columns = {
+            name: dataset.column(name).copy() for name in dataset.schema.names
+        }
+        tweaked_columns["score"][0] += 1.0
+        from repro.core import SpatialDataset
+
+        tweaked = SpatialDataset(
+            dataset.xs, dataset.ys, dataset.schema, tweaked_columns
+        )
+        assert dataset_fingerprint(dataset) != dataset_fingerprint(tweaked)
+
+
+class TestSignature:
+    def test_structurally_equal_aggregators_share_signature(self):
+        a = random_aggregator()
+        b = random_aggregator()
+        assert a is not b
+        assert aggregator_signature(a) == aggregator_signature(b)
+
+    def test_different_terms_different_signature(self):
+        a = random_aggregator(with_avg=True)
+        b = random_aggregator(with_avg=False)
+        assert aggregator_signature(a) != aggregator_signature(b)

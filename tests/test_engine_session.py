@@ -151,6 +151,36 @@ class TestSessionCaching:
         with pytest.raises(ValueError, match="method"):
             session.solve(query, method="bogus")
 
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "AUTO",  # regression: used to splat 'A','U','T','O' into build
+            "64",
+            "64,64",
+            (64,),
+            (0, 64),
+            (-3, 4),
+            (64.0, 64),
+            (True, True),
+            64,
+            None,
+        ],
+    )
+    def test_granularity_validation(self, bad):
+        dataset, _ = _random_instance(11, 10)
+        with pytest.raises(ValueError, match="granularity"):
+            QuerySession(dataset, granularity=bad, settings=SMALL)
+
+    def test_granularity_accepts_auto_and_int_pairs(self):
+        dataset, query = _random_instance(11, 10)
+        assert QuerySession(dataset, settings=SMALL).granularity[0] >= 8
+        session = QuerySession(
+            dataset, granularity=(np.int64(5), 7), settings=SMALL
+        )
+        assert session.granularity == (5, 7)
+        session.solve(query)  # the pair reaches GridIndex.build intact
+        assert (session.index.sx, session.index.sy) == (5, 7)
+
     def test_clear_caches_preserves_answers(self):
         dataset, query = _random_instance(13, 30)
         session = QuerySession(dataset, settings=SMALL)

@@ -160,6 +160,49 @@ class TestGIDS:
         result = gi_ds_search(empty, query)
         assert result.distance == pytest.approx(1.0)
 
+    def test_region_larger_than_data_extent(self):
+        """Regression: a region dwarfing the data extent must not crash
+        the probe phase and must agree with plain DS-Search."""
+        rng = np.random.default_rng(3)
+        ds = make_random_dataset(rng, 8, extent=4.0)
+        agg = random_aggregator()
+        dim = agg.dim(ds)
+        # Every candidate region this size swallows the whole dataset.
+        query = ASRSQuery.from_vector(500.0, 500.0, agg, rng.uniform(0, 4, dim))
+        plain = ds_search(ds, query, SMALL)
+        indexed = gi_ds_search(ds, query, granularity=(3, 3), settings=SMALL)
+        assert indexed.distance == pytest.approx(plain.distance, abs=1e-9)
+
+    def test_empty_candidate_lattice_is_guarded(self):
+        """Regression: ``probe_cells`` with an empty candidate lattice
+        used to reach ``argpartition(lbs, -1)`` and crash; the warm path
+        can inject such a lattice (e.g. from a stale snapshot)."""
+        rng = np.random.default_rng(4)
+        ds = make_random_dataset(rng, 6, extent=10.0)
+        agg = random_aggregator()
+        dim = agg.dim(ds)
+        query = ASRSQuery.from_vector(3.0, 3.0, agg, rng.uniform(0, 4, dim))
+        empty = (
+            np.empty(0),
+            np.empty(0),
+            np.empty((0, dim)),
+            np.empty((0, dim)),
+        )
+        result, stats = gi_ds_search(
+            ds,
+            query,
+            granularity=(3, 3),
+            settings=SMALL,
+            probe_cells=16,
+            lattice_intervals=empty,
+            return_stats=True,
+        )
+        # No candidate cells: the incumbent stays at the empty-region seed.
+        assert stats.total_cells == 0
+        assert result.distance == query.distance_to(
+            agg.empty_representation(ds)
+        )
+
     @settings(max_examples=20, deadline=None)
     @given(
         seed=st.integers(0, 2**32 - 1),
