@@ -15,8 +15,16 @@ the Fig. 10 scalability workload (Tweet + POISyn, query size 10q):
   single-core runners degenerate to ~warm);
 * **warm-from-disk** -- ``save_session`` + ``load_session`` + a serial
   batch: what a restarted server pays instead of the cold build.
+* **incremental** -- a live update stream: eight rounds of "mutate
+  (append ~0.2% in-bounds objects, delete ~0.2% interior objects via
+  ``QuerySession.apply``) then serve a slice of the batch", on one
+  session patched in place -- versus **rebuild**, which serves the
+  identical stream by constructing a cold session on each round's
+  dataset.  Per-round answers must be bitwise-identical between the
+  two; the speedup is what in-place patching saves over a per-change
+  rebuild when updates are frequent.
 
-All five must return bitwise-identical results; the script fails if
+All rows must return bitwise-identical results; the script fails if
 they do not.  Results land in ``BENCH_engine.json`` so the perf
 trajectory is tracked across PRs::
 
@@ -45,7 +53,7 @@ from repro.data import (
     poisyn_query,
     weekend_query,
 )
-from repro.engine import QuerySession, load_session, save_session
+from repro.engine import QuerySession, UpdateBatch, load_session, save_session
 from repro.experiments.datasets import SEED, paper_query_size
 from repro.index import gi_ds_search
 
@@ -128,9 +136,65 @@ def bench_config(kind: str, n: int, n_queries: int, workers: int) -> dict:
         disk = restored.solve_batch(queries)
         disk_solve_s = time.perf_counter() - t0
 
+    # Incremental: a live update stream.  Each round mutates the data
+    # (append ~0.5% rows resampled in-bounds, delete ~0.5% interior
+    # rows -- avoiding the bounding-box corners keeps the index on the
+    # sublinear dirty-cell path) and then serves a slice of the query
+    # batch.  The incremental path patches ONE warm session in place;
+    # the rebuild path answers the identical stream with a cold session
+    # per round, which is what a server without a mutation API must do.
+    # The update sequence is pre-simulated (untimed) so both paths see
+    # bit-identical datasets.
+    rng = np.random.default_rng(SEED + 1)
+    rounds = 8
+    slices = [queries[i::rounds] for i in range(rounds)]
+    stream = []
+    stream_ds = dataset
+    for _ in range(rounds):
+        n_delta = max(1, stream_ds.n // 500)
+        protect = np.unique(
+            [
+                int(np.argmin(stream_ds.xs)),
+                int(np.argmax(stream_ds.xs)),
+                int(np.argmin(stream_ds.ys)),
+                int(np.argmax(stream_ds.ys)),
+            ]
+        )
+        candidates = np.setdiff1d(np.arange(stream_ds.n), protect)
+        delete_idx = np.sort(
+            rng.choice(candidates, size=min(n_delta, candidates.size), replace=False)
+        )
+        appended = stream_ds.subset(
+            np.sort(rng.choice(stream_ds.n, size=n_delta, replace=False))
+        )
+        stream.append(UpdateBatch(append=appended, delete=delete_idx))
+        stream_ds = stream_ds.delete(delete_idx).append(appended)
+
+    t0 = time.perf_counter()
+    round_stats = []
+    incremental = []
+    for update, sl in zip(stream, slices):
+        round_stats.append(session.apply(update))
+        incremental.append(session.solve_batch(sl))
+    incremental_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    rebuild = []
+    rebuild_ds = dataset
+    for update, sl in zip(stream, slices):
+        rebuild_ds = rebuild_ds.delete(update.delete).append(update.append)
+        rebuild.append(
+            QuerySession(rebuild_ds, granularity=granularity).solve_batch(sl)
+        )
+    rebuild_s = time.perf_counter() - t0
+
     ok = all(
         identical(c, w) and identical(c, b) and identical(c, p) and identical(c, d)
         for c, w, b, p, d in zip(cold, warm, batch, parallel, disk)
+    ) and all(
+        identical(i, r)
+        for inc_round, reb_round in zip(incremental, rebuild)
+        for i, r in zip(inc_round, reb_round)
     )
     return {
         "kind": kind,
@@ -144,11 +208,23 @@ def bench_config(kind: str, n: int, n_queries: int, workers: int) -> dict:
         "parallel_s": round(parallel_s, 4),
         "disk_load_s": round(disk_load_s, 4),
         "disk_solve_s": round(disk_solve_s, 4),
+        "incremental_s": round(incremental_s, 4),
+        "rebuild_s": round(rebuild_s, 4),
+        "update_rounds": rounds,
+        "update_appended": int(sum(s.appended for s in round_stats)),
+        "update_deleted": int(sum(s.deleted for s in round_stats)),
+        "update_rounds_index_patched": sum(
+            1 for s in round_stats if s.index_patched
+        ),
+        "update_cell_entries_kept": int(
+            sum(s.cell_entries_kept for s in round_stats)
+        ),
         "speedup_warm": round(cold_s / warm_s, 2),
         "speedup_batch": round(cold_s / batch_s, 2),
         "speedup_parallel": round(cold_s / parallel_s, 2),
         "parallel_vs_warm": round(warm_s / parallel_s, 2),
         "speedup_warm_disk": round(cold_s / (disk_load_s + disk_solve_s), 2),
+        "speedup_incremental": round(rebuild_s / incremental_s, 2),
         "identical": ok,
     }
 
@@ -189,10 +265,12 @@ def main(argv=None) -> int:
             print(
                 f"{kind} n={n}: cold {cfg['cold_s']}s warm {cfg['warm_s']}s "
                 f"batch {cfg['batch_s']}s parallel {cfg['parallel_s']}s "
-                f"disk {cfg['disk_load_s']}+{cfg['disk_solve_s']}s -> "
+                f"disk {cfg['disk_load_s']}+{cfg['disk_solve_s']}s "
+                f"incr {cfg['incremental_s']}s vs rebuild {cfg['rebuild_s']}s -> "
                 f"warm {cfg['speedup_warm']}x batch {cfg['speedup_batch']}x "
                 f"parallel {cfg['speedup_parallel']}x "
                 f"warm-disk {cfg['speedup_warm_disk']}x "
+                f"incremental {cfg['speedup_incremental']}x "
                 f"identical={cfg['identical']}"
             )
 
@@ -201,6 +279,8 @@ def main(argv=None) -> int:
     tot_batch = sum(c["batch_s"] for c in configs)
     tot_parallel = sum(c["parallel_s"] for c in configs)
     tot_disk = sum(c["disk_load_s"] + c["disk_solve_s"] for c in configs)
+    tot_incremental = sum(c["incremental_s"] for c in configs)
+    tot_rebuild = sum(c["rebuild_s"] for c in configs)
     report = {
         "benchmark": "engine",
         "workload": f"fig10 size={SIZE_FACTOR}q",
@@ -221,6 +301,9 @@ def main(argv=None) -> int:
             "speedup_parallel": round(tot_cold / tot_parallel, 2),
             "parallel_vs_warm": round(tot_warm / tot_parallel, 2),
             "speedup_warm_disk": round(tot_cold / tot_disk, 2),
+            "incremental_s": round(tot_incremental, 4),
+            "rebuild_s": round(tot_rebuild, 4),
+            "speedup_incremental": round(tot_rebuild / tot_incremental, 2),
         },
         "all_identical": all(c["identical"] for c in configs),
     }
@@ -231,7 +314,9 @@ def main(argv=None) -> int:
         f"batch {report['aggregate']['speedup_batch']}x, "
         f"parallel {report['aggregate']['speedup_parallel']}x "
         f"({workers} workers on {os.cpu_count()} cpus), "
-        f"warm-from-disk {report['aggregate']['speedup_warm_disk']}x -> {args.out}"
+        f"warm-from-disk {report['aggregate']['speedup_warm_disk']}x, "
+        f"incremental {report['aggregate']['speedup_incremental']}x vs rebuild "
+        f"-> {args.out}"
     )
     if not report["all_identical"]:
         print("FAIL: warm/batch results differ from the cold path", file=sys.stderr)

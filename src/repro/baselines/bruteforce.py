@@ -43,7 +43,12 @@ def brute_force_search(
     if dataset.n:
         rects = reduce_to_asp(dataset, query.width, query.height, anchor)
         bounds = rects.bounds()
-        best_point = (bounds.x_min - query.width, bounds.y_min - query.height)
+        # Two query sizes of margin: fl((x_min - a) + a) can round back
+        # up to x_min, putting the extreme object inside the "empty" seed.
+        best_point = (
+            bounds.x_min - 2.0 * query.width,
+            bounds.y_min - 2.0 * query.height,
+        )
         xs = _candidate_coords(rects.edge_xs())
         ys = _candidate_coords(rects.edge_ys())
         px, py = np.meshgrid(xs, ys)

@@ -42,6 +42,18 @@ Precompute the session index once and serve batches warm from disk
     python -m repro.cli batch --data tweets.csv \
         --categorical day_of_week --queries queries.json \
         --index tweets.idx --workers 4
+
+Mutate a live dataset without rebuilding the index (append rows from a
+CSV and/or delete rows by index; the session is patched incrementally
+and answers are bitwise-identical to a cold rebuild).  ``--save-data``
+writes the mutated CSV next to the re-saved bundle -- a bundle only
+loads against the dataset it fingerprints, so the pair must travel
+together::
+
+    python -m repro.cli update --data tweets.csv \
+        --categorical day_of_week --queries queries.json \
+        --append fresh.csv --delete 17,42 \
+        --index tweets.idx --save-index tweets.idx --save-data tweets.csv
 """
 
 from __future__ import annotations
@@ -257,6 +269,86 @@ def cmd_index_build(args) -> int:
     return 0
 
 
+def cmd_update(args) -> int:
+    """Apply append/delete updates to a warm session, then serve a batch.
+
+    Demonstrates the incremental-update path end to end: the session is
+    warmed (from ``--index`` or by warming the spec's query shapes),
+    mutated in place with :meth:`QuerySession.apply` -- sublinear
+    patching instead of a rebuild -- and then answers the batch over the
+    mutated dataset.  ``--save-index`` re-persists the mutated session
+    (the bundle records the new dataset fingerprint and epoch).
+    """
+    from .engine.updates import UpdateBatch
+
+    dataset = _load(args)
+    if not args.append and not args.delete:
+        raise SystemExit("update needs --append CSV and/or --delete indices")
+    if args.index:
+        import zipfile
+
+        from .engine import load_session
+
+        try:
+            session = load_session(args.index, dataset)
+        except (ValueError, OSError, zipfile.BadZipFile) as exc:
+            raise SystemExit(f"cannot load --index {args.index}: {exc}")
+    else:
+        from .engine import QuerySession
+
+        session = QuerySession(dataset)
+    queries = _parse_batch_spec(dataset, args.queries)
+    for query in queries:
+        session.warm_for(query)
+
+    append_ds = None
+    if args.append:
+        from .data.io import load_csv
+
+        try:
+            append_ds = load_csv(args.append, dataset.schema)
+        except (ValueError, KeyError, OSError) as exc:
+            raise SystemExit(f"cannot load --append {args.append}: {exc}")
+    delete = None
+    if args.delete:
+        try:
+            delete = np.array([int(v) for v in args.delete.split(",")])
+        except ValueError:
+            raise SystemExit(f"bad --delete {args.delete!r}: expected I,J,K")
+
+    stats = session.apply(UpdateBatch(append=append_ds, delete=delete))
+    print(
+        f"applied update: +{stats.appended} -{stats.deleted} objects "
+        f"(epoch {stats.epoch}, "
+        f"{'patched ' + str(stats.dirty_cells) + ' dirty cells' if stats.index_patched else 'index rebuild'}, "
+        f"kept {stats.cell_entries_kept} cell entries)"
+    )
+    results = session.solve_batch(queries, method=args.method, workers=args.workers)
+    for i, result in enumerate(results):
+        region = result.region
+        print(
+            f"query #{i} region=({region.x_min:.6g}, {region.y_min:.6g}, "
+            f"{region.x_max:.6g}, {region.y_max:.6g}) distance={result.distance:.6g}"
+        )
+    if args.save_index:
+        from .engine import save_session
+
+        save_session(session, args.save_index)
+        print(f"wrote updated session index (epoch {session.epoch}) to {args.save_index}")
+        if not args.save_data:
+            print(
+                "note: the saved bundle fingerprints the *mutated* dataset; "
+                "pass --save-data to write the matching CSV, or later loads "
+                "against the original --data will be refused as stale"
+            )
+    if args.save_data:
+        save_csv(session.dataset, args.save_data)
+        print(f"wrote mutated dataset ({session.dataset.n} objects) to {args.save_data}")
+    if args.verbose:
+        print(f"session: {session!r}")
+    return 0
+
+
 def cmd_maxrs(args) -> int:
     from .dssearch.maxrs import max_rs_ds
 
@@ -351,6 +443,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="grid granularity 'auto' (default) or 'SX,SY'",
     )
     index_build.set_defaults(func=cmd_index_build)
+
+    update = sub.add_parser(
+        "update",
+        help="append/delete objects on a warm session, then run a batch",
+    )
+    update.add_argument("--data", required=True, help="CSV with x,y,attr columns")
+    update.add_argument(
+        "--categorical", action="append", default=[], metavar="COLUMN"
+    )
+    update.add_argument("--numeric", action="append", default=[], metavar="COLUMN")
+    update.add_argument(
+        "--queries", required=True, help="JSON batch spec to answer after the update"
+    )
+    update.add_argument(
+        "--append", help="CSV of objects to append (same columns as --data)"
+    )
+    update.add_argument(
+        "--delete", help="comma-separated row indices to delete (0-based)"
+    )
+    update.add_argument(
+        "--index", help="session bundle from `index-build`: start warm from disk"
+    )
+    update.add_argument(
+        "--save-index", help="re-save the mutated session bundle here"
+    )
+    update.add_argument(
+        "--save-data",
+        help="write the mutated dataset CSV here (a re-saved --save-index "
+        "bundle only loads against this data, not the original --data)",
+    )
+    update.add_argument("--method", choices=("gids", "ds"), default="gids")
+    update.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="solve the batch on N threads (0/1 = serial; answers identical)",
+    )
+    update.add_argument("--verbose", action="store_true")
+    update.set_defaults(func=cmd_update)
 
     maxrs = sub.add_parser("maxrs", help="find the densest region")
     add_data_args(maxrs)

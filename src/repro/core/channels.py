@@ -293,6 +293,53 @@ class ChannelCompiler:
         return self.rep_from_sums(sums)
 
     # ------------------------------------------------------------------
+    # Incremental row remapping (dataset updates)
+    # ------------------------------------------------------------------
+    def remapped(
+        self,
+        dataset: SpatialDataset,
+        kept: np.ndarray,
+        appended: "ChannelCompiler | None" = None,
+    ) -> "ChannelCompiler":
+        """A compiler over a row-mutated dataset, reusing this one's rows.
+
+        ``dataset`` must be this compiler's dataset restricted to the
+        ``kept`` row indices (ascending) with, optionally, the rows of
+        ``appended``'s dataset concatenated at the end.  Channel weights
+        and selection masks are per-row functions of the columns, so
+        gathering the kept rows and concatenating the appended block is
+        bitwise-identical to compiling ``dataset`` from scratch -- at
+        memcpy cost for the surviving rows plus compile cost for only
+        the appended ones.
+        """
+        if appended is not None and appended._aggregator is not self._aggregator:
+            raise ValueError("appended compiler must share the aggregator object")
+        clone = object.__new__(ChannelCompiler)
+        clone._dataset = dataset
+        clone._aggregator = self._aggregator
+        clone._terms = self._terms
+        clone._rep_dim = self._rep_dim
+        if appended is None:
+            clone._weights = self._weights[kept]
+        else:
+            clone._weights = np.concatenate(
+                [self._weights[kept], appended._weights]
+            )
+        clone._weights_ext = None
+        avg_inputs: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        for index, (_, sel) in self._avg_inputs.items():
+            attribute = self._terms[index].term.attribute
+            if appended is None:
+                new_sel = sel[kept]
+            else:
+                new_sel = np.concatenate(
+                    [sel[kept], appended._avg_inputs[index][1]]
+                )
+            avg_inputs[index] = (dataset.column(attribute), new_sel)
+        clone._avg_inputs = avg_inputs
+        return clone
+
+    # ------------------------------------------------------------------
     # Bound contexts
     # ------------------------------------------------------------------
     def make_context(self, active_indices: np.ndarray | None = None) -> BoundContext:

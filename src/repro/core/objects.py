@@ -177,6 +177,67 @@ class SpatialDataset:
         )
 
     # ------------------------------------------------------------------
+    # Mutation (immutable style: every change yields a new dataset)
+    # ------------------------------------------------------------------
+    def append(self, other: "SpatialDataset") -> "SpatialDataset":
+        """A new dataset with ``other``'s rows appended after this one's.
+
+        Row order is preserved -- existing rows keep their indices and
+        appended rows land at the end -- which is what lets incremental
+        index maintenance (:meth:`repro.index.GridIndex.updated`) stay
+        bitwise-identical to a cold rebuild: per-cell weight sums extend
+        the old summation sequence instead of reordering it.  Columns
+        are already encoded, so no re-encoding happens; ``other`` must
+        share this dataset's schema.
+        """
+        if other.schema != self._schema:
+            raise ValueError(
+                "appended rows must share the dataset schema "
+                f"(got {list(other.schema.names)}, expected {list(self._schema.names)})"
+            )
+        return SpatialDataset(
+            np.concatenate([self._xs, other._xs]),
+            np.concatenate([self._ys, other._ys]),
+            self._schema,
+            {
+                name: np.concatenate([col, other._columns[name]])
+                for name, col in self._columns.items()
+            },
+        )
+
+    def append_records(self, records: Sequence[tuple]) -> "SpatialDataset":
+        """:meth:`append` from raw ``(x, y, {attr: value})`` records."""
+        return self.append(SpatialDataset.from_records(list(records), self._schema))
+
+    def delete(self, mask_or_indices) -> "SpatialDataset":
+        """A new dataset without the selected rows (order preserved).
+
+        Accepts a boolean mask over the current rows or an array of row
+        indices.  Returns the surviving rows in their original relative
+        order; use :meth:`delete_mask` when the caller also needs the
+        keep-mask (incremental index maintenance does).
+        """
+        return self.subset(self.delete_mask(mask_or_indices))
+
+    def delete_mask(self, mask_or_indices) -> np.ndarray:
+        """Boolean *keep*-mask corresponding to a delete selection."""
+        sel = np.asarray(mask_or_indices)
+        keep = np.ones(self.n, dtype=bool)
+        if sel.dtype == bool:
+            if sel.shape != (self.n,):
+                raise ValueError(
+                    f"delete mask has shape {sel.shape}, expected ({self.n},)"
+                )
+            keep[sel] = False
+        else:
+            if sel.size and (sel.min() < -self.n or sel.max() >= self.n):
+                raise IndexError(
+                    f"delete index out of range for dataset of {self.n} rows"
+                )
+            keep[sel] = False
+        return keep
+
+    # ------------------------------------------------------------------
     # Row views
     # ------------------------------------------------------------------
     def object_at(self, i: int) -> SpatialObject:

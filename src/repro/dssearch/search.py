@@ -165,13 +165,20 @@ class DSSearchEngine:
         self.stats = SearchStats()
         self._pool = pool if pool is not None else BufferPool()
 
-        # Seed: the empty region is always a valid answer.
+        # Seed: the empty region is always a valid answer.  The seed
+        # point sits two query sizes below-left of the rectangle union:
+        # one size is not enough, because fl((x_min - w) + w) can round
+        # *up* to x_min or beyond and the seed region would then contain
+        # the extreme object while claiming the empty distance.
         if empty_rep is None:
             empty_rep = query.aggregator.empty_representation(dataset)
         self.best_distance = query.distance_to(empty_rep)
         if dataset.n:
             bounds = self.rects.bounds()
-            self.best_point = (bounds.x_min - query.width, bounds.y_min - query.height)
+            self.best_point = (
+                bounds.x_min - 2.0 * query.width,
+                bounds.y_min - 2.0 * query.height,
+            )
         else:
             self.best_point = (0.0, 0.0)
         self._tiebreak = itertools.count()
@@ -189,6 +196,59 @@ class DSSearchEngine:
         region = region_for_point(x, y, self.query.width, self.query.height)
         rep = self.query.aggregator.apply(self.dataset, region)
         return RegionResult(region=region, distance=self.best_distance, representation=rep)
+
+    # ------------------------------------------------------------------
+    # Incumbent maintenance
+    # ------------------------------------------------------------------
+    def true_distance(self, x: float, y: float) -> float:
+        """Distance actually achieved by the region anchored at ``(x, y)``.
+
+        Evaluates *region* containment -- ``x < o.x < fl(x + a)`` -- the
+        semantics :meth:`result` reports and callers can verify.  The
+        ASP coverage test compares against precomputed rectangle edges
+        (``x > fl(o.x - a)``) instead; the two agree everywhere except
+        when the point sits within a float ulp of a rectangle edge,
+        where the rounding in ``fl(x + a)`` vs ``fl(o.x - a)`` can
+        disagree about the boundary object.
+        """
+        region = region_for_point(x, y, self.query.width, self.query.height)
+        mask = self.dataset.mask_in_region(region)
+        return self.query.distance_to(self.compiler.rep_from_mask(mask))
+
+    def offer_batch(
+        self, px: np.ndarray, py: np.ndarray, dists: np.ndarray
+    ) -> bool:
+        """Verified incumbent update from a batch of evaluated candidates.
+
+        Every improving candidate is re-evaluated at region semantics
+        (:meth:`true_distance`) before it becomes the incumbent, so the
+        reported distance is always one the returned rectangle achieves.
+        Without this, a candidate landing within an ulp of a rectangle
+        edge can claim a distance its region does not attain -- and the
+        bogus incumbent then prunes the genuine optimum away (the
+        region/distance desync of ``seed=2438094, n=26``).
+
+        ``dists`` may be mutated (mirage candidates are masked out).
+        Returns whether the incumbent improved.
+        """
+        improved = False
+        while True:
+            i = int(np.argmin(dists))
+            claimed = float(dists[i])
+            if not claimed < self.best_distance:
+                return improved
+            x, y = float(px[i]), float(py[i])
+            verified = self.true_distance(x, y)
+            if verified < self.best_distance:
+                self.best_distance = verified
+                self.best_point = (x, y)
+                self.stats.incumbent_updates += 1
+                improved = True
+            if verified <= claimed:
+                # The verified value is at least as good as claimed, so
+                # no remaining candidate (all >= claimed) can beat it.
+                return improved
+            dists[i] = np.inf  # near-edge mirage: rescan the rest
 
     # ------------------------------------------------------------------
     def level0_accumulation(
@@ -312,16 +372,10 @@ class DSSearchEngine:
         if n_clean:
             reps = self.compiler.rep_from_sums(acc.full[clean])
             dists = self.query.metric.distance_many(reps, self.query.query_rep)
-            best = int(np.argmin(dists))
-            if dists[best] < self.best_distance:
+            if float(dists.min()) < self.best_distance:
                 rows, cols = np.nonzero(clean)
                 cx, cy = grid.cell_centers()
-                self.best_distance = float(dists[best])
-                self.best_point = (
-                    float(cx[rows[best], cols[best]]),
-                    float(cy[rows[best], cols[best]]),
-                )
-                st.incumbent_updates += 1
+                self.offer_batch(cx[rows, cols], cy[rows, cols], dists)
 
         # Dirty cells: Equation-1 lower bounds, then prune.
         dirty_rows, dirty_cols = np.nonzero(acc.dirty)
@@ -358,11 +412,7 @@ class DSSearchEngine:
                 self.query, self.compiler, self.rects, px, py, active
             )
             st.candidate_points_evaluated += n_probe
-            i = int(np.argmin(dists))
-            if dists[i] < self.best_distance:
-                self.best_distance = float(dists[i])
-                self.best_point = (float(px[i]), float(py[i]))
-                st.incumbent_updates += 1
+            if self.offer_batch(px, py, dists):
                 keep = lbs < self._threshold()
                 if not keep.any():
                     return
@@ -446,11 +496,7 @@ class DSSearchEngine:
             dists = points_distances(
                 self.query, self.compiler, self.rects, bx, by, active
             )
-            best = int(np.argmin(dists))
-            if dists[best] < self.best_distance:
-                self.best_distance = float(dists[best])
-                self.best_point = (float(bx[best]), float(by[best]))
-                st.incumbent_updates += 1
+            self.offer_batch(bx, by, dists)
 
     @staticmethod
     def _candidate_points(
@@ -571,11 +617,12 @@ def ds_search(
         )
         # Relocate the empty-region seed outside the forbidden zone (it
         # defaults to just left/below the rectangle union, which the
-        # forbidden zone may cover).
+        # forbidden zone may cover).  Two query sizes of margin, for the
+        # same rounding reason as the constructor's seed.
         bounds = engine.rects.bounds()
         engine.best_point = (
-            min(bounds.x_min, forbidden.x_min) - query.width,
-            min(bounds.y_min, forbidden.y_min) - query.height,
+            min(bounds.x_min, forbidden.x_min) - 2.0 * query.width,
+            min(bounds.y_min, forbidden.y_min) - 2.0 * query.height,
         )
         for piece in subtract(engine.rects.bounds(), forbidden):
             active = np.flatnonzero(engine.rects.overlap_mask(piece))

@@ -70,9 +70,10 @@ def ds_search_topk(
             results.append(engine.result())
             break
         bounds = engine.rects.bounds()
-        # Seed the empty-region incumbent outside every forbidden zone.
-        seed_x = min([bounds.x_min] + [h.x_min for h in holes]) - query.width
-        seed_y = min([bounds.y_min] + [h.y_min for h in holes]) - query.height
+        # Seed the empty-region incumbent outside every forbidden zone
+        # (two query sizes of margin: one can round back into the data).
+        seed_x = min([bounds.x_min] + [h.x_min for h in holes]) - 2.0 * query.width
+        seed_y = min([bounds.y_min] + [h.y_min for h in holes]) - 2.0 * query.height
         engine.best_point = (seed_x, seed_y)
 
         for piece in subtract_many(bounds, holes):

@@ -15,10 +15,13 @@ index state to disk so a restarted server skips the cold build.
 from .persist import load_session, save_session
 from .pool import SessionPool
 from .session import QuerySession, aggregator_signature
+from .updates import UpdateBatch, UpdateStats
 
 __all__ = [
     "QuerySession",
     "SessionPool",
+    "UpdateBatch",
+    "UpdateStats",
     "aggregator_signature",
     "load_session",
     "save_session",

@@ -42,8 +42,12 @@ from ..dssearch.search import SearchSettings
 from ..index.grid_index import GridIndex
 from .session import QuerySession, aggregator_signature
 
-#: Bump when the bundle layout changes; load_session refuses mismatches.
-FORMAT_VERSION = 1
+#: Bump when the bundle layout changes.  v2 added the dataset epoch and
+#: the index's pre-suffix cell sums (incremental updates); v1 bundles
+#: are still read (epoch 0, index restored non-updatable).  Versions
+#: newer than this build are refused with a targeted message.
+FORMAT_VERSION = 2
+_READABLE_VERSIONS = (1, 2)
 
 
 def dataset_fingerprint(dataset: SpatialDataset) -> dict:
@@ -69,23 +73,19 @@ def save_session(session: QuerySession, path) -> str:
     queries) first -- ``repro index-build`` does precisely that.
     Returns the path written.
     """
-    meta: dict = {
-        "format_version": FORMAT_VERSION,
-        "granularity": list(session.granularity),
-        "settings": asdict(session.settings),
-        "fingerprint": dataset_fingerprint(session.dataset),
-        "reductions": [],
-        "tables": [],
-        "lattices": [],
-    }
-    arrays: dict = {}
-
     # Shallow-snapshot the cache dicts under the session's memo lock:
     # a session may be serving queries while it is saved, and _memo
     # inserts mid-iteration would otherwise blow up the save.  The
     # values themselves are immutable-once-stored, so copies of the
-    # dicts are a consistent snapshot.
+    # dicts are a consistent snapshot.  The dataset and epoch are
+    # captured under the same acquisition: an incremental update swaps
+    # dataset, epoch and caches in one memo-locked section
+    # (engine/updates.py), so fingerprinting the captured dataset object
+    # -- itself immutable -- keeps the bundle's fingerprint consistent
+    # with the snapshotted caches even when a save races an update.
     with session._memo_lock:
+        dataset = session.dataset
+        epoch = session.epoch
         index = session._index
         reductions = dict(session._reductions)
         compilers = dict(session._compilers)
@@ -93,6 +93,18 @@ def save_session(session: QuerySession, path) -> str:
         lattices_by_key = dict(session._lattices)
         pending_tables = dict(session._pending_tables)
         pending_lattices = dict(session._pending_lattices)
+
+    meta: dict = {
+        "format_version": FORMAT_VERSION,
+        "granularity": list(session.granularity),
+        "settings": asdict(session.settings),
+        "fingerprint": dataset_fingerprint(dataset),
+        "epoch": epoch,
+        "reductions": [],
+        "tables": [],
+        "lattices": [],
+    }
+    arrays: dict = {}
 
     if index is not None:
         index_meta, index_arrays = index.snapshot()
@@ -195,23 +207,31 @@ def load_session(
             )
         meta = json.loads(str(bundle["meta"][()]))
         version = meta.get("format_version")
-        if version != FORMAT_VERSION:
+        if version not in _READABLE_VERSIONS:
             raise ValueError(
-                f"session bundle {path!s} has format version {version}, "
-                f"this build reads {FORMAT_VERSION}"
+                f"session bundle {path!s} has format version {version}; this "
+                f"build reads versions {_READABLE_VERSIONS[0]}-"
+                f"{_READABLE_VERSIONS[-1]}.  The bundle was written by a newer "
+                "build -- upgrade, or rebuild it with `repro index-build`"
             )
         fingerprint = dataset_fingerprint(dataset)
         if fingerprint != meta["fingerprint"]:
+            saved_epoch = meta.get("epoch", 0)
             raise ValueError(
                 f"session bundle {path!s} was built over a different dataset "
-                f"(saved n={meta['fingerprint']['n']}, got n={fingerprint['n']}); "
-                "rebuild it with `repro index-build`"
+                f"(saved n={meta['fingerprint']['n']} at epoch {saved_epoch}, "
+                f"got n={fingerprint['n']}); the bundle is stale if the "
+                "dataset has been mutated since -- re-save the live session "
+                "or rebuild with `repro index-build`"
             )
         session = QuerySession(
             dataset,
             granularity=tuple(int(g) for g in meta["granularity"]),
             settings=settings or SearchSettings(**meta["settings"]),
         )
+        # Resume the mutation counter where the saved session left off
+        # (pre-v2 bundles predate epochs and resume at 0).
+        session.epoch = int(meta.get("epoch", 0))
         if "index" in meta:
             index_arrays = {
                 name[len("index_"):]: bundle[name]

@@ -139,6 +139,47 @@ class SessionPool:
             self._enforce_budget(touched=key)
         return results
 
+    def apply(self, key: Hashable, batch, dataset=None):
+        """Mutate the keyed session via :meth:`QuerySession.apply`.
+
+        Re-accounts the session's ``cache_nbytes()`` afterwards -- an
+        update both grows state (appended rows widen every weight
+        matrix) and shrinks it (dropped lattice intervals, invalidated
+        cell entries), so the budget must be re-measured either way.
+        """
+        session = self.session(key, dataset)
+        stats = session.apply(batch)
+        with self._lock:
+            # Re-admit if another key's traffic evicted this session
+            # while the (potentially slow, solve-draining) apply ran:
+            # the mutated dataset lives only in this session object, so
+            # dropping it here would silently lose the committed
+            # mutation.  setdefault keeps a racing fresh insert if one
+            # beat us (it would have been built from the caller's
+            # dataset -- the un-mutated copy -- so prefer ours).
+            resident = self._sessions.setdefault(key, session)
+            if resident is not session:
+                self._sessions[key] = session
+            self._sessions.move_to_end(key)
+            # Unconditionally invalidate the cached measurement: a
+            # mutation changes the footprint even when no byte budget is
+            # set (where _enforce_budget would never re-measure).
+            self._nbytes_cache.pop(key, None)
+            self._enforce_budget(touched=key)
+        return stats
+
+    def append(self, key: Hashable, objects, dataset=None):
+        """:meth:`apply` with an append-only batch."""
+        from .updates import UpdateBatch
+
+        return self.apply(key, UpdateBatch(append=objects), dataset)
+
+    def delete(self, key: Hashable, mask_or_indices, dataset=None):
+        """:meth:`apply` with a delete-only batch."""
+        from .updates import UpdateBatch
+
+        return self.apply(key, UpdateBatch(delete=mask_or_indices), dataset)
+
     # ------------------------------------------------------------------
     def _enforce_budget(self, touched: Hashable | None = None) -> None:
         """Evict LRU sessions past the caps (callers hold ``_lock``).

@@ -46,6 +46,7 @@ lock-guarded :class:`~repro.dssearch.grid.BufferPool`.
 from __future__ import annotations
 
 import threading
+from contextlib import contextmanager
 from typing import Callable, Dict, Iterable, Sequence, Tuple
 
 import numpy as np
@@ -65,7 +66,12 @@ from ..core.selection import SelectAll, SelectByValue
 from ..dssearch.drop import gps_accuracy
 from ..dssearch.grid import BufferPool
 from ..dssearch.search import DSSearchEngine, SearchSettings
-from ..index.gids import GIDSStats, candidate_lattice_intervals, gi_ds_search
+from ..index.gids import (
+    GIDSStats,
+    candidate_lattice_geometry,
+    candidate_lattice_intervals,
+    gi_ds_search,
+)
 from ..index.grid_index import GridIndex
 
 _TERM_TAGS = {
@@ -170,6 +176,10 @@ class QuerySession:
         self.dataset = dataset
         self.granularity = _validated_granularity(granularity, dataset.n)
         self.settings = settings or SearchSettings()
+        #: Mutation counter: bumped by every effective append/delete/
+        #: apply.  Bundles record it (engine/persist.py) so a stale
+        #: on-disk index is diagnosable, not just refused by fingerprint.
+        self.epoch = 0
         self._pool = BufferPool()
         self._index: GridIndex | None = None
         # Every aggregator/compiler whose id() keys a cache entry is
@@ -181,12 +191,23 @@ class QuerySession:
         self._pins: Dict[int, object] = {}
         self._compilers: Dict[int, ChannelCompiler] = {}
         self._tables: Dict[int, np.ndarray] = {}
+        # Pre-suffix per-cell channel sums, kept next to each suffix
+        # table so incremental updates can re-sum only dirty cells
+        # (engine/updates.py).  Entries adopted from disk have no cells
+        # and simply fall back to a lazy recompute on the first update.
+        self._table_cells: Dict[int, np.ndarray] = {}
         self._contexts: Dict[int, BoundContext] = {}
         self._empty_reps: Dict[int, np.ndarray] = {}
         self._reductions: Dict[
             Tuple[float, float, str], Tuple[RectSet, Tuple[float, float]]
         ] = {}
         self._lattices: Dict[Tuple[float, float, int], tuple] = {}
+        # Lattice *geometry* per (width, height): corner arrays plus the
+        # Lemma-8 range indices.  Compiler-independent, and preserved
+        # across in-bounds incremental updates (the index geometry does
+        # not move), so a post-update lattice refresh pays only the
+        # range sums, not the searchsorted geometry pass.
+        self._lattice_geometry: Dict[Tuple[float, float], tuple] = {}
         self._cells: Dict[Tuple[float, float, int], dict] = {}
         # Disk-restored artefacts keyed by aggregator *signature* (ids
         # do not survive a process restart); adopted into the id-keyed
@@ -199,6 +220,28 @@ class QuerySession:
         self._index_lock = threading.Lock()
         self._memo_lock = threading.Lock()
         self._inflight: Dict[tuple, threading.Event] = {}
+        # Update gate (DESIGN.md §9): solves/warms hold a shared token;
+        # apply/append/delete take the gate exclusively -- they wait for
+        # in-flight solves to drain and block new ones, so a solve sees
+        # either the pre- or the post-update session, never a mix.
+        self._update_cv = threading.Condition()
+        self._active_solves = 0
+        self._updating = False
+
+    @contextmanager
+    def _solve_gate(self):
+        """Shared side of the update gate (held for a whole solve)."""
+        with self._update_cv:
+            while self._updating:
+                self._update_cv.wait()
+            self._active_solves += 1
+        try:
+            yield
+        finally:
+            with self._update_cv:
+                self._active_solves -= 1
+                if self._active_solves == 0:
+                    self._update_cv.notify_all()
 
     # ------------------------------------------------------------------
     # Memoization machinery
@@ -287,8 +330,13 @@ class QuerySession:
                     self._pending_tables.get(sig) if sig is not None else None
                 )
                 if pending is not None:
+                    # Adopted from disk: no cell sums; the first update
+                    # after adoption recomputes this table cold.
                     return pending
-            return self.index.channel_tables(compiler)
+            cells, table = self.index.channel_cells_and_table(compiler)
+            with self._memo_lock:
+                self._table_cells[id(compiler)] = cells
+            return table
 
         return self._memo(self._tables, id(compiler), compute, pin=compiler)
 
@@ -326,6 +374,11 @@ class QuerySession:
                     )
                     if pending is not None:
                         return pending
+            geometry = self._memo(
+                self._lattice_geometry,
+                (float(width), float(height)),
+                lambda: candidate_lattice_geometry(self.index, width, height),
+            )
             return candidate_lattice_intervals(
                 self.index,
                 compiler,
@@ -333,6 +386,7 @@ class QuerySession:
                 height,
                 tables=self.channel_tables(compiler),
                 ctx=self.context_for(compiler),
+                geometry=geometry,
             )
 
         return self._memo(self._lattices, key, compute, pin=compiler)
@@ -361,13 +415,14 @@ class QuerySession:
         search.  This is also what ``repro index-build`` persists via
         :func:`~repro.engine.persist.save_session`.
         """
-        compiler = self.compiler_for(aggregator)
-        self.empty_rep_for(aggregator)
-        if self.dataset.n:
-            self.channel_tables(compiler)
-            self.context_for(compiler)
-            self.reduction_for(width, height)
-            self.lattice_for(width, height, compiler)
+        with self._solve_gate():
+            compiler = self.compiler_for(aggregator)
+            self.empty_rep_for(aggregator)
+            if self.dataset.n:
+                self.channel_tables(compiler)
+                self.context_for(compiler)
+                self.reduction_for(width, height)
+                self.lattice_for(width, height, compiler)
         return self
 
     def warm_for(self, query: ASRSQuery) -> "QuerySession":
@@ -420,30 +475,35 @@ class QuerySession:
         """
         if method not in ("gids", "ds"):
             raise ValueError(f"method must be 'gids' or 'ds', got {method!r}")
-        engine = self._engine(query, delta)
-        if self.dataset.n == 0:
-            result: RegionResult = engine.result()
-            if return_stats:
-                # Match the stats type of the corresponding cold call.
-                return result, (GIDSStats() if method == "gids" else engine.stats)
-            return result
-        if method == "ds":
-            result = engine.run()
-            return (result, engine.stats) if return_stats else result
-        compiler = engine.compiler
-        cell_key = (float(query.width), float(query.height), id(compiler))
-        return gi_ds_search(
-            self.dataset,
-            query,
-            index=self.index,
-            probe_cells=probe_cells,
-            return_stats=return_stats,
-            engine=engine,
-            channel_tables=self.channel_tables(compiler),
-            bound_context=self.context_for(compiler),
-            lattice_intervals=self.lattice_for(query.width, query.height, compiler),
-            cell_cache=self._memo(self._cells, cell_key, dict, pin=compiler),
-        )
+        with self._solve_gate():
+            engine = self._engine(query, delta)
+            if self.dataset.n == 0:
+                result: RegionResult = engine.result()
+                if return_stats:
+                    # Match the stats type of the corresponding cold call.
+                    return result, (
+                        GIDSStats() if method == "gids" else engine.stats
+                    )
+                return result
+            if method == "ds":
+                result = engine.run()
+                return (result, engine.stats) if return_stats else result
+            compiler = engine.compiler
+            cell_key = (float(query.width), float(query.height), id(compiler))
+            return gi_ds_search(
+                self.dataset,
+                query,
+                index=self.index,
+                probe_cells=probe_cells,
+                return_stats=return_stats,
+                engine=engine,
+                channel_tables=self.channel_tables(compiler),
+                bound_context=self.context_for(compiler),
+                lattice_intervals=self.lattice_for(
+                    query.width, query.height, compiler
+                ),
+                cell_cache=self._memo(self._cells, cell_key, dict, pin=compiler),
+            )
 
     def solve_batch(
         self,
@@ -487,6 +547,38 @@ class QuerySession:
             return list(ex.map(one, queries))
 
     # ------------------------------------------------------------------
+    # Incremental mutation (engine/updates.py, DESIGN.md §9)
+    # ------------------------------------------------------------------
+    def apply(self, batch) -> "UpdateStats":
+        """Apply a batched mutation (deletes, then appends) in place.
+
+        Every subsequent answer is bitwise-identical to a cold
+        ``QuerySession(final_dataset, granularity=self.granularity,
+        settings=self.settings)``, but warm artefacts are surgically
+        patched instead of rebuilt: only dirty index cells are
+        re-summed, lattice intervals recompute lazily from the patched
+        tables, and per-cell level-0 state survives wherever no changed
+        rectangle touches it.  Exclusive with in-flight solves (the
+        update gate drains them first).  Returns an
+        :class:`~repro.engine.updates.UpdateStats`.
+        """
+        from .updates import apply_update
+
+        return apply_update(self, batch)
+
+    def append(self, objects) -> "UpdateStats":
+        """Append objects (a same-schema dataset or records) in place."""
+        from .updates import UpdateBatch
+
+        return self.apply(UpdateBatch(append=objects))
+
+    def delete(self, mask_or_indices) -> "UpdateStats":
+        """Delete the selected current rows in place."""
+        from .updates import UpdateBatch
+
+        return self.apply(UpdateBatch(delete=mask_or_indices))
+
+    # ------------------------------------------------------------------
     def clear_caches(self) -> None:
         """Drop every memoized artefact (memory pressure relief).
 
@@ -507,10 +599,12 @@ class QuerySession:
             self._pins.clear()
             self._compilers.clear()
             self._tables.clear()
+            self._table_cells.clear()
             self._contexts.clear()
             self._empty_reps.clear()
             self._reductions.clear()
             self._lattices.clear()
+            self._lattice_geometry.clear()
             self._cells.clear()
             self._pending_tables.clear()
             self._pending_lattices.clear()
@@ -556,12 +650,19 @@ class QuerySession:
             total += compiler.nbytes
         for table in list(self._tables.values()):
             total += arr_bytes(table)
+        for cells in list(self._table_cells.values()):
+            total += arr_bytes(cells)
         for rep in list(self._empty_reps.values()):
             total += rep.nbytes
         for rects, _ in list(self._reductions.values()):
             total += rects.nbytes
         for lattice in list(self._lattices.values()):
             total += sum(arr_bytes(arr) for arr in lattice)
+        for geometry in list(self._lattice_geometry.values()):
+            x0, y0, over_ranges, full_ranges = geometry
+            total += arr_bytes(x0) + arr_bytes(y0)
+            total += sum(arr_bytes(arr) for arr in over_ranges)
+            total += sum(arr_bytes(arr) for arr in full_ranges)
         for table in list(self._pending_tables.values()):
             total += arr_bytes(table)
         for lattice in list(self._pending_lattices.values()):

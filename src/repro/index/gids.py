@@ -60,22 +60,19 @@ class GIDSStats:
         return self.searched_cells / self.total_cells if self.total_cells else 0.0
 
 
-def candidate_lattice_intervals(
-    index: GridIndex,
-    compiler,
-    width: float,
-    height: float,
-    tables: np.ndarray | None = None,
-    ctx: BoundContext | None = None,
-):
-    """Target-independent half of the candidate-cell bounds.
+def candidate_lattice_geometry(
+    index: GridIndex, width: float, height: float
+) -> tuple:
+    """The data-independent geometry of the candidate lattice.
 
-    Returns ``(x0, y0, lo, hi)``: the lattice corners plus per-cell
-    representation interval bounds.  Everything here depends only on the
-    index, the compiled channels and the region *size* -- not on the
-    query target -- so a :class:`~repro.engine.QuerySession` caches the
-    whole tuple per ``(width, height, aggregator)`` and reduces a warm
-    query's lattice work to one ``lower_bound_many`` call.
+    Returns ``(x0, y0, over_ranges, full_ranges)``: the lattice corner
+    arrays plus the Lemma-8 cell-range index arrays of each cell's
+    bounding (union) and bounded (intersection) regions.  Depends only
+    on the index *geometry* (space, cell sizes, boundary arrays) and the
+    region size -- not on the data values -- so a
+    :class:`~repro.engine.QuerySession` caches it per ``(width,
+    height)`` and keeps it across in-bounds incremental updates, which
+    preserve the index geometry exactly (DESIGN.md §9).
     """
     a, b = float(width), float(height)
     pad_cols = int(np.ceil(a / index.cell_width))
@@ -90,8 +87,6 @@ def candidate_lattice_intervals(
     y0 = index.space.y_min + rr * index.cell_height
     y1 = y0 + index.cell_height
 
-    if tables is None:
-        tables = index.channel_tables(compiler)
     # Bounding region (union of candidate regions): overlap cell range.
     oc_lo, oc_hi = axis_cell_range(index.xs, x0, x1 + a, index.sx, "over")
     or_lo, or_hi = axis_cell_range(index.ys, y0, y1 + b, index.sy, "over")
@@ -104,9 +99,38 @@ def candidate_lattice_intervals(
     fr_lo, fr_hi = axis_cell_range(
         index.ys, y1, np.maximum(y0 + b, y1), index.sy, "full"
     )
+    return x0, y0, (oc_lo, oc_hi, or_lo, or_hi), (fc_lo, fc_hi, fr_lo, fr_hi)
 
-    full = range_sums(tables, fc_lo, fc_hi, fr_lo, fr_hi)
-    over = range_sums(tables, oc_lo, oc_hi, or_lo, or_hi)
+
+def candidate_lattice_intervals(
+    index: GridIndex,
+    compiler,
+    width: float,
+    height: float,
+    tables: np.ndarray | None = None,
+    ctx: BoundContext | None = None,
+    geometry: tuple | None = None,
+):
+    """Target-independent half of the candidate-cell bounds.
+
+    Returns ``(x0, y0, lo, hi)``: the lattice corners plus per-cell
+    representation interval bounds.  Everything here depends only on the
+    index, the compiled channels and the region *size* -- not on the
+    query target -- so a :class:`~repro.engine.QuerySession` caches the
+    whole tuple per ``(width, height, aggregator)`` and reduces a warm
+    query's lattice work to one ``lower_bound_many`` call.  ``geometry``
+    optionally injects a memoized :func:`candidate_lattice_geometry`
+    result (the searchsorted range arrays are the expensive part that
+    survives an incremental dataset update).
+    """
+    if geometry is None:
+        geometry = candidate_lattice_geometry(index, width, height)
+    x0, y0, over_ranges, full_ranges = geometry
+
+    if tables is None:
+        tables = index.channel_tables(compiler)
+    full = range_sums(tables, *full_ranges)
+    over = range_sums(tables, *over_ranges)
     if ctx is None:
         ctx = compiler.make_context()
     lo, hi = compiler.bounds_from_sums(full, over, ctx)
@@ -228,10 +252,7 @@ def gi_ds_search(
         px = x0[top] + cw / 2.0
         py = y0[top] + ch / 2.0
         dists = points_distances(query, engine.compiler, engine.rects, px, py)
-        i = int(np.argmin(dists))
-        if dists[i] < engine.best_distance:
-            engine.best_distance = float(dists[i])
-            engine.best_point = (float(px[i]), float(py[i]))
+        engine.offer_batch(px, py, dists)
 
     # Frontier: cell bounds never change once computed, so a single
     # ascending argsort visits cells in exactly the order a min-heap

@@ -221,6 +221,97 @@ class TestCommands:
         warm_out = capsys.readouterr().out
         assert warm_out == cold_out
 
+    def test_update_append_delete(self, tmp_path, fig1_dataset, capsys):
+        """`update` patches the dataset and answers like a cold batch on
+        the mutated data; --save-index writes an epoch-stamped bundle."""
+        import json
+
+        import numpy as np
+
+        data = self._write_fig1(tmp_path, fig1_dataset)
+        spec = {
+            "terms": ["fD:category", "fA:price@category=Apartment"],
+            "width": 4.0,
+            "height": 4.0,
+            "queries": [{"target": [2, 1, 1, 1, 1.75]}],
+        }
+        queries = tmp_path / "queries.json"
+        queries.write_text(json.dumps(spec))
+        # Append two objects inside the fig1 extent; delete two rows.
+        extra = fig1_dataset.subset(np.array([0, 3]))
+        append_csv = tmp_path / "extra.csv"
+        save_csv(extra, append_csv)
+        common = [
+            "--categorical", "category",
+            "--numeric", "price",
+            "--queries", str(queries),
+        ]
+        bundle = tmp_path / "mutated.idx"
+        saved_csv = tmp_path / "saved.csv"
+        rc = main(
+            [
+                "update",
+                "--data", data,
+                *common,
+                "--append", str(append_csv),
+                "--delete", "1,7",
+                "--save-index", str(bundle),
+                "--save-data", str(saved_csv),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "applied update: +2 -2 objects (epoch 1" in out
+        assert "query #0" in out
+        assert "wrote updated session index (epoch 1)" in out
+        assert "wrote mutated dataset (15 objects)" in out
+
+        # The printed answers equal a cold batch over the same mutation.
+        mutated = fig1_dataset.subset(
+            np.array([i for i in range(fig1_dataset.n) if i not in (1, 7)])
+        ).append(extra)
+        mutated_csv = tmp_path / "mutated.csv"
+        save_csv(mutated, mutated_csv)
+        rc = main(["batch", "--data", str(mutated_csv), *common])
+        assert rc == 0
+        batch_out = capsys.readouterr().out
+        update_answers = [l for l in out.splitlines() if l.startswith("query #")]
+        assert update_answers == batch_out.strip().splitlines()
+
+        # The saved bundle serves the --save-data CSV warm (the pair
+        # travels together: the bundle fingerprints the mutated data).
+        rc = main(
+            ["batch", "--data", str(saved_csv), *common, "--index", str(bundle)]
+        )
+        assert rc == 0
+        assert capsys.readouterr().out.strip().splitlines() == update_answers
+
+    def test_update_requires_a_mutation(self, tmp_path, fig1_dataset):
+        import json
+
+        data = self._write_fig1(tmp_path, fig1_dataset)
+        queries = tmp_path / "queries.json"
+        queries.write_text(
+            json.dumps(
+                {
+                    "terms": ["fD:category"],
+                    "width": 4.0,
+                    "height": 4.0,
+                    "queries": [{"target": [2, 1, 1, 1]}],
+                }
+            )
+        )
+        with pytest.raises(SystemExit, match="--append CSV and/or --delete"):
+            main(
+                [
+                    "update",
+                    "--data", data,
+                    "--categorical", "category",
+                    "--numeric", "price",
+                    "--queries", str(queries),
+                ]
+            )
+
     def test_index_build_custom_granularity(self, tmp_path, fig1_dataset, capsys):
         import json
 

@@ -136,6 +136,27 @@ class TestExactnessProperty:
         true_dist = query.distance_of_region(ds, result.region)
         assert true_dist == pytest.approx(result.distance, abs=1e-6)
 
+    def test_pinned_region_distance_desync(self):
+        """Regression: seed=2438094, n=26 (hypothesis falsifying example).
+
+        The probe path evaluated a dirty-cell center sitting within one
+        float ulp of an ASP rectangle edge; rect-coordinate coverage
+        called the point covered while the anchored region (computed as
+        ``fl(y + b)``) excluded the boundary object, so the search
+        reported distance 0.0 for a region whose true distance was
+        ~11.05 -- and the bogus incumbent pruned the genuine optimum.
+        """
+        seed, n = 2438094, 26
+        rng = np.random.default_rng(seed)
+        ds = make_random_dataset(rng, n, extent=60.0)
+        agg = random_aggregator()
+        query = _random_query(rng, ds, agg)
+        expected = brute_force_search(ds, query)
+        result = ds_search(ds, query, SMALL)
+        assert result.distance == pytest.approx(expected.distance, abs=1e-6)
+        true_dist = query.distance_of_region(ds, result.region)
+        assert true_dist == pytest.approx(result.distance, abs=1e-6)
+
     @settings(max_examples=20, deadline=None)
     @given(
         seed=st.integers(0, 2**32 - 1),

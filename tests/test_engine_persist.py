@@ -230,6 +230,90 @@ class TestValidation:
         assert dataset_fingerprint(dataset) != dataset_fingerprint(tweaked)
 
 
+class TestFormatV2:
+    """v2 bundles: dataset epoch + index cell sums (incremental updates)."""
+
+    @staticmethod
+    def _rewrite_meta(path, mutate, drop_arrays=()):
+        import json
+
+        with np.load(path, allow_pickle=False) as bundle:
+            meta = json.loads(str(bundle["meta"][()]))
+            arrays = {
+                name: bundle[name]
+                for name in bundle.files
+                if not any(name.startswith(p) for p in drop_arrays)
+            }
+        mutate(meta)
+        arrays["meta"] = np.array(json.dumps(meta))
+        with open(path, "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+
+    def test_epoch_roundtrips(self, tmp_path):
+        from repro.engine import UpdateBatch
+
+        dataset, aggregator, queries = _instance(31, 60)
+        session = QuerySession(dataset, settings=SMALL)
+        session.solve_batch(queries)
+        session.apply(UpdateBatch(delete=np.array([1, 2])))
+        assert session.epoch == 1
+        path = tmp_path / "session.idx"
+        save_session(session, path)
+        restored = load_session(path, session.dataset)
+        assert restored.epoch == 1
+        for query in queries:
+            assert _same_result(restored.solve(query), session.solve(query))
+
+    def test_stale_bundle_refused_after_mutation(self, tmp_path):
+        """A bundle saved pre-update must not serve the mutated dataset."""
+        dataset, aggregator, queries = _instance(32, 40)
+        session = QuerySession(dataset, settings=SMALL)
+        session.solve(queries[0])
+        path = tmp_path / "session.idx"
+        save_session(session, path)
+        session.delete(np.array([0]))
+        with pytest.raises(ValueError, match="epoch 0"):
+            load_session(path, session.dataset)
+
+    def test_v1_bundle_read_shim(self, tmp_path):
+        """v1 bundles (no epoch, no cell sums) still load and answer
+        identically; their restored index just cannot be patched."""
+        dataset, aggregator, queries = _instance(33, 50)
+        session = QuerySession(dataset, settings=SMALL)
+        expected = session.solve_batch(queries)
+        path = tmp_path / "session.idx"
+        save_session(session, path)
+        self._rewrite_meta(
+            path,
+            lambda meta: (meta.pop("epoch"), meta.update(format_version=1)),
+            drop_arrays=("index_cat_cells_", "index_num_cells_"),
+        )
+        restored = load_session(path, dataset)
+        assert restored.epoch == 0
+        for got, want in zip(restored.solve_batch(queries), expected):
+            assert _same_result(got, want)
+        # An update on the shimmed session falls back to a cold index
+        # rebuild but stays correct.
+        stats = restored.delete(np.array([3]))
+        assert not stats.index_patched
+        cold = QuerySession(restored.dataset, settings=SMALL)
+        for got, want in zip(
+            restored.solve_batch(queries), cold.solve_batch(queries)
+        ):
+            assert _same_result(got, want)
+
+    def test_future_version_message_names_range(self, tmp_path):
+        dataset, _, _ = _instance(34, 10)
+        session = QuerySession(dataset, settings=SMALL)
+        path = tmp_path / "session.idx"
+        save_session(session, path)
+        self._rewrite_meta(
+            path, lambda meta: meta.update(format_version=FORMAT_VERSION + 5)
+        )
+        with pytest.raises(ValueError, match="written by a newer build"):
+            load_session(path, dataset)
+
+
 class TestSignature:
     def test_structurally_equal_aggregators_share_signature(self):
         a = random_aggregator()
