@@ -54,6 +54,23 @@ together::
         --categorical day_of_week --queries queries.json \
         --append fresh.csv --delete 17,42 \
         --index tweets.idx --save-index tweets.idx --save-data tweets.csv
+
+Durable updates survive a crash without re-saving the bundle: ``--wal``
+write-ahead-logs every mutation (replaying any existing log first, so
+consecutive runs continue the same history), and ``replay`` recovers a
+crashed server from the checkpointed (data, bundle) pair plus the log::
+
+    python -m repro.cli update --data tweets.csv \
+        --categorical day_of_week --queries queries.json \
+        --append fresh.csv --index tweets.idx --wal tweets.wal
+
+    python -m repro.cli replay --data tweets.csv \
+        --categorical day_of_week --index tweets.idx --wal tweets.wal \
+        --queries queries.json
+
+Saving the bundle (``--save-index``, or ``index-build``) on a
+WAL-attached session checkpoints the log: records the new bundle covers
+are truncated away, so the (data, bundle, wal) triple stays minimal.
 """
 
 from __future__ import annotations
@@ -269,6 +286,145 @@ def cmd_index_build(args) -> int:
     return 0
 
 
+def _session_for(args, dataset):
+    """A session over ``dataset``, warm from ``--index`` when given."""
+    if args.index:
+        import zipfile
+
+        from .engine import load_session
+
+        try:
+            return load_session(args.index, dataset)
+        except (ValueError, OSError, zipfile.BadZipFile) as exc:
+            raise SystemExit(f"cannot load --index {args.index}: {exc}")
+    from .engine import QuerySession
+
+    return QuerySession(dataset)
+
+
+def _replay_wal(session, args) -> "WriteAheadLog":
+    """Attach ``--wal`` and fast-forward the session over its records."""
+    from .engine.wal import replay
+
+    wal = session.attach_wal(args.wal)
+    try:
+        stats = replay(session, wal)
+    except ValueError as exc:
+        raise SystemExit(f"cannot replay --wal {args.wal}: {exc}")
+    if stats.truncated_bytes:
+        print(
+            f"truncated a torn WAL tail ({stats.truncated_bytes} bytes, "
+            "crash mid-append)"
+        )
+    if stats.applied or stats.skipped:
+        print(
+            f"replayed {stats.applied} WAL record(s) "
+            f"(+{stats.appended} -{stats.deleted} objects, "
+            f"{stats.skipped} already covered by the index) "
+            f"to epoch {stats.final_epoch}"
+        )
+    return wal
+
+
+def _print_batch_results(results) -> None:
+    for i, result in enumerate(results):
+        region = result.region
+        print(
+            f"query #{i} region=({region.x_min:.6g}, {region.y_min:.6g}, "
+            f"{region.x_max:.6g}, {region.y_max:.6g}) distance={result.distance:.6g}"
+        )
+
+
+def _save_session_outputs(session, args, loaded_dataset) -> None:
+    """Handle ``--save-data`` / ``--save-index`` (both atomic writes).
+
+    Order matters: the bundle save (and, failing that, the explicit
+    fallback below) *checkpoints* the WAL, destroying the records the
+    saved state supersedes -- so every file the checkpoint covers must
+    be durably on disk first.  The CSV therefore lands before the
+    bundle, and when the mutated dataset is NOT being persisted at all
+    (``--save-index`` without ``--save-data``, ``loaded_dataset`` is
+    what ``--data`` still holds) the checkpoint is skipped: the bundle
+    alone fingerprints a dataset that exists nowhere on disk, and the
+    WAL would be the only recoverable copy of the updates.  A crash
+    between CSV and checkpoint loses no data, but when --save-data
+    overwrote --data the next run sees a post-update CSV paired with
+    pre-update records and refuses them as different lineages -- the
+    error says so and that deleting the log is then safe (the records
+    are already in the CSV).
+    """
+    if args.save_data:
+        save_csv(session.dataset, args.save_data)
+        print(
+            f"wrote mutated dataset ({session.dataset.n} objects) to {args.save_data}"
+        )
+    if args.save_index:
+        import os
+
+        from .engine import save_session
+
+        # The log is only safe to truncate when the --data *baseline*
+        # it pairs with reflects the logged updates: either --save-data
+        # rewrote that very file, or the session never diverged from
+        # what was loaded.  A side-copy --save-data makes a durable
+        # (copy, bundle) pair but leaves the baseline behind -- the
+        # records must keep covering it.
+        baseline_current = (
+            args.save_data is not None
+            and os.path.abspath(args.save_data) == os.path.abspath(args.data)
+        ) or session.dataset is loaded_dataset
+        save_session(session, args.save_index, checkpoint_wal=baseline_current)
+        print(
+            f"wrote updated session index (epoch {session.epoch}) to {args.save_index}"
+        )
+        if session.wal is not None:
+            if baseline_current:
+                print(
+                    f"checkpointed WAL {session.wal.path} at epoch {session.epoch}"
+                )
+            else:
+                print(
+                    f"WAL {session.wal.path} left untouched: {args.data} does "
+                    "not hold the mutated dataset, so the records remain its "
+                    "recovery path -- pass --save-data "
+                    f"{args.data} to update the baseline and checkpoint the log"
+                )
+        if not args.save_data:
+            print(
+                "note: the saved bundle fingerprints the *mutated* dataset; "
+                "pass --save-data to write the matching CSV, or later loads "
+                "against the original --data will be refused as stale"
+            )
+    elif args.save_data and session.wal is not None:
+        import os
+
+        if os.path.abspath(args.save_data) == os.path.abspath(args.data):
+            # The saved CSV *replaced the baseline* and embodies every
+            # logged update; leaving the records (or even a checkpoint
+            # marker -- a CSV carries no epoch, so the next cold
+            # session restarts at 0) would make the next run refuse
+            # the pair.  The CSV is the new epoch-0 baseline: restart
+            # the log to match.
+            dropped = session.wal.reset()
+            print(
+                f"reset WAL {session.wal.path}: {dropped} record(s) now baked "
+                f"into {args.save_data} (the new baseline)"
+            )
+            print(
+                "note: any bundle saved before this update is now stale for "
+                "this data+WAL pair; re-run with --save-index (or "
+                "`repro index-build`) to refresh it"
+            )
+        else:
+            # A side copy: the original --data file is unchanged, so
+            # the log must keep covering it -- resetting here would
+            # destroy the only durable record of these updates.
+            print(
+                f"note: {args.save_data} is a side copy; the WAL still "
+                f"pairs with {args.data} and was left untouched"
+            )
+
+
 def cmd_update(args) -> int:
     """Apply append/delete updates to a warm session, then serve a batch.
 
@@ -276,28 +432,28 @@ def cmd_update(args) -> int:
     warmed (from ``--index`` or by warming the spec's query shapes),
     mutated in place with :meth:`QuerySession.apply` -- sublinear
     patching instead of a rebuild -- and then answers the batch over the
-    mutated dataset.  ``--save-index`` re-persists the mutated session
-    (the bundle records the new dataset fingerprint and epoch).
+    mutated dataset.  ``--wal`` makes the mutation durable: any existing
+    log is replayed first (consecutive runs continue one history), the
+    new batch is write-ahead-logged, and a later ``repro replay``
+    recovers it all onto the saved bundle.  ``--save-index`` re-persists
+    the mutated session atomically (tmp + rename; the bundle records the
+    new dataset fingerprint and epoch) and checkpoints the WAL.
     """
     from .engine.updates import UpdateBatch
 
     dataset = _load(args)
     if not args.append and not args.delete:
-        raise SystemExit("update needs --append CSV and/or --delete indices")
-    if args.index:
-        import zipfile
-
-        from .engine import load_session
-
+        args.parser.error("update needs --append CSV and/or --delete indices")
+    delete = None
+    if args.delete:
         try:
-            session = load_session(args.index, dataset)
-        except (ValueError, OSError, zipfile.BadZipFile) as exc:
-            raise SystemExit(f"cannot load --index {args.index}: {exc}")
-    else:
-        from .engine import QuerySession
-
-        session = QuerySession(dataset)
-    queries = _parse_batch_spec(dataset, args.queries)
+            delete = np.array([int(v) for v in args.delete.split(",")])
+        except ValueError:
+            args.parser.error(f"bad --delete {args.delete!r}: expected I,J,K")
+    session = _session_for(args, dataset)
+    if args.wal:
+        _replay_wal(session, args)
+    queries = _parse_batch_spec(session.dataset, args.queries)
     for query in queries:
         session.warm_for(query)
 
@@ -309,41 +465,56 @@ def cmd_update(args) -> int:
             append_ds = load_csv(args.append, dataset.schema)
         except (ValueError, KeyError, OSError) as exc:
             raise SystemExit(f"cannot load --append {args.append}: {exc}")
-    delete = None
-    if args.delete:
-        try:
-            delete = np.array([int(v) for v in args.delete.split(",")])
-        except ValueError:
-            raise SystemExit(f"bad --delete {args.delete!r}: expected I,J,K")
 
     stats = session.apply(UpdateBatch(append=append_ds, delete=delete))
     print(
         f"applied update: +{stats.appended} -{stats.deleted} objects "
         f"(epoch {stats.epoch}, "
         f"{'patched ' + str(stats.dirty_cells) + ' dirty cells' if stats.index_patched else 'index rebuild'}, "
-        f"kept {stats.cell_entries_kept} cell entries)"
+        f"kept {stats.cell_entries_kept} cell entries"
+        f"{', logged to WAL' if stats.wal_logged else ''})"
     )
     results = session.solve_batch(queries, method=args.method, workers=args.workers)
-    for i, result in enumerate(results):
-        region = result.region
-        print(
-            f"query #{i} region=({region.x_min:.6g}, {region.y_min:.6g}, "
-            f"{region.x_max:.6g}, {region.y_max:.6g}) distance={result.distance:.6g}"
-        )
-    if args.save_index:
-        from .engine import save_session
+    _print_batch_results(results)
+    _save_session_outputs(session, args, dataset)
+    if args.verbose:
+        print(f"session: {session!r}")
+    return 0
 
-        save_session(session, args.save_index)
-        print(f"wrote updated session index (epoch {session.epoch}) to {args.save_index}")
-        if not args.save_data:
-            print(
-                "note: the saved bundle fingerprints the *mutated* dataset; "
-                "pass --save-data to write the matching CSV, or later loads "
-                "against the original --data will be refused as stale"
-            )
-    if args.save_data:
-        save_csv(session.dataset, args.save_data)
-        print(f"wrote mutated dataset ({session.dataset.n} objects) to {args.save_data}")
+
+def cmd_replay(args) -> int:
+    """Recover a crashed server: stale bundle + WAL -> live session.
+
+    Loads ``--data`` (the dataset the bundle fingerprints), restores the
+    session from ``--index`` (or starts cold), replays ``--wal`` onto it
+    -- torn tails truncated, records the bundle covers skipped -- and
+    optionally serves a query batch and re-saves the caught-up bundle
+    (which checkpoints the log).
+    """
+    import os
+
+    if not os.path.exists(args.wal):
+        # update --wal treats a missing log as "first run, create it";
+        # a *recovery* command must fail closed instead -- a typo'd
+        # path would otherwise print "recovered" over stale state.
+        raise SystemExit(
+            f"cannot replay --wal {args.wal}: no such file (nothing to "
+            "recover -- check the path; a fresh deployment needs no replay)"
+        )
+    dataset = _load(args)
+    session = _session_for(args, dataset)
+    _replay_wal(session, args)
+    print(
+        f"recovered session at epoch {session.epoch} "
+        f"({session.dataset.n} objects)"
+    )
+    if args.queries:
+        queries = _parse_batch_spec(session.dataset, args.queries)
+        results = session.solve_batch(
+            queries, method=args.method, workers=args.workers
+        )
+        _print_batch_results(results)
+    _save_session_outputs(session, args, dataset)
     if args.verbose:
         print(f"session: {session!r}")
     return 0
@@ -466,7 +637,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--index", help="session bundle from `index-build`: start warm from disk"
     )
     update.add_argument(
-        "--save-index", help="re-save the mutated session bundle here"
+        "--wal",
+        help="write-ahead log: replay existing records first, then durably "
+        "log this update before applying (crash recovery via `replay`)",
+    )
+    update.add_argument(
+        "--save-index", help="re-save the mutated session bundle here "
+        "(atomic tmp + rename; checkpoints --wal)"
     )
     update.add_argument(
         "--save-data",
@@ -481,7 +658,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="solve the batch on N threads (0/1 = serial; answers identical)",
     )
     update.add_argument("--verbose", action="store_true")
-    update.set_defaults(func=cmd_update)
+    update.set_defaults(func=cmd_update, parser=update)
+
+    replay_cmd = sub.add_parser(
+        "replay",
+        help="recover after a crash: replay a WAL onto a saved session bundle",
+    )
+    replay_cmd.add_argument(
+        "--data", required=True,
+        help="CSV the bundle was saved over (checkpointed with it)",
+    )
+    replay_cmd.add_argument(
+        "--categorical", action="append", default=[], metavar="COLUMN"
+    )
+    replay_cmd.add_argument("--numeric", action="append", default=[], metavar="COLUMN")
+    replay_cmd.add_argument(
+        "--wal", required=True, help="write-ahead log to replay to its head"
+    )
+    replay_cmd.add_argument(
+        "--index",
+        help="session bundle to fast-forward (omitted: replay onto a cold "
+        "session over --data)",
+    )
+    replay_cmd.add_argument(
+        "--queries", help="JSON batch spec to answer after recovery"
+    )
+    replay_cmd.add_argument(
+        "--save-index", help="save the caught-up bundle here "
+        "(atomic tmp + rename; checkpoints --wal)"
+    )
+    replay_cmd.add_argument(
+        "--save-data", help="write the recovered dataset CSV here"
+    )
+    replay_cmd.add_argument("--method", choices=("gids", "ds"), default="gids")
+    replay_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="solve the batch on N threads (0/1 = serial; answers identical)",
+    )
+    replay_cmd.add_argument("--verbose", action="store_true")
+    replay_cmd.set_defaults(func=cmd_replay, parser=replay_cmd)
 
     maxrs = sub.add_parser("maxrs", help="find the densest region")
     add_data_args(maxrs)

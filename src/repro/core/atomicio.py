@@ -1,0 +1,78 @@
+"""Crash-safe file replacement shared by every persistence writer.
+
+Session bundles, dataset CSVs and WAL checkpoints all follow the same
+discipline: write into a sibling temp file, ``fsync`` it, rename over
+the target, ``fsync`` the directory.  The fsyncs matter beyond tidiness
+-- a rename that commits before its data blocks (or before the
+directory entry) can surface after a power loss as a corrupt file,
+and several of these writes *gate a WAL checkpoint* that destroys the
+records needed to rebuild them.  One helper keeps every writer on the
+same sequence instead of three hand-rolled copies drifting apart.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Callable
+
+#: Probed once at import: os.umask is process-global, and zeroing it
+#: per call would race concurrent file creation elsewhere (the threaded
+#: serving paths this module backs) into world-writable files.
+_UMASK = os.umask(0)
+os.umask(_UMASK)
+
+
+def fsync_dir(path: str) -> None:
+    """Durably commit a rename by fsyncing its directory (best effort)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def replace_atomically(
+    path,
+    writer: Callable,
+    *,
+    text: bool = False,
+    newline: str | None = None,
+) -> str:
+    """Write via ``writer(fh)`` into a temp file, fsync, rename over ``path``.
+
+    A crash at any point leaves either the previous good file or the
+    complete new one -- never a partial write.  Returns the target path.
+    """
+    target = os.fspath(path)
+    directory = os.path.dirname(os.path.abspath(target)) or "."
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(target) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w" if text else "wb", newline=newline) as fh:
+            writer(fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        # mkstemp creates 0600; preserve an existing target's mode (a
+        # dataset CSV other services read must stay readable), else
+        # honor the umask like a plain open() would.
+        try:
+            mode = os.stat(target).st_mode & 0o777
+        except OSError:
+            mode = 0o666 & ~_UMASK
+        os.chmod(tmp, mode)
+        os.replace(tmp, target)
+        fsync_dir(directory)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return target

@@ -11,19 +11,30 @@ from __future__ import annotations
 import csv
 from pathlib import Path
 
+from ..core.atomicio import replace_atomically
 from ..core.attributes import CategoricalAttribute, Schema
 from ..core.objects import SpatialDataset
 
 
 def save_csv(dataset: SpatialDataset, path: str | Path) -> None:
-    """Write a dataset to ``path`` as CSV."""
-    path = Path(path)
+    """Write a dataset to ``path`` as CSV (atomic, fsynced tmp + rename).
+
+    The CSV often travels as the checkpoint partner of a session bundle
+    and may gate a WAL checkpoint (``repro update --save-data``) -- a
+    crash mid-write must not destroy the previous good copy a restart's
+    replay depends on, so it goes through the same
+    :func:`~repro.core.atomicio.replace_atomically` sequence as
+    :func:`~repro.engine.persist.save_session`.
+    """
     names = dataset.schema.names
-    with path.open("w", newline="") as fh:
+
+    def write(fh) -> None:
         writer = csv.writer(fh)
         writer.writerow(["x", "y", *names])
         for obj in dataset:
             writer.writerow([obj.x, obj.y, *(obj.attributes[n] for n in names)])
+
+    replace_atomically(path, write, text=True, newline="")
 
 
 def load_csv_infer(

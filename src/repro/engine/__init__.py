@@ -10,19 +10,28 @@ paths.  Sessions are thread-safe; :class:`SessionPool` manages one per
 dataset under an LRU memory budget, and
 :func:`save_session` / :func:`load_session` persist a session's warm
 index state to disk so a restarted server skips the cold build.
+Mutations (`apply`/`append`/`delete`) patch the warm state in place
+and, with a :class:`WriteAheadLog` attached, are durably logged before
+applying; :func:`replay` fast-forwards a restored bundle to the log
+head after a crash (DESIGN.md §9-§10).
 """
 
 from .persist import load_session, save_session
 from .pool import SessionPool
-from .session import QuerySession, aggregator_signature
+from .session import QuerySession, aggregator_recipe, aggregator_signature
 from .updates import UpdateBatch, UpdateStats
+from .wal import ReplayStats, WriteAheadLog, replay
 
 __all__ = [
     "QuerySession",
+    "ReplayStats",
     "SessionPool",
     "UpdateBatch",
     "UpdateStats",
+    "WriteAheadLog",
+    "aggregator_recipe",
     "aggregator_signature",
     "load_session",
+    "replay",
     "save_session",
 ]

@@ -30,24 +30,27 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
-import tempfile
 from dataclasses import asdict
 
 import numpy as np
 
 from ..asp.rectset import RectSet
+from ..core.atomicio import replace_atomically
 from ..core.objects import SpatialDataset
 from ..dssearch.search import SearchSettings
 from ..index.grid_index import GridIndex
-from .session import QuerySession, aggregator_signature
+from .session import QuerySession, aggregator_recipe, aggregator_signature
 
 #: Bump when the bundle layout changes.  v2 added the dataset epoch and
-#: the index's pre-suffix cell sums (incremental updates); v1 bundles
-#: are still read (epoch 0, index restored non-updatable).  Versions
-#: newer than this build are refused with a targeted message.
-FORMAT_VERSION = 2
-_READABLE_VERSIONS = (1, 2)
+#: the index's pre-suffix cell sums (incremental updates); v3 adds the
+#: per-compiler channel-table cell sums and an aggregator rebuild
+#: recipe per table, so a restored session accepts updates (and WAL
+#: replay) without one cold channel-table rebuild.  v1 bundles are
+#: still read but the restored session refuses mutation (no cell sums
+#: to patch); v2 bundles mutate with a lazy cold table recompute.
+#: Versions newer than this build are refused with a targeted message.
+FORMAT_VERSION = 3
+_READABLE_VERSIONS = (1, 2, 3)
 
 
 def dataset_fingerprint(dataset: SpatialDataset) -> dict:
@@ -65,12 +68,17 @@ def dataset_fingerprint(dataset: SpatialDataset) -> dict:
     }
 
 
-def save_session(session: QuerySession, path) -> str:
+def save_session(session: QuerySession, path, *, checkpoint_wal: bool = True) -> str:
     """Snapshot a session's warm state to an ``.npz``+JSON bundle.
 
     Saves exactly what is warm: call
     :meth:`~repro.engine.QuerySession.warm` (or solve representative
     queries) first -- ``repro index-build`` does precisely that.
+    When the session has a write-ahead log attached, the log is
+    checkpoint-truncated (records the new bundle covers are dropped)
+    unless ``checkpoint_wal=False`` -- pass that when the *dataset*
+    behind the bundle is not yet durably persisted alongside it, or
+    the truncation destroys the only recoverable copy of the updates.
     Returns the path written.
     """
     # Shallow-snapshot the cache dicts under the session's memo lock:
@@ -90,8 +98,11 @@ def save_session(session: QuerySession, path) -> str:
         reductions = dict(session._reductions)
         compilers = dict(session._compilers)
         tables_by_id = dict(session._tables)
+        table_cells_by_id = dict(session._table_cells)
         lattices_by_key = dict(session._lattices)
         pending_tables = dict(session._pending_tables)
+        pending_table_cells = dict(session._pending_table_cells)
+        pending_recipes = dict(session._pending_recipes)
         pending_lattices = dict(session._pending_lattices)
 
     meta: dict = {
@@ -130,22 +141,52 @@ def save_session(session: QuerySession, path) -> str:
     # signatures.  Unsignaturable aggregators (custom terms, predicate
     # selections) are skipped; not-yet-adopted artefacts of a loaded
     # session (still signature-keyed) are carried over as-is.
+    compiler_of = {id(compiler): compiler for compiler in compilers.values()}
     signature_of = {
-        id(compiler): aggregator_signature(compiler.aggregator)
-        for compiler in compilers.values()
+        compiler_id: aggregator_signature(compiler.aggregator)
+        for compiler_id, compiler in compiler_of.items()
     }
 
+    # Each table travels with its pre-suffix cell sums (what updates
+    # patch) and an aggregator rebuild recipe (format v3): a restored
+    # session can then accept updates -- including a WAL replay --
+    # before any live aggregator adopts the table, with no cold
+    # channel-table rebuild.  Cells/recipe may individually be absent
+    # (adopted from an older bundle, unrecipeable selection value);
+    # the table still loads, updates just drop it to a lazy recompute.
     tables: dict = {}
     for compiler_id, table in tables_by_id.items():
         signature = signature_of.get(compiler_id)
         if signature is not None:
-            tables.setdefault(signature, table)
+            tables.setdefault(
+                signature,
+                (
+                    table,
+                    table_cells_by_id.get(compiler_id),
+                    aggregator_recipe(compiler_of[compiler_id].aggregator),
+                ),
+            )
     for signature, table in pending_tables.items():
-        tables.setdefault(signature, table)
-    for signature, table in tables.items():
+        tables.setdefault(
+            signature,
+            (
+                table,
+                pending_table_cells.get(signature),
+                pending_recipes.get(signature),
+            ),
+        )
+    for signature, (table, cells, recipe) in tables.items():
         j = len(meta["tables"])
-        meta["tables"].append({"signature": signature})
+        meta["tables"].append(
+            {
+                "signature": signature,
+                "has_cells": cells is not None,
+                "recipe": recipe,
+            }
+        )
         arrays[f"tab_{j}"] = table
+        if cells is not None:
+            arrays[f"tabcells_{j}"] = cells
 
     lattices: dict = {}
     for (width, height, compiler_id), lattice in lattices_by_key.items():
@@ -163,26 +204,25 @@ def save_session(session: QuerySession, path) -> str:
             arrays[f"lat_{j}_{part}"] = arr
 
     arrays["meta"] = np.array(json.dumps(meta))
-    # Write-then-rename: a crash mid-save must not destroy the previous
-    # good bundle a server's restart path depends on.  (Passing an open
+    # Atomic + fsynced write-then-rename: a crash mid-save must not
+    # destroy the previous good bundle a server's restart path depends
+    # on, and the rename gates a WAL checkpoint that *destroys* the
+    # records this bundle supersedes -- an un-fsynced rename could
+    # commit before the data blocks on a power loss, leaving a corrupt
+    # bundle and no log to rebuild it from.  (Writing through an open
     # file object also keeps np.savez from appending ".npz" to the
     # caller's path.)
-    target = os.fspath(path)
-    fd, tmp = tempfile.mkstemp(
-        dir=os.path.dirname(os.path.abspath(target)) or ".",
-        prefix=os.path.basename(target) + ".",
-        suffix=".tmp",
+    target = replace_atomically(
+        path, lambda fh: np.savez_compressed(fh, **arrays)
     )
-    try:
-        with os.fdopen(fd, "wb") as fh:
-            np.savez_compressed(fh, **arrays)
-        os.replace(tmp, target)
-    except BaseException:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
+    # Checkpoint-and-truncate: the bundle now covers everything up to
+    # the snapshotted epoch, so an attached write-ahead log can drop
+    # those records -- the bundle+WAL pair stays small and replayable.
+    # Updates racing this save append records at >= the snapshot epoch
+    # and survive the checkpoint.
+    wal = session.wal
+    if wal is not None and checkpoint_wal:
+        wal.checkpoint(epoch)
     return target
 
 
@@ -239,6 +279,13 @@ def load_session(
                 if name.startswith("index_")
             }
             session._index = GridIndex.restore(dataset, meta["index"], index_arrays)
+            if session._index._categorical_cells is None:
+                # Pre-v2 bundle: the restored index answers queries
+                # identically but holds no cell sums to patch, so the
+                # session refuses append/delete/apply with a targeted
+                # error naming this version (engine/updates.py) instead
+                # of proceeding on missing state.
+                session._nonpatchable_restore = int(version)
         for j, entry in enumerate(meta["reductions"]):
             block = bundle[f"red_{j}"]
             key = (float(entry["width"]), float(entry["height"]), entry["anchor"])
@@ -247,7 +294,12 @@ def load_session(
                 tuple(float(v) for v in entry["accuracy"]),
             )
         for j, entry in enumerate(meta["tables"]):
-            session._pending_tables[entry["signature"]] = bundle[f"tab_{j}"]
+            signature = entry["signature"]
+            session._pending_tables[signature] = bundle[f"tab_{j}"]
+            if entry.get("has_cells") and f"tabcells_{j}" in bundle.files:
+                session._pending_table_cells[signature] = bundle[f"tabcells_{j}"]
+            if entry.get("recipe"):
+                session._pending_recipes[signature] = entry["recipe"]
         for j, entry in enumerate(meta["lattices"]):
             key = (float(entry["width"]), float(entry["height"]), entry["signature"])
             session._pending_lattices[key] = tuple(

@@ -20,6 +20,7 @@ when one session alone exceeds the budget.
 
 from __future__ import annotations
 
+import os
 import threading
 from collections import OrderedDict
 from typing import Hashable, Tuple
@@ -77,6 +78,8 @@ class SessionPool:
         granularity: Tuple[int, int] | str | None = None,
         settings: SearchSettings | None = None,
         index_path=None,
+        wal=None,
+        replay_wal: bool = False,
     ) -> QuerySession:
         """The session registered under ``key``, creating it on first use.
 
@@ -84,16 +87,23 @@ class SessionPool:
         ``KeyError``); later calls may omit it.  ``index_path`` warms a
         newly created session from a
         :func:`~repro.engine.persist.save_session` bundle instead of
-        starting cold.  Every access marks the session most recently
-        used.  The byte budget is re-measured by :meth:`solve` /
-        :meth:`solve_batch`, not by this accessor -- growth through
-        solves made directly on the returned session object is only
-        picked up at the next pool solve for its key, so route queries
-        through the pool when the budget must track every one.
+        starting cold.  ``wal`` (a path or
+        :class:`~repro.engine.wal.WriteAheadLog`) is attached to a
+        newly created session so every mutation through the pool is
+        durably logged; with ``replay_wal=True`` the log is replayed
+        onto the fresh session first (crash recovery: stale bundle +
+        log -> live state).  Every access marks the session most
+        recently used.  The byte budget is re-measured by
+        :meth:`solve` / :meth:`solve_batch`, not by this accessor --
+        growth through solves made directly on the returned session
+        object is only picked up at the next pool solve for its key, so
+        route queries through the pool when the budget must track every
+        one.
         """
         with self._lock:
             session = self._sessions.get(key)
             if session is not None:
+                self._check_wal_matches(key, session, wal)
                 self._sessions.move_to_end(key)
                 return session
         if dataset is None:
@@ -116,11 +126,50 @@ class SessionPool:
                 ),
                 settings=settings or self._settings,
             )
+        if wal is not None:
+            attached = created.attach_wal(wal)
+            if replay_wal:
+                from .wal import replay
+
+                replay(created, attached)
         with self._lock:
             session = self._sessions.setdefault(key, created)
+            if session is not created:
+                # Creation race: another thread's insert won.  Same
+                # contract as the entry check -- a caller who asked for
+                # durability must not silently get unlogged (or
+                # elsewhere-logged) mutation.
+                self._check_wal_matches(key, session, wal)
             self._sessions.move_to_end(key)
             self._enforce_budget(touched=key)
             return session
+
+    @staticmethod
+    def _check_wal_matches(key: Hashable, session: QuerySession, wal) -> None:
+        """Reject a durability request the resident session cannot honor.
+
+        Silently returning a WAL-less session (or one logging to a
+        *different* file) would let a caller who asked for durability
+        mutate without the log they expect to replay after a crash --
+        and attaching mid-life would start a log missing the session's
+        earlier history.
+        """
+        if wal is None:
+            return
+        if session.wal is None:
+            raise ValueError(
+                f"session {key!r} is already resident without a write-ahead "
+                "log; evict it and recreate with wal=, or save a fresh "
+                "bundle and attach via session.attach_wal so log and bundle "
+                "share an epoch"
+            )
+        requested = os.path.abspath(getattr(wal, "path", None) or os.fspath(wal))
+        if requested != os.path.abspath(session.wal.path):
+            raise ValueError(
+                f"session {key!r} is already logging to "
+                f"{session.wal.path!r}, not the requested {requested!r}; "
+                "evict it first to switch logs"
+            )
 
     def solve(self, key: Hashable, query, dataset=None, **kwargs):
         """Solve one query on the keyed session (created if ``dataset``).
@@ -180,6 +229,30 @@ class SessionPool:
 
         return self.apply(key, UpdateBatch(delete=mask_or_indices), dataset)
 
+    def save(self, key: Hashable, path, *, checkpoint_wal: bool = True) -> str:
+        """Persist the keyed session's bundle (checkpointing its WAL).
+
+        Wraps :func:`~repro.engine.persist.save_session`: the bundle is
+        written atomically (tmp + rename) and, when the session has a
+        write-ahead log attached, the log is checkpoint-truncated --
+        records the new bundle covers are dropped, so the bundle + WAL
+        pair a restarted server replays from stays minimal.  Pass
+        ``checkpoint_wal=False`` when the session's *dataset* is not
+        durably persisted alongside the bundle (the pool has no dataset
+        store of its own): a bundle fingerprints a dataset recovery must
+        re-supply, and truncating the log before that dataset is on disk
+        destroys the only recoverable copy of the updates.  Returns the
+        path written.
+        """
+        with self._lock:
+            session = self._sessions.get(key)
+            if session is None:
+                raise KeyError(f"unknown session key {key!r}")
+            self._sessions.move_to_end(key)
+        from .persist import save_session
+
+        return save_session(session, path, checkpoint_wal=checkpoint_wal)
+
     # ------------------------------------------------------------------
     def _enforce_budget(self, touched: Hashable | None = None) -> None:
         """Evict LRU sessions past the caps (callers hold ``_lock``).
@@ -235,17 +308,34 @@ class SessionPool:
             return False
         session.clear_caches()
         self._evictions += 1
+        self._remeasure_if_resident(key, session)
         return True
 
     def clear(self) -> None:
         """Evict everything."""
         with self._lock:
-            sessions = list(self._sessions.values())
+            evicted = list(self._sessions.items())
             self._sessions.clear()
             self._nbytes_cache.clear()
-        for session in sessions:
+        for key, session in evicted:
             session.clear_caches()
             self._evictions += 1
+            self._remeasure_if_resident(key, session)
+
+    def _remeasure_if_resident(self, key: Hashable, session: QuerySession) -> None:
+        """Refresh a just-cleared session's measurement if it raced back in.
+
+        ``clear_caches`` runs outside the pool lock, so it can interleave
+        with :meth:`apply`'s re-admission of the same session object (or
+        a concurrent solve re-growing its caches): the measurement taken
+        at re-admission then describes the pre-clear footprint and would
+        be served stale by every later budget pass.  Re-measure under
+        the lock, but only while the entry still maps to this session --
+        a fresh session created under the same key measures itself.
+        """
+        with self._lock:
+            if self._sessions.get(key) is session:
+                self._nbytes_cache[key] = session.cache_nbytes()
 
     def info(self) -> dict:
         """Occupancy snapshot (for tests and diagnostics).

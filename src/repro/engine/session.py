@@ -113,6 +113,60 @@ def aggregator_signature(aggregator: CompositeAggregator) -> str | None:
     return repr(tuple(parts))
 
 
+def aggregator_recipe(aggregator: CompositeAggregator) -> list | None:
+    """A JSON-serializable rebuild recipe for an aggregator, or ``None``.
+
+    Signatures identify persisted artefacts but are opaque; the recipe
+    is their *invertible* sibling: format-v3 bundles store it next to
+    each channel table so an incremental update (or a WAL replay) can
+    reconstruct a structurally identical aggregator and patch the
+    pending table's cell sums before any live aggregator object has
+    adopted it (engine/updates.py).  ``None`` when a term is not
+    recipe-able (custom subclass, predicate selection, or a selection
+    value JSON cannot carry); such artefacts fall back to a lazy cold
+    recompute after an update, answers unaffected.
+    """
+    parts: list = []
+    for term in aggregator.terms:
+        tag = _TERM_TAGS.get(type(term))
+        if tag is None:
+            return None
+        sel = term.selection
+        if type(sel) is SelectAll:
+            sel_spec: list = ["all"]
+        elif type(sel) is SelectByValue:
+            value = sel.value
+            if isinstance(value, np.generic):
+                value = value.item()
+            if not isinstance(value, (str, int, float, bool)):
+                return None
+            sel_spec = ["value", sel.attribute, value]
+        else:
+            return None
+        parts.append([tag, term.attribute, sel_spec])
+    return parts
+
+
+_TAG_TERMS = {tag: cls for cls, tag in _TERM_TAGS.items()}
+
+
+def aggregator_from_recipe(recipe: list) -> CompositeAggregator:
+    """Invert :func:`aggregator_recipe` into a fresh aggregator object."""
+    terms = []
+    for tag, attribute, sel_spec in recipe:
+        if sel_spec[0] == "all":
+            selection: SelectAll | SelectByValue = SelectAll()
+        elif sel_spec[0] == "value":
+            selection = SelectByValue(sel_spec[1], sel_spec[2])
+        else:
+            raise ValueError(f"unknown selection spec {sel_spec!r} in recipe")
+        cls = _TAG_TERMS.get(tag)
+        if cls is None:
+            raise ValueError(f"unknown term tag {tag!r} in recipe")
+        terms.append(cls(attribute, selection))
+    return CompositeAggregator(terms)
+
+
 def _validated_granularity(
     granularity: Tuple[int, int] | str, n: int
 ) -> Tuple[int, int]:
@@ -180,6 +234,16 @@ class QuerySession:
         #: apply.  Bundles record it (engine/persist.py) so a stale
         #: on-disk index is diagnosable, not just refused by fingerprint.
         self.epoch = 0
+        #: Optional :class:`~repro.engine.wal.WriteAheadLog`: when
+        #: attached, every effective mutation is durably logged before
+        #: state changes (see :meth:`attach_wal`).
+        self.wal = None
+        #: Set by ``load_session`` when the restored index carries no
+        #: pre-suffix cell sums (a pre-v2 bundle): the session serves
+        #: queries but refuses mutation with a targeted error naming
+        #: the bundle version (engine/updates.py); ``clear_caches``
+        #: resets it (the index then rebuilds from the live dataset).
+        self._nonpatchable_restore: int | None = None
         self._pool = BufferPool()
         self._index: GridIndex | None = None
         # Every aggregator/compiler whose id() keys a cache entry is
@@ -208,11 +272,20 @@ class QuerySession:
         # not move), so a post-update lattice refresh pays only the
         # range sums, not the searchsorted geometry pass.
         self._lattice_geometry: Dict[Tuple[float, float], tuple] = {}
+        # The (full, over) channel range sums each cached lattice was
+        # derived from, kept so incremental updates can delta-patch the
+        # intervals at only the dirty-touched positions
+        # (engine/updates.py, DESIGN.md §10.4).
+        self._lattice_sums: Dict[Tuple[float, float, int], tuple] = {}
         self._cells: Dict[Tuple[float, float, int], dict] = {}
         # Disk-restored artefacts keyed by aggregator *signature* (ids
         # do not survive a process restart); adopted into the id-keyed
-        # caches on first use.  See engine/persist.py.
+        # caches on first use.  See engine/persist.py.  v3 bundles add
+        # the pre-suffix cell sums and a rebuild recipe per table, so a
+        # restored session stays patchable before adoption.
         self._pending_tables: Dict[str, np.ndarray] = {}
+        self._pending_table_cells: Dict[str, np.ndarray] = {}
+        self._pending_recipes: Dict[str, list] = {}
         self._pending_lattices: Dict[Tuple[float, float, str], tuple] = {}
         # Concurrency (DESIGN.md §8.1): the index gets a dedicated lock
         # (its build is the one expensive single-shot artefact); every
@@ -330,8 +403,15 @@ class QuerySession:
                     self._pending_tables.get(sig) if sig is not None else None
                 )
                 if pending is not None:
-                    # Adopted from disk: no cell sums; the first update
-                    # after adoption recomputes this table cold.
+                    # Adopted from disk.  v3 bundles carry the pre-suffix
+                    # cell sums: install them next to the table so later
+                    # updates patch this entry like a live one (pre-v3
+                    # adoptions have none and recompute cold on the
+                    # first update).
+                    cells = self._pending_table_cells.get(sig)
+                    if cells is not None:
+                        with self._memo_lock:
+                            self._table_cells[id(compiler)] = cells
                     return pending
             cells, table = self.index.channel_cells_and_table(compiler)
             with self._memo_lock:
@@ -379,7 +459,7 @@ class QuerySession:
                 (float(width), float(height)),
                 lambda: candidate_lattice_geometry(self.index, width, height),
             )
-            return candidate_lattice_intervals(
+            intervals, sums = candidate_lattice_intervals(
                 self.index,
                 compiler,
                 width,
@@ -387,7 +467,13 @@ class QuerySession:
                 tables=self.channel_tables(compiler),
                 ctx=self.context_for(compiler),
                 geometry=geometry,
+                return_sums=True,
             )
+            # Keep the range sums next to the intervals: incremental
+            # updates delta-patch both (engine/updates.py).
+            with self._memo_lock:
+                self._lattice_sums[key] = sums
+            return intervals
 
         return self._memo(self._lattices, key, compute, pin=compiler)
 
@@ -578,6 +664,25 @@ class QuerySession:
 
         return self.apply(UpdateBatch(delete=mask_or_indices))
 
+    def attach_wal(self, wal) -> "WriteAheadLog":
+        """Attach a write-ahead log; mutations then log before applying.
+
+        ``wal`` is a :class:`~repro.engine.wal.WriteAheadLog` or a
+        path (one is created).  Once attached, every effective
+        ``apply``/``append``/``delete`` durably logs its batch before
+        any session state changes, and :func:`~repro.engine.persist.
+        save_session` checkpoints the log (drops records the new bundle
+        covers).  Returns the attached log.  Replay never re-logs, so
+        ``attach_wal`` + :func:`~repro.engine.wal.replay` is the
+        natural crash-recovery sequence.
+        """
+        from .wal import WriteAheadLog
+
+        if not isinstance(wal, WriteAheadLog):
+            wal = WriteAheadLog(wal)
+        self.wal = wal
+        return wal
+
     # ------------------------------------------------------------------
     def clear_caches(self) -> None:
         """Drop every memoized artefact (memory pressure relief).
@@ -605,9 +710,15 @@ class QuerySession:
             self._reductions.clear()
             self._lattices.clear()
             self._lattice_geometry.clear()
+            self._lattice_sums.clear()
             self._cells.clear()
             self._pending_tables.clear()
+            self._pending_table_cells.clear()
+            self._pending_recipes.clear()
             self._pending_lattices.clear()
+            # Dropping a non-patchable restored index lifts the mutation
+            # block: the next build derives cell sums from the dataset.
+            self._nonpatchable_restore = None
 
     def cache_info(self) -> dict:
         """Occupancy of the session caches (for tests and diagnostics)."""
@@ -658,6 +769,10 @@ class QuerySession:
             total += rects.nbytes
         for lattice in list(self._lattices.values()):
             total += sum(arr_bytes(arr) for arr in lattice)
+        for sums in list(self._lattice_sums.values()):
+            total += sum(arr_bytes(arr) for arr in sums)
+        for cells in list(self._pending_table_cells.values()):
+            total += arr_bytes(cells)
         for geometry in list(self._lattice_geometry.values()):
             x0, y0, over_ranges, full_ranges = geometry
             total += arr_bytes(x0) + arr_bytes(y0)

@@ -1,0 +1,576 @@
+"""Write-ahead logging of :class:`~repro.engine.QuerySession` mutations.
+
+A crashed server used to lose every ``apply``/``append``/``delete``
+since its last :func:`~repro.engine.persist.save_session` and had to
+rebuild from raw data -- exactly the cold build the engine exists to
+avoid.  This module closes that gap (DESIGN.md §10) the way LSM-style
+systems do: the in-place-patched index pairs with an append-only
+redo log.
+
+:class:`WriteAheadLog` is an append-only file of length-prefixed
+records, one per *effective* :class:`~repro.engine.updates.UpdateBatch`.
+Each record frame carries the pre-update dataset epoch and row count
+plus a CRC-32 over the payload, so a torn tail (a crash mid-write)
+is detected and cleanly truncated rather than misread; the payload is
+an ``.npz`` blob of the batch's encoded rows, which round-trip
+bit-for-bit.  ``QuerySession.apply`` writes through the log *before*
+mutating (``session.attach_wal``), under the session's exclusive
+update gate, so the log order is the mutation order.
+
+:func:`replay` fast-forwards a :func:`~repro.engine.persist.load_session`
+-restored session from its saved epoch to the log head: records older
+than the bundle are skipped, the rest are re-applied through the normal
+(bitwise-faithful) update path, so the recovered session answers
+bitwise-identically to a cold session on the final dataset.  A gap --
+the log's oldest record is newer than the bundle -- raises instead of
+silently serving a stale index.
+
+Durability policy: every append is flushed to the OS; ``fsync`` is
+issued every ``fsync_batch`` records (1 = per-record, the durable
+default; larger values amortize group commits).  ``save_session`` on a
+WAL-attached session *checkpoints* the log -- records the new bundle
+already covers are dropped -- so the bundle + WAL pair stays small and
+replayable.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import struct
+import threading
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.atomicio import fsync_dir, replace_atomically
+from ..core.objects import SpatialDataset
+
+#: File layout: MAGIC, then ``<II`` (format version, header-meta length),
+#: then the header-meta JSON, then records.  Each record frame is
+#: ``<IIqq`` (payload length, CRC-32, pre-update epoch, pre-update row
+#: count) followed by the payload; the CRC covers the epoch/row-count
+#: words and the payload, so any torn or bit-flipped tail fails closed.
+WAL_MAGIC = b"REPROWAL"
+WAL_VERSION = 1
+_FRAME = struct.Struct("<IIqq")
+_HEAD = struct.Struct("<II")
+
+
+@dataclass(frozen=True)
+class _AppendToken:
+    """Identity of one appended record, for failure rollback."""
+
+    epoch: int
+    pre_n: int
+    crc: int
+
+
+@dataclass
+class ReplayStats:
+    """What one :func:`replay` call did."""
+
+    applied: int = 0
+    skipped: int = 0
+    truncated_bytes: int = 0
+    appended: int = 0
+    deleted: int = 0
+    final_epoch: int = 0
+    pending_tables_patched: int = 0
+    lattices_patched: int = 0
+
+
+def _frame_crc(epoch: int, pre_n: int, payload: bytes) -> int:
+    return zlib.crc32(payload, zlib.crc32(struct.pack("<qq", epoch, pre_n)))
+
+
+def _encode_record(batch, schema) -> bytes:
+    """The ``.npz`` payload of one update batch (arrays round-trip bitwise)."""
+    append_ds = batch.append_dataset(schema)
+    if append_ds is not None and append_ds.schema != schema:
+        raise ValueError("WAL record append rows must share the session schema")
+    meta = {
+        "columns": list(schema.names),
+        "append_n": 0 if append_ds is None else append_ds.n,
+        "has_delete": batch.delete is not None,
+    }
+    arrays: dict = {"meta": np.array(json.dumps(meta))}
+    if batch.delete is not None:
+        arrays["delete"] = np.asarray(batch.delete)
+    if append_ds is not None:
+        arrays["app_xs"] = append_ds.xs
+        arrays["app_ys"] = append_ds.ys
+        for name in schema.names:
+            arrays[f"app_{name}"] = append_ds.column(name)
+    buf = io.BytesIO()
+    np.savez(buf, **arrays)
+    return buf.getvalue()
+
+
+def _decode_record(payload: bytes, schema):
+    """Invert :func:`_encode_record` against the replaying session's schema."""
+    from .updates import UpdateBatch
+
+    with np.load(io.BytesIO(payload), allow_pickle=False) as blob:
+        meta = json.loads(str(blob["meta"][()]))
+        if meta["columns"] != list(schema.names):
+            raise ValueError(
+                f"WAL record was written over columns {meta['columns']}, "
+                f"but the session schema has {list(schema.names)}"
+            )
+        delete = blob["delete"] if meta["has_delete"] else None
+        append = None
+        if meta["append_n"]:
+            append = SpatialDataset(
+                blob["app_xs"],
+                blob["app_ys"],
+                schema,
+                {name: blob[f"app_{name}"] for name in schema.names},
+            )
+    return UpdateBatch(append=append, delete=delete)
+
+
+def _header_bytes(checkpoint_epoch: int = 0) -> bytes:
+    """The canonical file header this build writes.
+
+    ``checkpoint_epoch`` records how far the log has been truncated:
+    a bundle older than it cannot be replayed from this log *even when
+    the log is empty* -- without the marker, an old bundle plus a
+    freshly checkpointed (empty) log would silently replay nothing and
+    serve pre-update state.
+    """
+    meta = json.dumps(
+        {"log": "repro-session-updates", "checkpoint_epoch": int(checkpoint_epoch)}
+    ).encode("utf-8")
+    return WAL_MAGIC + _HEAD.pack(WAL_VERSION, len(meta)) + meta
+
+
+def _read_header(blob: bytes, path) -> tuple:
+    """Validate the file header; ``(first record offset, header meta)``."""
+    if len(blob) < len(WAL_MAGIC) + _HEAD.size or blob[: len(WAL_MAGIC)] != WAL_MAGIC:
+        raise ValueError(f"{path!s} is not a repro write-ahead log (bad magic)")
+    version, meta_len = _HEAD.unpack_from(blob, len(WAL_MAGIC))
+    if version > WAL_VERSION:
+        raise ValueError(
+            f"write-ahead log {path!s} has format version {version}; this "
+            f"build reads versions up to {WAL_VERSION}.  The log was written "
+            "by a newer build -- upgrade to replay it"
+        )
+    start = len(WAL_MAGIC) + _HEAD.size + meta_len
+    if len(blob) < start:
+        raise ValueError(f"{path!s} is not a repro write-ahead log (truncated header)")
+    try:
+        meta = json.loads(blob[len(WAL_MAGIC) + _HEAD.size : start].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        raise ValueError(f"{path!s} is not a repro write-ahead log (bad header)")
+    return start, meta
+
+
+def _scan(path):
+    """``(frames, good_end, torn, header)``: every intact record of the log.
+
+    ``frames`` are ``(epoch, pre_n, payload)`` tuples; ``good_end`` is
+    the byte offset just past the last intact record.  ``torn`` is True
+    when trailing bytes exist that do not form a complete, CRC-valid
+    record -- the signature of a crash mid-append.  Corruption is never
+    skipped over: everything after the first bad frame is condemned,
+    because a torn length word makes later framing meaningless.
+    """
+    with open(path, "rb") as fh:
+        blob = fh.read()
+    offset, header = _read_header(blob, path)
+    frames = []
+    torn = False
+    while offset < len(blob):
+        if offset + _FRAME.size > len(blob):
+            torn = True
+            break
+        length, crc, epoch, pre_n = _FRAME.unpack_from(blob, offset)
+        payload = blob[offset + _FRAME.size : offset + _FRAME.size + length]
+        if len(payload) < length or _frame_crc(epoch, pre_n, payload) != crc:
+            torn = True
+            break
+        frames.append((epoch, pre_n, payload))
+        offset += _FRAME.size + length
+    return frames, offset, torn, header
+
+
+class WriteAheadLog:
+    """An append-only, CRC-framed log of session update batches.
+
+    Parameters
+    ----------
+    path:
+        Log file; created (with its header) on the first append.
+    fsync_batch:
+        ``os.fsync`` is issued once per this many appended records.
+        1 (the default) makes every committed update durable before
+        ``apply`` returns; larger values trade a bounded tail-loss
+        window for group-commit throughput.  :meth:`sync` forces the
+        pending fsync at any time.
+
+    Thread-safety: appends, checkpoints and scans serialize on an
+    internal lock; the writing side is additionally serialized by the
+    session's exclusive update gate.
+    """
+
+    def __init__(self, path, fsync_batch: int = 1) -> None:
+        if fsync_batch < 1:
+            raise ValueError("fsync_batch must be >= 1")
+        self.path = os.fspath(path)
+        self.fsync_batch = int(fsync_batch)
+        self._lock = threading.Lock()
+        self._fh = None
+        self._unsynced = 0
+        # The epoch the next appended record must carry: last record's
+        # pre-epoch + 1, or the checkpoint marker of an empty log.
+        # Computed from the open-time scan; None until first use.
+        self._head_epoch: int | None = None
+        # True only for a log file this object just created: its first
+        # append adopts the session's epoch as the baseline.
+        self._adopt_head = False
+
+    # ------------------------------------------------------------------
+    def _drop_handle(self) -> None:
+        """Close the append handle (callers hold the lock).
+
+        Any code path that changes the file through a *different*
+        handle (rollback, checkpoint, reset) must drop this one: an
+        O_APPEND write still lands at the real end-of-file, but the
+        buffered handle's tell() goes stale, corrupting later
+        offset-based bookkeeping.
+        """
+        if self._fh is not None:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            self._fh.close()
+            self._fh = None
+            self._unsynced = 0
+
+    def _open(self):
+        """The append handle, creating file + header on first use.
+
+        An existing log is scanned first: any torn tail (a previous
+        crash mid-append) is truncated away -- appending past garbage
+        would leave every new, fsync-acknowledged record unreplayable,
+        since a scan condemns everything after the first bad frame --
+        and the scan establishes the log's head epoch, which
+        :meth:`append` enforces.
+        """
+        if self._fh is None:
+            exists = os.path.exists(self.path) and os.path.getsize(self.path) > 0
+            if exists:
+                frames, good_end, torn, header = _scan(self.path)
+                if torn:
+                    with open(self.path, "r+b") as fh:
+                        fh.truncate(good_end)
+                        os.fsync(fh.fileno())
+                self._head_epoch = (
+                    frames[-1][0] + 1
+                    if frames
+                    else int(header.get("checkpoint_epoch", 0))
+                )
+                self._adopt_head = False
+            else:
+                # A brand-new log has no history to protect: the first
+                # append *adopts* its epoch as the baseline (a session
+                # restored from an epoch>0 bundle legitimately starts
+                # a fresh log there).
+                self._head_epoch = 0
+                self._adopt_head = True
+            self._fh = open(self.path, "ab")
+            if not exists:
+                self._fh.write(_header_bytes())
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
+                # Per-record fsyncs are useless if the *directory entry*
+                # of the just-created file is not durable too.
+                fsync_dir(os.path.dirname(os.path.abspath(self.path)) or ".")
+        return self._fh
+
+    def append(self, batch, *, epoch: int, pre_n: int, schema) -> "_AppendToken":
+        """Durably log one batch about to be applied at ``epoch``.
+
+        Called by the update path *before* any session state mutates
+        (write-ahead): a crash after this point replays the batch, a
+        crash before it loses nothing but an unacknowledged request.
+        ``epoch`` must equal the log's head epoch -- appending from a
+        session that never replayed an existing log would shadow the
+        logged history and silently lose the new records at the next
+        recovery, so that raises instead.  Returns a token a *failed*
+        apply passes to :meth:`rollback` so its record does not become
+        an orphan a later replay would wrongly apply.
+        """
+        payload = _encode_record(batch, schema)
+        crc = _frame_crc(epoch, pre_n, payload)
+        frame = _FRAME.pack(len(payload), crc, epoch, pre_n)
+        with self._lock:
+            fh = self._open()
+            if self._adopt_head and epoch != self._head_epoch:
+                # First append to a freshly created log: adopt its epoch
+                # as the baseline.  The marker is durably rewritten
+                # first, so replay fails closed for bundles older than
+                # the baseline even if this record is later rolled back.
+                self._drop_handle()
+                replace_atomically(
+                    self.path, lambda out: out.write(_header_bytes(epoch))
+                )
+                fh = open(self.path, "ab")
+                self._fh = fh
+                self._head_epoch = epoch
+            elif epoch != self._head_epoch:
+                raise ValueError(
+                    f"appending to {self.path!s} at epoch {epoch} but the "
+                    f"log head expects epoch {self._head_epoch}; if the "
+                    "session predates records in this log, replay it first "
+                    "(engine.wal.replay); if this log belongs to a "
+                    "different baseline, start a fresh one"
+                )
+            self._adopt_head = False
+            start = fh.tell()
+            try:
+                fh.write(frame + payload)
+                fh.flush()
+            except BaseException:
+                # A partial write (ENOSPC and friends) is a torn frame
+                # in the *middle* once later appends succeed; close the
+                # handle and truncate back so the log ends at the last
+                # good record.  Every cleanup step is best-effort: the
+                # same full disk that broke the write can break a flush
+                # here, and the handle must still be dropped so a later
+                # append cannot land after torn bytes.
+                try:
+                    fh.close()
+                except OSError:
+                    pass
+                self._fh = None
+                self._unsynced = 0
+                try:
+                    with open(self.path, "r+b") as rf:
+                        rf.truncate(start)
+                        os.fsync(rf.fileno())
+                except OSError:
+                    pass
+                raise
+            self._unsynced += 1
+            if self._unsynced >= self.fsync_batch:
+                os.fsync(fh.fileno())
+                self._unsynced = 0
+            self._head_epoch = epoch + 1
+            return _AppendToken(epoch, pre_n, crc)
+
+    def rollback(self, token: "_AppendToken") -> None:
+        """Remove the record ``token``'s :meth:`append` wrote, if present.
+
+        Used when the update an appended record announced *failed*
+        before committing: the record must not survive, or replay
+        would apply a batch the live session never did -- and then
+        skip the genuinely applied batch logged at the same epoch.
+        Identity-based rather than offset-based: a concurrent
+        checkpoint may have rewritten the file (shifting offsets), so
+        the log is scanned and its final record dropped only when it
+        matches the token.  The caller holds the session's exclusive
+        update gate, so no later record can have been appended.
+        """
+        with self._lock:
+            self._drop_handle()
+            if not os.path.exists(self.path) or os.path.getsize(self.path) == 0:
+                return
+            frames, good_end, torn, _ = _scan(self.path)
+            if frames:
+                epoch, pre_n, payload = frames[-1]
+                if (epoch, pre_n) == (token.epoch, token.pre_n) and (
+                    _frame_crc(epoch, pre_n, payload) == token.crc
+                ):
+                    good_end -= _FRAME.size + len(payload)
+                    self._head_epoch = epoch
+            # Truncating at good_end also sheds any torn tail bytes.
+            with open(self.path, "r+b") as fh:
+                fh.truncate(good_end)
+                os.fsync(fh.fileno())
+
+    def sync(self) -> None:
+        """Force the pending group-commit fsync."""
+        with self._lock:
+            if self._fh is not None:
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
+                self._unsynced = 0
+
+    def close(self) -> None:
+        with self._lock:
+            self._drop_handle()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def records(self, schema) -> list:
+        """``(epoch, pre_n, UpdateBatch)`` for every intact record.
+
+        A read-only scan (tests, diagnostics); the torn tail, if any,
+        is ignored but not repaired -- :func:`replay` repairs.
+        """
+        with self._lock:
+            if self._fh is not None:
+                self._fh.flush()
+            if not os.path.exists(self.path):
+                return []
+            frames, _, _, _ = _scan(self.path)
+        return [
+            (epoch, pre_n, _decode_record(payload, schema))
+            for epoch, pre_n, payload in frames
+        ]
+
+    def checkpoint(self, epoch: int) -> int:
+        """Drop records a bundle saved at ``epoch`` already covers.
+
+        Rewrites the log keeping only records with pre-update epoch
+        ``>= epoch`` (atomic fsynced temp + rename, so a crash
+        mid-checkpoint leaves the old log intact); any torn tail is
+        dropped with them, and the header records the checkpoint epoch.
+        Returns the number of records removed.  After a checkpoint,
+        bundles saved *before* ``epoch`` can no longer be replayed from
+        this log -- :func:`replay` detects that as a gap, via the first
+        surviving record or, when none survive, the header marker.
+        """
+        with self._lock:
+            self._drop_handle()
+            if not os.path.exists(self.path) or os.path.getsize(self.path) == 0:
+                return 0
+            frames, good_end, torn, header = _scan(self.path)
+            marker = max(int(header.get("checkpoint_epoch", 0)), int(epoch))
+            kept = [f for f in frames if f[0] >= epoch]
+            if (
+                len(kept) == len(frames)
+                and not torn
+                and marker == header.get("checkpoint_epoch", 0)
+            ):
+                return 0
+
+            def write(fh) -> None:
+                fh.write(_header_bytes(marker))
+                for rec_epoch, pre_n, payload in kept:
+                    fh.write(
+                        _FRAME.pack(
+                            len(payload),
+                            _frame_crc(rec_epoch, pre_n, payload),
+                            rec_epoch,
+                            pre_n,
+                        )
+                        + payload
+                    )
+
+            replace_atomically(self.path, write)
+            return len(frames) - len(kept)
+
+    def reset(self) -> int:
+        """Restart the log as a fresh epoch-0 baseline (drops everything).
+
+        For when the *dataset itself* has been re-saved as the new
+        baseline (``repro update --wal --save-data`` without a bundle):
+        a CSV carries no epoch, so the next cold session over it starts
+        at epoch 0 and must see a log that starts there too -- a
+        :meth:`checkpoint` marker at the old epoch would fail it closed
+        even though the CSV embodies every logged update.  Returns the
+        number of records dropped.
+        """
+        with self._lock:
+            self._drop_handle()
+            self._head_epoch = 0
+            if not os.path.exists(self.path) or os.path.getsize(self.path) == 0:
+                return 0
+            frames, _, _, _ = _scan(self.path)
+            replace_atomically(self.path, lambda fh: fh.write(_header_bytes()))
+            return len(frames)
+
+    def __repr__(self) -> str:
+        size = os.path.getsize(self.path) if os.path.exists(self.path) else 0
+        return f"WriteAheadLog({self.path!r}, bytes={size})"
+
+
+def replay(session, wal, *, repair: bool = True) -> ReplayStats:
+    """Fast-forward a restored session from its saved epoch to the log head.
+
+    ``session`` is typically fresh from
+    :func:`~repro.engine.persist.load_session`; ``wal`` is a
+    :class:`WriteAheadLog` or a path.  Records the bundle already covers
+    (pre-update epoch below the session's) are skipped; the rest are
+    re-applied through the normal update path, so the recovered session
+    is bitwise-identical to a cold session on the final dataset -- and,
+    for a format-v3 bundle, no cold channel-table rebuild happens along
+    the way (pending per-compiler cell sums are patched in place).
+
+    A torn tail (crash mid-append) is truncated off the file when
+    ``repair`` is True (the default) and never raises.  A *gap* -- the
+    log's oldest surviving record is newer than the bundle, i.e. the log
+    was checkpointed past it -- raises ``ValueError``, as does a
+    row-count mismatch (bundle and log from different lineages).
+
+    Replay never writes to the log, even when ``session`` has this WAL
+    attached, so attach-then-replay is the natural recovery sequence.
+    """
+    from .updates import apply_update
+
+    if isinstance(wal, WriteAheadLog):
+        wal.sync()
+        path = wal.path
+    else:
+        path = os.fspath(wal)
+    stats = ReplayStats(final_epoch=session.epoch)
+    if not os.path.exists(path) or os.path.getsize(path) == 0:
+        return stats
+    frames, good_end, torn, header = _scan(path)
+    checkpoint_epoch = int(header.get("checkpoint_epoch", 0))
+    if checkpoint_epoch > session.epoch:
+        # Even with no surviving records the marker fails closed: an
+        # old bundle plus a checkpointed (possibly empty) log would
+        # otherwise silently replay nothing and serve stale state.
+        raise ValueError(
+            f"write-ahead log {path!s} was checkpointed at epoch "
+            f"{checkpoint_epoch} but the session is at epoch "
+            f"{session.epoch}: records this bundle needs were truncated.  "
+            "Restore from the bundle (and dataset) saved at that "
+            "checkpoint, or rebuild with `repro index-build`"
+        )
+    if torn:
+        stats.truncated_bytes = os.path.getsize(path) - good_end
+        if repair:
+            with open(path, "r+b") as fh:
+                fh.truncate(good_end)
+    schema = session.dataset.schema
+    for epoch, pre_n, payload in frames:
+        if epoch < session.epoch:
+            stats.skipped += 1
+            continue
+        if epoch > session.epoch:
+            raise ValueError(
+                f"write-ahead log {path!s} starts at epoch {epoch} but the "
+                f"session is at epoch {session.epoch}: the log was "
+                "checkpointed past this bundle.  Restore from the bundle "
+                "saved at that checkpoint (or rebuild with `repro index-build`)"
+            )
+        if pre_n != session.dataset.n:
+            raise ValueError(
+                f"write-ahead log {path!s} record at epoch {epoch} expects "
+                f"{pre_n} rows but the session dataset has "
+                f"{session.dataset.n}: bundle and log are from different "
+                "dataset lineages.  If the dataset file was re-saved after "
+                "these records were applied (e.g. a crash between "
+                "--save-data and the WAL checkpoint), the records are "
+                "already reflected in it and the log can safely be deleted"
+            )
+        batch = _decode_record(payload, schema)
+        ustats = apply_update(session, batch, log=False)
+        stats.applied += 1
+        stats.appended += ustats.appended
+        stats.deleted += ustats.deleted
+        stats.pending_tables_patched += ustats.pending_tables_patched
+        stats.lattices_patched += ustats.lattices_patched
+    stats.final_epoch = session.epoch
+    return stats

@@ -286,10 +286,9 @@ class TestCommands:
         assert rc == 0
         assert capsys.readouterr().out.strip().splitlines() == update_answers
 
-    def test_update_requires_a_mutation(self, tmp_path, fig1_dataset):
+    def _update_spec(self, tmp_path):
         import json
 
-        data = self._write_fig1(tmp_path, fig1_dataset)
         queries = tmp_path / "queries.json"
         queries.write_text(
             json.dumps(
@@ -301,16 +300,42 @@ class TestCommands:
                 }
             )
         )
-        with pytest.raises(SystemExit, match="--append CSV and/or --delete"):
+        return str(queries)
+
+    def test_update_requires_a_mutation(self, tmp_path, fig1_dataset, capsys):
+        """Argument errors route through parser.error: exit code 2 with
+        the message on stderr, like any other argparse failure."""
+        data = self._write_fig1(tmp_path, fig1_dataset)
+        queries = self._update_spec(tmp_path)
+        with pytest.raises(SystemExit) as excinfo:
             main(
                 [
                     "update",
                     "--data", data,
                     "--categorical", "category",
                     "--numeric", "price",
-                    "--queries", str(queries),
+                    "--queries", queries,
                 ]
             )
+        assert excinfo.value.code == 2
+        assert "--append CSV and/or --delete" in capsys.readouterr().err
+
+    def test_update_bad_delete_exits_2(self, tmp_path, fig1_dataset, capsys):
+        data = self._write_fig1(tmp_path, fig1_dataset)
+        queries = self._update_spec(tmp_path)
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "update",
+                    "--data", data,
+                    "--categorical", "category",
+                    "--numeric", "price",
+                    "--queries", queries,
+                    "--delete", "1,spam",
+                ]
+            )
+        assert excinfo.value.code == 2
+        assert "expected I,J,K" in capsys.readouterr().err
 
     def test_index_build_custom_granularity(self, tmp_path, fig1_dataset, capsys):
         import json
@@ -492,5 +517,315 @@ class TestCommands:
                     "--categorical", "category",
                     "--numeric", "price",
                     "--queries", str(queries),
+                ]
+            )
+
+
+class TestWalReplayCli:
+    """The durable-update CLI: `update --wal` and the `replay` command."""
+
+    def _setup(self, tmp_path, fig1_dataset):
+        import json
+
+        data = tmp_path / "data.csv"
+        save_csv(fig1_dataset, data)
+        queries = tmp_path / "queries.json"
+        queries.write_text(
+            json.dumps(
+                {
+                    "terms": ["fD:category", "fA:price@category=Apartment"],
+                    "width": 4.0,
+                    "height": 4.0,
+                    "queries": [{"target": [2, 1, 1, 1, 1.75]}],
+                }
+            )
+        )
+        common = [
+            "--categorical", "category",
+            "--numeric", "price",
+            "--queries", str(queries),
+        ]
+        return str(data), str(queries), common
+
+    def test_replay_help_smoke(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["replay", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "--wal" in out and "--index" in out
+
+    def test_update_wal_then_replay_recovers(
+        self, tmp_path, fig1_dataset, capsys
+    ):
+        """Two `update --wal` runs (no bundle re-save: simulated crash)
+        followed by `replay` answer exactly like a cold batch over the
+        final dataset."""
+        import numpy as np
+
+        data, queries, common = self._setup(tmp_path, fig1_dataset)
+        bundle = tmp_path / "fig1.idx"
+        wal = tmp_path / "fig1.wal"
+        rc = main(["index-build", "--data", data, *common, "--out", str(bundle)])
+        assert rc == 0
+        capsys.readouterr()
+
+        extra = fig1_dataset.subset(np.array([0, 3]))
+        append_csv = tmp_path / "extra.csv"
+        save_csv(extra, append_csv)
+        rc = main(
+            [
+                "update", "--data", data, *common,
+                "--index", str(bundle), "--wal", str(wal),
+                "--append", str(append_csv),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "logged to WAL" in out
+
+        # Second run continues the same history: it replays record 1
+        # before logging record 2.
+        rc = main(
+            [
+                "update", "--data", data, *common,
+                "--index", str(bundle), "--wal", str(wal),
+                "--delete", "1",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "replayed 1 WAL record(s)" in out
+        assert "epoch 2" in out
+
+        # Crash "happens" here: the bundle on disk is still epoch 0.
+        rc = main(
+            [
+                "replay", "--data", data, *common,
+                "--index", str(bundle), "--wal", str(wal),
+            ]
+        )
+        assert rc == 0
+        replay_out = capsys.readouterr().out
+        assert "replayed 2 WAL record(s)" in replay_out
+        assert "recovered session at epoch 2" in replay_out
+        replay_answers = [
+            line for line in replay_out.splitlines() if line.startswith("query #")
+        ]
+
+        # Ground truth: a cold batch over the final dataset.
+        final = fig1_dataset.append(extra).delete(np.array([1]))
+        final_csv = tmp_path / "final.csv"
+        save_csv(final, final_csv)
+        rc = main(["batch", "--data", str(final_csv), *common])
+        assert rc == 0
+        batch_answers = capsys.readouterr().out.strip().splitlines()
+        assert replay_answers == batch_answers
+
+    def test_replay_save_index_checkpoints_wal(
+        self, tmp_path, fig1_dataset, capsys
+    ):
+        import numpy as np
+
+        from repro.engine.wal import _scan
+
+        data, queries, common = self._setup(tmp_path, fig1_dataset)
+        bundle = tmp_path / "fig1.idx"
+        wal = tmp_path / "fig1.wal"
+        saved = tmp_path / "recovered.idx"
+        saved_csv = tmp_path / "recovered.csv"
+        assert main(["index-build", "--data", data, *common, "--out", str(bundle)]) == 0
+        extra = fig1_dataset.subset(np.array([2]))
+        append_csv = tmp_path / "extra.csv"
+        save_csv(extra, append_csv)
+        assert main(
+            [
+                "update", "--data", data, *common,
+                "--index", str(bundle), "--wal", str(wal),
+                "--append", str(append_csv),
+            ]
+        ) == 0
+        frames, _, _, _ = _scan(str(wal))
+        assert len(frames) == 1
+        capsys.readouterr()
+        # Recover to SIDE paths: the --data baseline is untouched, so
+        # the log must survive (it still covers data.csv).
+        assert main(
+            [
+                "replay", "--data", data, *common,
+                "--index", str(bundle), "--wal", str(wal),
+                "--save-index", str(saved), "--save-data", str(saved_csv),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "left untouched" in out
+        frames, _, _, _ = _scan(str(wal))
+        assert len(frames) == 1
+        assert saved.exists() and saved_csv.exists()
+        # Recover updating the baseline itself: now the checkpoint is
+        # safe and fires.
+        assert main(
+            [
+                "replay", "--data", data, *common,
+                "--index", str(bundle), "--wal", str(wal),
+                "--save-index", str(saved), "--save-data", data,
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "checkpointed WAL" in out
+        frames, _, _, _ = _scan(str(wal))
+        assert frames == []  # the new bundle + baseline cover the log
+        # No temp droppings from the atomic writes.
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+        # The caught-up (baseline data, saved bundle) pair serves warm.
+        assert main(
+            [
+                "batch", "--data", data, *common,
+                "--index", str(saved),
+            ]
+        ) == 0
+
+    def test_update_wal_save_data_without_save_index_stays_usable(
+        self, tmp_path, fig1_dataset, capsys
+    ):
+        """Regression: `--wal --save-data` (no --save-index) used to
+        leave the new CSV paired with un-checkpointed records, so the
+        next run died with a lineage mismatch.  Saving the data now
+        resets the log to the CSV's fresh epoch-0 baseline."""
+        import numpy as np
+
+        data, queries, common = self._setup(tmp_path, fig1_dataset)
+        wal = tmp_path / "fig1.wal"
+        extra = fig1_dataset.subset(np.array([0, 3]))
+        append_csv = tmp_path / "extra.csv"
+        save_csv(extra, append_csv)
+        for run in range(2):
+            rc = main(
+                [
+                    "update", "--data", data, *common,
+                    "--wal", str(wal),
+                    "--append", str(append_csv),
+                    "--save-data", data,
+                ]
+            )
+            assert rc == 0
+            out = capsys.readouterr().out
+            assert "reset WAL" in out and "1 record(s) now baked" in out
+            # Each run starts from the freshly saved CSV: epoch 1 again.
+            assert "applied update: +2 -0 objects (epoch 1" in out
+
+    def test_update_wal_save_data_side_copy_keeps_log(
+        self, tmp_path, fig1_dataset, capsys
+    ):
+        """--save-data to a side path must NOT reset the WAL: the
+        original --data file is unchanged and the log is its only
+        durable record of the update."""
+        import numpy as np
+
+        from repro.engine.wal import _scan
+
+        data, queries, common = self._setup(tmp_path, fig1_dataset)
+        wal = tmp_path / "fig1.wal"
+        extra = fig1_dataset.subset(np.array([0]))
+        append_csv = tmp_path / "extra.csv"
+        save_csv(extra, append_csv)
+        rc = main(
+            [
+                "update", "--data", data, *common,
+                "--wal", str(wal),
+                "--append", str(append_csv),
+                "--save-data", str(tmp_path / "backup.csv"),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "side copy" in out and "left untouched" in out
+        frames, _, _, _ = _scan(str(wal))
+        assert len(frames) == 1  # the record survives for --data
+        # And the canonical pair still replays the update.
+        rc = main(
+            ["replay", "--data", data, *common[:4], "--wal", str(wal)]
+        )
+        assert rc == 0
+        assert "replayed 1 WAL record(s)" in capsys.readouterr().out
+
+    def test_save_index_without_save_data_keeps_wal(
+        self, tmp_path, fig1_dataset, capsys
+    ):
+        """Regression: --save-index without --save-data used to
+        checkpoint the WAL while the on-disk CSV was still pre-update —
+        the bundle fingerprinted a dataset existing nowhere and the
+        truncated records were the only copy of the updates."""
+        import numpy as np
+
+        from repro.engine.wal import _scan
+
+        data, queries, common = self._setup(tmp_path, fig1_dataset)
+        wal = tmp_path / "fig1.wal"
+        extra = fig1_dataset.subset(np.array([0]))
+        append_csv = tmp_path / "extra.csv"
+        save_csv(extra, append_csv)
+        rc = main(
+            [
+                "update", "--data", data, *common,
+                "--wal", str(wal),
+                "--append", str(append_csv),
+                "--save-index", str(tmp_path / "orphan.idx"),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "left untouched" in out and "recovery path" in out
+        frames, _, _, _ = _scan(str(wal))
+        assert len(frames) == 1  # the record survives
+        # The (original data, WAL) pair still recovers the update.
+        rc = main(
+            ["replay", "--data", data, *common[:4], "--wal", str(wal)]
+        )
+        assert rc == 0
+        assert "replayed 1 WAL record(s)" in capsys.readouterr().out
+
+    def test_save_data_side_copy_with_save_index_keeps_wal(
+        self, tmp_path, fig1_dataset, capsys
+    ):
+        """Regression: --save-data to a side path plus --save-index used
+        to checkpoint the WAL, severing the untouched --data baseline's
+        recovery pair."""
+        import numpy as np
+
+        from repro.engine.wal import _scan
+
+        data, queries, common = self._setup(tmp_path, fig1_dataset)
+        wal = tmp_path / "fig1.wal"
+        extra = fig1_dataset.subset(np.array([0]))
+        append_csv = tmp_path / "extra.csv"
+        save_csv(extra, append_csv)
+        rc = main(
+            [
+                "update", "--data", data, *common,
+                "--wal", str(wal),
+                "--append", str(append_csv),
+                "--save-data", str(tmp_path / "copy.csv"),
+                "--save-index", str(tmp_path / "copy.idx"),
+            ]
+        )
+        assert rc == 0
+        assert "left untouched" in capsys.readouterr().out
+        frames, _, _, _ = _scan(str(wal))
+        assert len(frames) == 1
+        # The canonical (data, wal) pair still recovers the update.
+        rc = main(["replay", "--data", data, *common[:4], "--wal", str(wal)])
+        assert rc == 0
+        assert "replayed 1 WAL record(s)" in capsys.readouterr().out
+
+    def test_replay_missing_wal_fails_closed(self, tmp_path, fig1_dataset):
+        """A recovery command given a nonexistent log path must error,
+        not print 'recovered' over stale state."""
+        data, queries, common = self._setup(tmp_path, fig1_dataset)
+        with pytest.raises(SystemExit, match="no such file"):
+            main(
+                [
+                    "replay", "--data", data, *common[:4],
+                    "--wal", str(tmp_path / "typo.wal"),
                 ]
             )

@@ -160,3 +160,18 @@ class TestCsvIO:
         path.write_text("a,b,c\n")
         with pytest.raises(ValueError, match="header"):
             load_csv(path, fig1_dataset.schema)
+
+
+class TestAtomicSaveModes:
+    def test_save_csv_preserves_existing_mode(self, tmp_path, fig1_dataset):
+        """Atomic rewrites must not flip a world-readable dataset to
+        mkstemp's 0600 -- other services read these files."""
+        import os
+
+        from repro.data.io import save_csv
+
+        path = tmp_path / "d.csv"
+        save_csv(fig1_dataset, path)
+        os.chmod(path, 0o644)
+        save_csv(fig1_dataset, path)  # overwrite in place
+        assert (os.stat(path).st_mode & 0o777) == 0o644

@@ -257,3 +257,70 @@ class TestSessionPool:
             for (key, qi), got in ex.map(run, jobs):
                 assert _same_result(got, baselines[key][qi])
         assert pool.info()["evictions"] > 0
+
+
+class TestPoolMeasurementRace:
+    def test_eviction_clear_racing_readmission_is_remeasured(self):
+        """Regression: `evict()` runs `clear_caches()` outside the pool
+        lock, so it can land *after* a concurrent `apply()` re-admitted
+        the same session and measured its (still-warm) footprint.  The
+        stale big measurement then overstates the budget forever.  The
+        fix re-measures under the pool lock after the clear."""
+        from repro.engine import UpdateBatch
+
+        dataset, queries = _workload(23, 60, 2)
+        # A (generous) byte budget makes the pool cache measurements --
+        # the staleness under test lives in that cache.
+        pool = SessionPool(settings=SMALL, max_bytes=1 << 40)
+        session = pool.session("a", dataset)
+        pool.solve("a", queries[0])
+        assert pool.info()["bytes"] > 0
+
+        in_apply = threading.Event()
+        apply_go = threading.Event()
+        in_clear = threading.Event()
+        clear_go = threading.Event()
+
+        real_apply = session.apply
+        real_clear = session.clear_caches
+
+        def gated_apply(batch):
+            in_apply.set()
+            assert apply_go.wait(5)
+            return real_apply(batch)
+
+        def gated_clear():
+            in_clear.set()
+            assert clear_go.wait(5)
+            real_clear()
+
+        session.apply = gated_apply
+        session.clear_caches = gated_clear
+
+        extra = dataset.subset(np.arange(3))
+        apply_thread = threading.Thread(
+            target=pool.apply, args=("a", UpdateBatch(append=extra))
+        )
+        apply_thread.start()
+        assert in_apply.wait(5)  # pool.apply is inside session.apply
+
+        evict_thread = threading.Thread(target=pool.evict, args=("a",))
+        evict_thread.start()
+        assert in_clear.wait(5)  # "a" is popped; clear is pending
+
+        # The apply finishes and re-admits the session, measuring its
+        # warm footprint under the pool lock...
+        apply_go.set()
+        apply_thread.join(timeout=10)
+        assert not apply_thread.is_alive()
+        assert "a" in pool
+        # ...then the delayed clear lands, gutting the caches.
+        clear_go.set()
+        evict_thread.join(timeout=10)
+        assert not evict_thread.is_alive()
+
+        session.clear_caches = real_clear
+        session.apply = real_apply
+        # The pool must have re-measured after the clear: its cached
+        # measurement matches the session's actual footprint.
+        assert pool.info()["bytes"] == session.cache_nbytes()

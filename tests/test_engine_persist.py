@@ -12,7 +12,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import ASRSQuery, CompositeAggregator, SumAggregator
-from repro.core.selection import SelectWhere
+from repro.core.selection import SelectByValue, SelectWhere
 from repro.dssearch import SearchSettings
 from repro.engine import (
     QuerySession,
@@ -277,7 +277,9 @@ class TestFormatV2:
 
     def test_v1_bundle_read_shim(self, tmp_path):
         """v1 bundles (no epoch, no cell sums) still load and answer
-        identically; their restored index just cannot be patched."""
+        identically; their restored index cannot be patched, so mutation
+        raises a targeted error naming the bundle version instead of
+        proceeding on missing cell sums."""
         dataset, aggregator, queries = _instance(33, 50)
         session = QuerySession(dataset, settings=SMALL)
         expected = session.solve_batch(queries)
@@ -286,16 +288,55 @@ class TestFormatV2:
         self._rewrite_meta(
             path,
             lambda meta: (meta.pop("epoch"), meta.update(format_version=1)),
-            drop_arrays=("index_cat_cells_", "index_num_cells_"),
+            drop_arrays=(
+                "index_cat_cells_",
+                "index_num_cells_",
+                "tabcells_",
+            ),
         )
         restored = load_session(path, dataset)
         assert restored.epoch == 0
         for got, want in zip(restored.solve_batch(queries), expected):
             assert _same_result(got, want)
-        # An update on the shimmed session falls back to a cold index
-        # rebuild but stays correct.
+        # Mutation on the non-patchable restore is refused, naming the
+        # version -- not silently degraded.
+        with pytest.raises(ValueError, match="format v1 bundle"):
+            restored.delete(np.array([3]))
+        # The dataset was not touched by the refused mutation.
+        assert restored.dataset.n == dataset.n
+        # clear_caches drops the restored index; the session then
+        # rebuilds from the live dataset and mutates correctly again.
+        restored.clear_caches()
         stats = restored.delete(np.array([3]))
-        assert not stats.index_patched
+        assert stats.deleted == 1
+        cold = QuerySession(restored.dataset, settings=SMALL)
+        for got, want in zip(
+            restored.solve_batch(queries), cold.solve_batch(queries)
+        ):
+            assert _same_result(got, want)
+
+    def test_v2_bundle_still_mutates_with_cold_table_recompute(self, tmp_path):
+        """v2 bundles (index cell sums but no per-compiler table cells)
+        keep the old behavior: updates proceed, dropped channel tables
+        recompute lazily, answers stay identical."""
+        dataset, aggregator, queries = _instance(35, 50)
+        session = QuerySession(dataset, settings=SMALL)
+        session.solve_batch(queries)
+        path = tmp_path / "session.idx"
+        save_session(session, path)
+        self._rewrite_meta(
+            path,
+            lambda meta: (
+                meta.update(format_version=2),
+                [(e.pop("has_cells", None), e.pop("recipe", None)) for e in meta["tables"]],
+            ),
+            drop_arrays=("tabcells_",),
+        )
+        restored = load_session(path, dataset)
+        assert not restored._pending_table_cells
+        stats = restored.delete(np.array([2, 4]))
+        assert stats.index_patched  # index cell sums are v2 state
+        assert stats.pending_tables_dropped == 1  # no cells -> lazy cold
         cold = QuerySession(restored.dataset, settings=SMALL)
         for got, want in zip(
             restored.solve_batch(queries), cold.solve_batch(queries)
@@ -312,6 +353,126 @@ class TestFormatV2:
         )
         with pytest.raises(ValueError, match="written by a newer build"):
             load_session(path, dataset)
+
+
+class TestFormatV3:
+    """v3 bundles: per-compiler table cell sums + rebuild recipes, so a
+    restored session accepts updates with no cold channel-table rebuild."""
+
+    def test_cells_and_recipe_roundtrip(self, tmp_path):
+        dataset, aggregator, queries = _instance(41, 60)
+        session = QuerySession(dataset, settings=SMALL)
+        session.warm_for(queries[0])
+        path = tmp_path / "session.idx"
+        save_session(session, path)
+        restored = load_session(path, dataset)
+        sig = aggregator_signature(aggregator)
+        assert sig in restored._pending_table_cells
+        assert sig in restored._pending_recipes
+        compiler = session.compiler_for(queries[0].aggregator)
+        np.testing.assert_array_equal(
+            restored._pending_table_cells[sig],
+            session._table_cells[id(compiler)],
+        )
+
+    def test_recipe_reconstructs_equivalent_aggregator(self):
+        from repro.engine import aggregator_recipe
+        from repro.engine.session import aggregator_from_recipe
+
+        aggregator = random_aggregator()
+        recipe = aggregator_recipe(aggregator)
+        assert recipe is not None
+        rebuilt = aggregator_from_recipe(recipe)
+        assert aggregator_signature(rebuilt) == aggregator_signature(aggregator)
+
+    def test_unrecipeable_value_skips_recipe_but_loads(self, tmp_path):
+        """A selection value JSON cannot carry is persisted without a
+        recipe; the bundle round-trips, and an update on the restored
+        session drops that table to the lazy cold path -- answers
+        unaffected."""
+        from repro.engine import aggregator_recipe
+
+        aggregator = CompositeAggregator(
+            [SumAggregator("score", SelectByValue("kind", ("k0",)))]
+        )
+        assert aggregator_signature(aggregator) is not None
+        assert aggregator_recipe(aggregator) is None
+
+        # A dataset whose domain contains the tuple value, so the
+        # selection is valid end to end yet JSON cannot carry it.
+        from repro.core import (
+            CategoricalAttribute,
+            NumericAttribute,
+            Schema,
+            SpatialDataset,
+        )
+
+        rng = np.random.default_rng(45)
+        schema = Schema.of(
+            CategoricalAttribute("kind", (("k0",), "k1")),
+            NumericAttribute("score"),
+        )
+        n = 40
+        dataset = SpatialDataset(
+            np.round(rng.uniform(0, 60, n)),
+            np.round(rng.uniform(0, 60, n)),
+            schema,
+            {
+                "kind": rng.integers(0, 2, n),
+                "score": np.round(rng.uniform(-5, 10, n), 3),
+            },
+        )
+        query = ASRSQuery.from_vector(10.0, 10.0, aggregator, np.zeros(1))
+        session = QuerySession(dataset, settings=SMALL)
+        session.solve(query)
+        path = tmp_path / "session.idx"
+        save_session(session, path)
+
+        restored = load_session(path, dataset)
+        sig = aggregator_signature(aggregator)
+        assert sig in restored._pending_tables
+        assert sig not in restored._pending_recipes
+        stats = restored.delete(np.array([3]))
+        assert stats.pending_tables_patched == 0
+        assert stats.pending_tables_dropped == 1
+        cold = QuerySession(restored.dataset, settings=SMALL)
+        assert _same_result(restored.solve(query), cold.solve(query))
+
+    def test_restored_session_updates_without_cold_table_rebuild(self, tmp_path):
+        """The acceptance contract: mutate a load_session-restored v3
+        session before any aggregator adoption -- the pending channel
+        table is patched from its persisted cell sums, and the first
+        solve adopts it without ever calling the cold
+        channel_cells_and_table path."""
+        dataset, aggregator, queries = _instance(43, 80)
+        session = QuerySession(dataset, settings=SMALL)
+        session.solve_batch(queries)
+        path = tmp_path / "session.idx"
+        save_session(session, path)
+
+        restored = load_session(path, dataset)
+        stats = restored.delete(np.array([5, 11, 17]))
+        assert stats.pending_tables_patched == 1
+        assert stats.pending_tables_dropped == 0
+
+        calls = []
+        original = type(restored.index).channel_cells_and_table
+
+        def counting(self, compiler):
+            calls.append(compiler)
+            return original(self, compiler)
+
+        import repro.index.grid_index as grid_index_module
+
+        try:
+            grid_index_module.GridIndex.channel_cells_and_table = counting
+            results = restored.solve_batch(queries)
+        finally:
+            grid_index_module.GridIndex.channel_cells_and_table = original
+        assert calls == []  # no cold channel-table rebuild
+        cold = QuerySession(restored.dataset, settings=SMALL)
+        for got, want in zip(results, cold.solve_batch(queries)):
+            assert _same_result(got, want)
 
 
 class TestSignature:

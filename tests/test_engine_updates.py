@@ -427,3 +427,114 @@ class TestConcurrentUpdates:
         # And the session itself now answers post-update.
         for query, post in zip(queries, after):
             assert _identical(session.solve(query), post)
+
+
+class TestDeltaLattice:
+    """Delta-aware lattice maintenance (DESIGN.md §10.4): updates patch
+    cached intervals at only the dirty-touched positions, bitwise-equal
+    to the full recompute they replace."""
+
+    def _warm_session(self, rng, agg, n=250):
+        ds = make_random_dataset(rng, n, extent=90.0)
+        session = QuerySession(ds)
+        for query in _queries(ds, agg):
+            session.solve(query)
+        return session
+
+    def test_patched_intervals_bitwise_equal_full_recompute(self):
+        from repro.core import CompositeAggregator, DistributionAggregator
+        from repro.core.selection import SelectAll
+
+        rng = np.random.default_rng(50)
+        agg = CompositeAggregator([DistributionAggregator("kind", SelectAll())])
+        session = self._warm_session(rng, agg)
+        assert session._lattice_sums  # sums cached next to the lattice
+        # A *localized* mutation (one small box away from the NE corner)
+        # keeps the touched-position fraction under the delta threshold.
+        ds = session.dataset
+        b = ds.bounds()
+        in_box = (
+            (ds.xs > b.x_min + 5.0)
+            & (ds.xs < b.x_min + 20.0)
+            & (ds.ys > b.y_min + 5.0)
+            & (ds.ys < b.y_min + 20.0)
+        )
+        delete = np.flatnonzero(in_box)[:4]
+        assert delete.size
+        spawned = make_random_dataset(rng, 4, extent=90.0)
+        appended = SpatialDataset(
+            np.clip(spawned.xs, b.x_min + 5.0, b.x_min + 20.0),
+            np.clip(spawned.ys, b.y_min + 5.0, b.y_min + 20.0),
+            ds.schema,
+            {name: spawned.column(name) for name in ds.schema.names},
+        )
+        stats = session.apply(UpdateBatch(append=appended, delete=delete))
+        assert stats.index_patched
+        assert stats.lattices_patched == 1
+        assert stats.lattices_dropped == 0
+        total = next(iter(session._lattices.values()))[2].shape[0]
+        assert 0 < stats.lattice_positions_refreshed < total
+        # The patched intervals must be bit-for-bit the lazy recompute.
+        (key, patched), = session._lattices.items()
+        (skey, sums), = session._lattice_sums.items()
+        assert skey == key
+        compiler = session._pins[key[2]]
+        from repro.index.gids import candidate_lattice_intervals
+
+        fresh, fresh_sums = candidate_lattice_intervals(
+            session.index,
+            compiler,
+            key[0],
+            key[1],
+            tables=session.channel_tables(compiler),
+            ctx=session.context_for(compiler),
+            return_sums=True,
+        )
+        for got, want in zip(patched, fresh):
+            np.testing.assert_array_equal(got, want)
+        for got, want in zip(sums, fresh_sums):
+            np.testing.assert_array_equal(got, want)
+
+    def test_moved_bound_context_falls_back_to_full_refresh(self):
+        """Average-term bounds read the ctx extremes at every position:
+        an update that moves the selected min/max must drop the lattice,
+        not patch it."""
+        rng = np.random.default_rng(51)
+        agg = random_aggregator(with_avg=True)
+        session = self._warm_session(rng, agg)
+        b = session.dataset.bounds()
+        spike = SpatialDataset(
+            np.array([(b.x_min + b.x_max) / 2.0]),
+            np.array([(b.y_min + b.y_max) / 2.0]),
+            session.dataset.schema,
+            {"kind": np.array([0]), "score": np.array([999.0])},
+        )
+        stats = session.append(spike)  # k0 max score moves
+        assert stats.index_patched
+        assert stats.lattices_patched == 0
+        assert stats.lattices_dropped >= 1
+        _assert_matches_cold(session, _queries(session.dataset, agg, k=1))
+
+    def test_delta_off_matches_delta_on_and_cold(self):
+        from repro.engine.updates import apply_update
+
+        rng_a = np.random.default_rng(52)
+        rng_b = np.random.default_rng(52)
+        agg = random_aggregator()
+        on = self._warm_session(rng_a, agg)
+        off = self._warm_session(rng_b, agg)
+        queries = _queries(on.dataset, agg)
+        for _ in range(3):
+            batch = UpdateBatch(
+                append=_in_bounds_rows(rng_a, on.dataset, 4),
+                delete=_interior_delete(rng_a, on.dataset, 4),
+            )
+            apply_update(on, batch)
+            batch_b = UpdateBatch(
+                append=_in_bounds_rows(rng_b, off.dataset, 4),
+                delete=_interior_delete(rng_b, off.dataset, 4),
+            )
+            apply_update(off, batch_b, delta_lattice=False)
+        for query in queries:
+            assert _identical(on.solve(query), off.solve(query))
+        _assert_matches_cold(on, queries)
