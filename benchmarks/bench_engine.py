@@ -36,6 +36,13 @@ the Fig. 10 scalability workload (Tweet + POISyn, query size 10q):
   checks identity and keeps recovery cost observable (expect rough
   parity: replay does O(records) sublinear patches against the cold
   path's one O(n) build); the WAL's value is durability, not speed.
+* **service_overhead** -- the typed serving facade: the same queries
+  answered through :class:`repro.service.RegionService` (typed
+  ``QueryRequest`` in, structured ``RegionResult`` out, per-query
+  budget re-accounting) versus direct ``QuerySession.solve`` calls on
+  an identically warmed session.  Answers must be bitwise-identical
+  and the facade overhead must stay within a few percent -- the typed
+  surface is bookkeeping, not work.
 * **delta_lattice** -- per-update lattice maintenance on a *localized*
   stream (each round mutates one small box, the POI-stream shape delta
   maintenance targets; the scattered stream above trips the
@@ -158,6 +165,61 @@ def bench_config(kind: str, n: int, n_queries: int, workers: int) -> dict:
         t0 = time.perf_counter()
         disk = restored.solve_batch(queries)
         disk_solve_s = time.perf_counter() - t0
+
+    # Service overhead: the typed facade versus direct session solves.
+    # Both sides run the identical workload on fresh sessions warmed by
+    # one untimed solve of the first query, so the difference is exactly
+    # the facade's bookkeeping (request typing, aggregator interning,
+    # result structuring, budget re-accounting).
+    from repro.service import DatasetSpec, QueryRequest, RegionService, term_specs
+
+    # Repetitions smooth single-run jitter: the facade's per-query cost
+    # is tens of microseconds, so on millisecond solves one scheduler
+    # hiccup would otherwise dominate the ratio.
+    service_reps = 5
+    direct_session = QuerySession(dataset, granularity=granularity)
+    direct_session.solve(queries[0])
+    direct_times = []
+    for _ in range(service_reps):
+        t0 = time.perf_counter()
+        direct = [direct_session.solve(q) for q in queries]
+        direct_times.append(time.perf_counter() - t0)
+    # min-of-reps: the fastest pass is the one least polluted by
+    # scheduler noise, which otherwise dwarfs the facade's
+    # microsecond-scale bookkeeping on millisecond solves.
+    direct_s = min(direct_times)
+
+    service = RegionService()
+    service.open(
+        DatasetSpec(key="bench", granularity=granularity), dataset=dataset
+    )
+    requests = [
+        QueryRequest(
+            dataset="bench",
+            terms=term_specs(q.aggregator),
+            width=q.width,
+            height=q.height,
+            target=tuple(q.query_rep),
+            weights=tuple(q.metric.weights),
+            p=q.metric.p,
+        )
+        for q in queries
+    ]
+    service.query(requests[0])  # warm, mirroring the direct side
+    service_times = []
+    for _ in range(service_reps):
+        t0 = time.perf_counter()
+        served = [service.query(r) for r in requests]
+        service_times.append(time.perf_counter() - t0)
+    service_s = min(service_times)
+    service_ok = all(
+        s.region
+        == (d.region.x_min, d.region.y_min, d.region.x_max, d.region.y_max)
+        and s.score == d.distance
+        and np.array_equal(np.asarray(s.representation), d.representation)
+        for s, d in zip(served, direct)
+    )
+    service_overhead_pct = round((service_s / direct_s - 1.0) * 100.0, 2)
 
     # Incremental: a live update stream.  Each round mutates the data
     # (append ~0.5% rows resampled in-bounds, delete ~0.5% interior
@@ -330,6 +392,7 @@ def bench_config(kind: str, n: int, n_queries: int, workers: int) -> dict:
         )
         and wal_ok
         and delta_ok
+        and service_ok
     )
     return {
         "kind": kind,
@@ -343,6 +406,10 @@ def bench_config(kind: str, n: int, n_queries: int, workers: int) -> dict:
         "parallel_s": round(parallel_s, 4),
         "disk_load_s": round(disk_load_s, 4),
         "disk_solve_s": round(disk_solve_s, 4),
+        "direct_s": round(direct_s, 4),
+        "service_s": round(service_s, 4),
+        "service_overhead_pct": service_overhead_pct,
+        "service_identical": service_ok,
         "incremental_s": round(incremental_s, 4),
         "rebuild_s": round(rebuild_s, 4),
         "update_rounds": rounds,
@@ -441,6 +508,8 @@ def main(argv=None) -> int:
     tot_wal_rebuild = sum(c["wal_rebuild_s"] for c in configs)
     tot_delta = sum(c["delta_lattice_s"] for c in configs)
     tot_full = sum(c["full_lattice_s"] for c in configs)
+    tot_direct = sum(c["direct_s"] for c in configs)
+    tot_service = sum(c["service_s"] for c in configs)
     report = {
         "benchmark": "engine",
         "workload": f"fig10 size={SIZE_FACTOR}q",
@@ -470,6 +539,11 @@ def main(argv=None) -> int:
             "delta_lattice_s": round(tot_delta, 4),
             "full_lattice_s": round(tot_full, 4),
             "speedup_delta_lattice": round(tot_full / tot_delta, 2),
+            "direct_s": round(tot_direct, 4),
+            "service_s": round(tot_service, 4),
+            "service_overhead_pct": round(
+                (tot_service / tot_direct - 1.0) * 100.0, 2
+            ),
         },
         "all_identical": all(c["identical"] for c in configs),
     }
@@ -483,7 +557,8 @@ def main(argv=None) -> int:
         f"warm-from-disk {report['aggregate']['speedup_warm_disk']}x, "
         f"incremental {report['aggregate']['speedup_incremental']}x vs rebuild, "
         f"wal-replay {report['aggregate']['speedup_wal_replay']}x vs cold restart, "
-        f"delta-lattice {report['aggregate']['speedup_delta_lattice']}x vs full refresh "
+        f"delta-lattice {report['aggregate']['speedup_delta_lattice']}x vs full refresh, "
+        f"service overhead {report['aggregate']['service_overhead_pct']}% vs direct solves "
         f"-> {args.out}"
     )
     if not report["all_identical"]:

@@ -1,5 +1,13 @@
 """Command-line interface: ASRS queries over CSV data.
 
+Every subcommand routes through :class:`repro.service.RegionService`
+(DESIGN.md §11) -- the CLI parses arguments into the typed request
+surface (:class:`~repro.service.DatasetSpec`,
+:class:`~repro.service.QueryRequest`,
+:class:`~repro.service.UpdateRequest`) and prints the structured
+results; the session / WAL / checkpoint choreography lives in the
+facade, not here.
+
 Examples
 --------
 Generate a sample dataset::
@@ -21,8 +29,8 @@ Densest region of a given size::
     python -m repro.cli maxrs --data tweets.csv \
         --categorical day_of_week --numeric length --width 0.5 --height 0.25
 
-A batch of queries through one warm :class:`repro.engine.QuerySession`
-(index state shared across the whole batch)::
+A batch of queries through one warm session (index state shared across
+the whole batch)::
 
     python -m repro.cli batch --data tweets.csv \
         --categorical day_of_week --queries queries.json
@@ -44,11 +52,7 @@ Precompute the session index once and serve batches warm from disk
         --index tweets.idx --workers 4
 
 Mutate a live dataset without rebuilding the index (append rows from a
-CSV and/or delete rows by index; the session is patched incrementally
-and answers are bitwise-identical to a cold rebuild).  ``--save-data``
-writes the mutated CSV next to the re-saved bundle -- a bundle only
-loads against the dataset it fingerprints, so the pair must travel
-together::
+CSV and/or delete rows by index)::
 
     python -m repro.cli update --data tweets.csv \
         --categorical day_of_week --queries queries.json \
@@ -56,9 +60,9 @@ together::
         --index tweets.idx --save-index tweets.idx --save-data tweets.csv
 
 Durable updates survive a crash without re-saving the bundle: ``--wal``
-write-ahead-logs every mutation (replaying any existing log first, so
-consecutive runs continue the same history), and ``replay`` recovers a
-crashed server from the checkpointed (data, bundle) pair plus the log::
+write-ahead-logs every mutation (replaying any existing log first), and
+``replay`` recovers a crashed server from the checkpointed (data,
+bundle) pair plus the log::
 
     python -m repro.cli update --data tweets.csv \
         --categorical day_of_week --queries queries.json \
@@ -68,57 +72,44 @@ crashed server from the checkpointed (data, bundle) pair plus the log::
         --categorical day_of_week --index tweets.idx --wal tweets.wal \
         --queries queries.json
 
-Saving the bundle (``--save-index``, or ``index-build``) on a
-WAL-attached session checkpoints the log: records the new bundle covers
-are truncated away, so the (data, bundle, wal) triple stays minimal.
+Serve the whole stack over HTTP -- queries, durable updates, explicit
+and policy-driven checkpoints, WAL compaction -- or follow a writer's
+log as a read-only replica::
+
+    python -m repro.cli serve --data tweets.csv \
+        --categorical day_of_week --index tweets.idx --wal tweets.wal \
+        --checkpoint-every-records 64 --port 8237
+
+    python -m repro.cli serve --data tweets.csv \
+        --categorical day_of_week --index tweets.idx --wal tweets.wal \
+        --follow --port 8238
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import zipfile
 
 import numpy as np
 
-from .core.aggregators import (
-    AverageAggregator,
-    CompositeAggregator,
-    DistributionAggregator,
-    SumAggregator,
-)
-from .core.query import ASRSQuery
-from .core.selection import SelectAll, SelectByValue
 from .data.io import load_csv_infer, save_csv
-from .dssearch.search import SearchSettings, ds_search
-from .dssearch.topk import ds_search_topk
-
-_TERM_KINDS = {
-    "fD": DistributionAggregator,
-    "fA": AverageAggregator,
-    "fS": SumAggregator,
-}
 
 
 def parse_term(spec: str):
-    """Parse ``fD:attr`` / ``fA:attr@sel_attr=value`` term specs."""
+    """Parse ``fD:attr`` / ``fA:attr@sel_attr=value`` term specs.
+
+    CLI-facing wrapper over :func:`repro.service.parse_term`: grammar
+    errors exit instead of raising.
+    """
+    from .service import parse_term as _parse
+
     try:
-        kind, rest = spec.split(":", 1)
-    except ValueError:
-        raise SystemExit(f"bad term {spec!r}: expected e.g. fD:category")
-    if kind not in _TERM_KINDS:
-        raise SystemExit(f"bad term kind {kind!r}: one of {sorted(_TERM_KINDS)}")
-    if "@" in rest:
-        attr, sel = rest.split("@", 1)
-        try:
-            sel_attr, sel_value = sel.split("=", 1)
-        except ValueError:
-            raise SystemExit(f"bad selection {sel!r}: expected attr=value")
-        selection = SelectByValue(sel_attr, sel_value)
-    else:
-        attr = rest
-        selection = SelectAll()
-    return _TERM_KINDS[kind](attr, selection)
+        return _parse(spec)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
 
 
 def _float_list(text: str) -> np.ndarray:
@@ -129,6 +120,188 @@ def _load(args) -> "SpatialDataset":
     return load_csv_infer(
         args.data, categorical=args.categorical, numeric=args.numeric
     )
+
+
+def _parse_granularity(text):
+    if text is None or text == "auto":
+        return "auto"
+    try:
+        sx, sy = (int(v) for v in text.split(","))
+    except ValueError:
+        raise SystemExit(f"bad granularity {text!r}: expected 'auto' or SX,SY")
+    if sx < 1 or sy < 1:
+        raise SystemExit(f"bad granularity {text!r}: SX and SY must be >= 1")
+    return (sx, sy)
+
+
+def _open_service(
+    args,
+    *,
+    index=None,
+    wal=None,
+    granularity="auto",
+    durability=None,
+    read_only: bool = False,
+):
+    """A RegionService bound to the args' dataset; ``(service, key)``.
+
+    The CSV is loaded here (errors propagate raw, as they always did);
+    bundle-restore failures get the targeted ``cannot load --index``
+    message.  Replay is deliberately deferred (``replay_on_open=False``)
+    so recovery is reported -- and its failures messaged -- separately
+    via :meth:`RegionService.recover` (see ``_recover_wal``).
+    """
+    from .service import DatasetSpec, DurabilityPolicy, RegionService
+
+    dataset = _load(args)
+    if durability is None:
+        durability = DurabilityPolicy(
+            replay_on_open=False, checkpoint_on_close=False
+        )
+    spec = DatasetSpec(
+        key="cli",
+        data=args.data,
+        categorical=tuple(args.categorical),
+        numeric=tuple(args.numeric),
+        index=index,
+        wal=wal,
+        granularity=granularity,
+        durability=durability,
+    )
+    service = RegionService(read_only=read_only)
+    try:
+        service.open(spec, dataset=dataset)
+    except (ValueError, OSError, zipfile.BadZipFile) as exc:
+        if index is not None:
+            raise SystemExit(f"cannot load --index {index}: {exc}")
+        # No bundle involved: a ValueError here is spec/policy
+        # validation (e.g. a checkpoint trigger without the paths it
+        # needs) -- a CLI error, not a traceback.
+        raise SystemExit(str(exc))
+    return service, spec.key
+
+
+def _recover_wal(service, key, wal_path) -> None:
+    """Replay ``--wal`` onto the opened session, reporting what it did."""
+    try:
+        stats = service.recover(key)
+    except ValueError as exc:
+        raise SystemExit(f"cannot replay --wal {wal_path}: {exc}")
+    if stats.truncated_bytes:
+        print(
+            f"truncated a torn WAL tail ({stats.truncated_bytes} bytes, "
+            "crash mid-append)"
+        )
+    if stats.applied or stats.skipped:
+        print(
+            f"replayed {stats.applied} WAL record(s) "
+            f"(+{stats.appended} -{stats.deleted} objects, "
+            f"{stats.skipped} already covered by the index) "
+            f"to epoch {stats.final_epoch}"
+        )
+
+
+def _parse_batch_requests(service, key, path, method: str = "gids") -> list:
+    """The QueryRequest list of a batch/index-build JSON spec."""
+    from .service import QueryRequest
+
+    with open(path) as fh:
+        spec = json.load(fh)
+    if "queries" not in spec:
+        raise SystemExit("queries file needs a top-level 'queries' list")
+
+    dataset = service.dataset(key)
+    requests = []
+    for i, entry in enumerate(spec["queries"]):
+        term_specs = tuple(entry.get("terms", spec.get("terms", ())))
+        if not term_specs:
+            raise SystemExit(f"query #{i}: no terms (set them per query or shared)")
+        try:
+            aggregator = service.aggregator(key, term_specs)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        width = entry.get("width", spec.get("width"))
+        height = entry.get("height", spec.get("height"))
+        if width is None or height is None:
+            raise SystemExit(f"query #{i}: missing width/height")
+        if "target" not in entry:
+            raise SystemExit(f"query #{i}: missing target")
+        target = np.asarray(entry["target"], dtype=np.float64)
+        dim = aggregator.dim(dataset)
+        if target.shape[0] != dim:
+            raise SystemExit(
+                f"query #{i}: target has {target.shape[0]} dims, aggregator has {dim}"
+            )
+        weights = entry.get("weights", spec.get("weights"))
+        requests.append(
+            QueryRequest(
+                dataset=key,
+                terms=term_specs,
+                width=float(width),
+                height=float(height),
+                target=tuple(float(v) for v in target),
+                weights=None if weights is None else tuple(weights),
+                method=method,
+            )
+        )
+    return requests
+
+
+def _print_batch_results(results) -> None:
+    for i, result in enumerate(results):
+        x_min, y_min, x_max, y_max = result.region
+        print(
+            f"query #{i} region=({x_min:.6g}, {y_min:.6g}, "
+            f"{x_max:.6g}, {y_max:.6g}) distance={result.score:.6g}"
+        )
+
+
+def _print_persist(report, args) -> None:
+    """Narrate a :meth:`RegionService.persist` outcome (save/WAL lifecycle)."""
+    if report.saved_data:
+        print(
+            f"wrote mutated dataset ({report.data_n} objects) to {report.saved_data}"
+        )
+    if report.saved_index:
+        print(
+            f"wrote updated session index (epoch {report.epoch}) "
+            f"to {report.saved_index}"
+        )
+        if report.wal_action == "checkpointed":
+            print(f"checkpointed WAL {report.wal_path} at epoch {report.epoch}")
+        elif report.wal_action == "kept":
+            print(
+                f"WAL {report.wal_path} left untouched: {args.data} does "
+                "not hold the mutated dataset, so the records remain its "
+                "recovery path -- pass --save-data "
+                f"{args.data} to update the baseline and checkpoint the log"
+            )
+        if not report.saved_data:
+            print(
+                "note: the saved bundle fingerprints the *mutated* dataset; "
+                "pass --save-data to write the matching CSV, or later loads "
+                "against the original --data will be refused as stale"
+            )
+    elif report.wal_action == "reset":
+        print(
+            f"reset WAL {report.wal_path}: {report.wal_dropped} record(s) now baked "
+            f"into {report.saved_data} (the new baseline)"
+        )
+        print(
+            "note: any bundle saved before this update is now stale for "
+            "this data+WAL pair; re-run with --save-index (or "
+            "`repro index-build`) to refresh it"
+        )
+    elif report.wal_action == "side_copy":
+        print(
+            f"note: {report.saved_data} is a side copy; the WAL still "
+            f"pairs with {args.data} and was left untouched"
+        )
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
 
 
 def cmd_generate(args) -> int:
@@ -150,27 +323,40 @@ def cmd_generate(args) -> int:
 
 
 def cmd_search(args) -> int:
-    dataset = _load(args)
-    aggregator = CompositeAggregator([parse_term(t) for t in args.term])
+    from .service import QueryRequest
+
+    service, key = _open_service(args)
+    dataset = service.dataset(key)
+    terms = tuple(args.term)
+    try:
+        aggregator = service.aggregator(key, terms)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
     dim = aggregator.dim(dataset)
     target = _float_list(args.target)
     if target.shape[0] != dim:
         raise SystemExit(f"--target has {target.shape[0]} dims, aggregator has {dim}")
     weights = _float_list(args.weights) if args.weights else None
-    query = ASRSQuery.from_vector(
-        args.width, args.height, aggregator, target, weights=weights
+    request = QueryRequest(
+        dataset=key,
+        terms=terms,
+        width=args.width,
+        height=args.height,
+        target=tuple(target),
+        weights=None if weights is None else tuple(weights),
+        method="ds",
+        topk=args.topk,
     )
-    settings = SearchSettings()
-    labels = aggregator.labels(dataset)
     if args.topk > 1:
-        results = ds_search_topk(dataset, query, args.topk, settings)
+        results = service.query_topk(request)
     else:
-        results = [ds_search(dataset, query, settings)]
+        results = [service.query(request)]
+    labels = aggregator.labels(dataset)
     for rank, result in enumerate(results, 1):
-        region = result.region
+        x_min, y_min, x_max, y_max = result.region
         print(
-            f"#{rank} region=({region.x_min:.6g}, {region.y_min:.6g}, "
-            f"{region.x_max:.6g}, {region.y_max:.6g}) distance={result.distance:.6g}"
+            f"#{rank} region=({x_min:.6g}, {y_min:.6g}, "
+            f"{x_max:.6g}, {y_max:.6g}) distance={result.score:.6g}"
         )
         if args.verbose:
             for label, value in zip(labels, result.representation):
@@ -178,84 +364,13 @@ def cmd_search(args) -> int:
     return 0
 
 
-def _parse_batch_spec(dataset, path) -> list:
-    """The query list of a batch/index-build JSON spec (see module doc)."""
-    with open(path) as fh:
-        spec = json.load(fh)
-    if "queries" not in spec:
-        raise SystemExit("queries file needs a top-level 'queries' list")
-
-    # One aggregator object per distinct term list: queries sharing it
-    # hit every QuerySession cache (compiler, channel tables, lattice).
-    aggregators: dict = {}
-    queries = []
-    for i, entry in enumerate(spec["queries"]):
-        term_specs = tuple(entry.get("terms", spec.get("terms", ())))
-        if not term_specs:
-            raise SystemExit(f"query #{i}: no terms (set them per query or shared)")
-        aggregator = aggregators.get(term_specs)
-        if aggregator is None:
-            aggregator = CompositeAggregator([parse_term(t) for t in term_specs])
-            aggregators[term_specs] = aggregator
-        width = entry.get("width", spec.get("width"))
-        height = entry.get("height", spec.get("height"))
-        if width is None or height is None:
-            raise SystemExit(f"query #{i}: missing width/height")
-        if "target" not in entry:
-            raise SystemExit(f"query #{i}: missing target")
-        target = np.asarray(entry["target"], dtype=np.float64)
-        dim = aggregator.dim(dataset)
-        if target.shape[0] != dim:
-            raise SystemExit(
-                f"query #{i}: target has {target.shape[0]} dims, aggregator has {dim}"
-            )
-        weights = entry.get("weights", spec.get("weights"))
-        queries.append(
-            ASRSQuery.from_vector(width, height, aggregator, target, weights=weights)
-        )
-    return queries
-
-
-def _parse_granularity(text):
-    if text is None or text == "auto":
-        return "auto"
-    try:
-        sx, sy = (int(v) for v in text.split(","))
-    except ValueError:
-        raise SystemExit(f"bad granularity {text!r}: expected 'auto' or SX,SY")
-    if sx < 1 or sy < 1:
-        raise SystemExit(f"bad granularity {text!r}: SX and SY must be >= 1")
-    return (sx, sy)
-
-
 def cmd_batch(args) -> int:
-    dataset = _load(args)
-    queries = _parse_batch_spec(dataset, args.queries)
-
-    if args.index:
-        import zipfile
-
-        from .engine import load_session
-
-        try:
-            session = load_session(args.index, dataset)
-        except (ValueError, OSError, zipfile.BadZipFile) as exc:
-            raise SystemExit(f"cannot load --index {args.index}: {exc}")
-    else:
-        from .engine import QuerySession
-
-        session = QuerySession(dataset)
-    results = session.solve_batch(
-        queries, method=args.method, workers=args.workers
-    )
-    for i, result in enumerate(results):
-        region = result.region
-        print(
-            f"query #{i} region=({region.x_min:.6g}, {region.y_min:.6g}, "
-            f"{region.x_max:.6g}, {region.y_max:.6g}) distance={result.distance:.6g}"
-        )
+    service, key = _open_service(args, index=args.index)
+    requests = _parse_batch_requests(service, key, args.queries, method=args.method)
+    results = service.query_batch(requests, workers=args.workers)
+    _print_batch_results(results)
     if args.verbose:
-        print(f"session: {session!r}")
+        print(f"session: {service.session(key)!r}")
     return 0
 
 
@@ -263,236 +378,84 @@ def cmd_index_build(args) -> int:
     """Warm a session for a batch spec's query shapes and save it.
 
     The bundle feeds ``batch --index`` (or a server's
-    :func:`repro.engine.load_session`): every target-independent
+    :class:`~repro.service.DatasetSpec`): every target-independent
     artefact of the spec's (aggregator, width, height) shapes -- grid
     index, channel tables, ASP reductions, lattice intervals -- is
     precomputed here so a restarted server skips the cold build.
     """
-    from .engine import QuerySession, save_session
-
-    dataset = _load(args)
-    queries = _parse_batch_spec(dataset, args.queries)
-    session = QuerySession(dataset, granularity=_parse_granularity(args.granularity))
-    shapes = set()
-    for query in queries:
-        shapes.add((id(query.aggregator), query.width, query.height))
-        session.warm_for(query)
-    save_session(session, args.out)
+    service, key = _open_service(
+        args, granularity=_parse_granularity(args.granularity)
+    )
+    requests = _parse_batch_requests(service, key, args.queries)
+    n_shapes = service.warm(requests)
+    service.persist(key, save_index=args.out)
+    session = service.session(key)
     print(
-        f"wrote session index for {len(shapes)} query shape(s) "
+        f"wrote session index for {n_shapes} query shape(s) "
         f"(granularity {session.granularity[0]}x{session.granularity[1]}, "
-        f"n={dataset.n}) to {args.out}"
+        f"n={session.dataset.n}) to {args.out}"
     )
     return 0
-
-
-def _session_for(args, dataset):
-    """A session over ``dataset``, warm from ``--index`` when given."""
-    if args.index:
-        import zipfile
-
-        from .engine import load_session
-
-        try:
-            return load_session(args.index, dataset)
-        except (ValueError, OSError, zipfile.BadZipFile) as exc:
-            raise SystemExit(f"cannot load --index {args.index}: {exc}")
-    from .engine import QuerySession
-
-    return QuerySession(dataset)
-
-
-def _replay_wal(session, args) -> "WriteAheadLog":
-    """Attach ``--wal`` and fast-forward the session over its records."""
-    from .engine.wal import replay
-
-    wal = session.attach_wal(args.wal)
-    try:
-        stats = replay(session, wal)
-    except ValueError as exc:
-        raise SystemExit(f"cannot replay --wal {args.wal}: {exc}")
-    if stats.truncated_bytes:
-        print(
-            f"truncated a torn WAL tail ({stats.truncated_bytes} bytes, "
-            "crash mid-append)"
-        )
-    if stats.applied or stats.skipped:
-        print(
-            f"replayed {stats.applied} WAL record(s) "
-            f"(+{stats.appended} -{stats.deleted} objects, "
-            f"{stats.skipped} already covered by the index) "
-            f"to epoch {stats.final_epoch}"
-        )
-    return wal
-
-
-def _print_batch_results(results) -> None:
-    for i, result in enumerate(results):
-        region = result.region
-        print(
-            f"query #{i} region=({region.x_min:.6g}, {region.y_min:.6g}, "
-            f"{region.x_max:.6g}, {region.y_max:.6g}) distance={result.distance:.6g}"
-        )
-
-
-def _save_session_outputs(session, args, loaded_dataset) -> None:
-    """Handle ``--save-data`` / ``--save-index`` (both atomic writes).
-
-    Order matters: the bundle save (and, failing that, the explicit
-    fallback below) *checkpoints* the WAL, destroying the records the
-    saved state supersedes -- so every file the checkpoint covers must
-    be durably on disk first.  The CSV therefore lands before the
-    bundle, and when the mutated dataset is NOT being persisted at all
-    (``--save-index`` without ``--save-data``, ``loaded_dataset`` is
-    what ``--data`` still holds) the checkpoint is skipped: the bundle
-    alone fingerprints a dataset that exists nowhere on disk, and the
-    WAL would be the only recoverable copy of the updates.  A crash
-    between CSV and checkpoint loses no data, but when --save-data
-    overwrote --data the next run sees a post-update CSV paired with
-    pre-update records and refuses them as different lineages -- the
-    error says so and that deleting the log is then safe (the records
-    are already in the CSV).
-    """
-    if args.save_data:
-        save_csv(session.dataset, args.save_data)
-        print(
-            f"wrote mutated dataset ({session.dataset.n} objects) to {args.save_data}"
-        )
-    if args.save_index:
-        import os
-
-        from .engine import save_session
-
-        # The log is only safe to truncate when the --data *baseline*
-        # it pairs with reflects the logged updates: either --save-data
-        # rewrote that very file, or the session never diverged from
-        # what was loaded.  A side-copy --save-data makes a durable
-        # (copy, bundle) pair but leaves the baseline behind -- the
-        # records must keep covering it.
-        baseline_current = (
-            args.save_data is not None
-            and os.path.abspath(args.save_data) == os.path.abspath(args.data)
-        ) or session.dataset is loaded_dataset
-        save_session(session, args.save_index, checkpoint_wal=baseline_current)
-        print(
-            f"wrote updated session index (epoch {session.epoch}) to {args.save_index}"
-        )
-        if session.wal is not None:
-            if baseline_current:
-                print(
-                    f"checkpointed WAL {session.wal.path} at epoch {session.epoch}"
-                )
-            else:
-                print(
-                    f"WAL {session.wal.path} left untouched: {args.data} does "
-                    "not hold the mutated dataset, so the records remain its "
-                    "recovery path -- pass --save-data "
-                    f"{args.data} to update the baseline and checkpoint the log"
-                )
-        if not args.save_data:
-            print(
-                "note: the saved bundle fingerprints the *mutated* dataset; "
-                "pass --save-data to write the matching CSV, or later loads "
-                "against the original --data will be refused as stale"
-            )
-    elif args.save_data and session.wal is not None:
-        import os
-
-        if os.path.abspath(args.save_data) == os.path.abspath(args.data):
-            # The saved CSV *replaced the baseline* and embodies every
-            # logged update; leaving the records (or even a checkpoint
-            # marker -- a CSV carries no epoch, so the next cold
-            # session restarts at 0) would make the next run refuse
-            # the pair.  The CSV is the new epoch-0 baseline: restart
-            # the log to match.
-            dropped = session.wal.reset()
-            print(
-                f"reset WAL {session.wal.path}: {dropped} record(s) now baked "
-                f"into {args.save_data} (the new baseline)"
-            )
-            print(
-                "note: any bundle saved before this update is now stale for "
-                "this data+WAL pair; re-run with --save-index (or "
-                "`repro index-build`) to refresh it"
-            )
-        else:
-            # A side copy: the original --data file is unchanged, so
-            # the log must keep covering it -- resetting here would
-            # destroy the only durable record of these updates.
-            print(
-                f"note: {args.save_data} is a side copy; the WAL still "
-                f"pairs with {args.data} and was left untouched"
-            )
 
 
 def cmd_update(args) -> int:
     """Apply append/delete updates to a warm session, then serve a batch.
 
-    Demonstrates the incremental-update path end to end: the session is
-    warmed (from ``--index`` or by warming the spec's query shapes),
-    mutated in place with :meth:`QuerySession.apply` -- sublinear
-    patching instead of a rebuild -- and then answers the batch over the
-    mutated dataset.  ``--wal`` makes the mutation durable: any existing
-    log is replayed first (consecutive runs continue one history), the
-    new batch is write-ahead-logged, and a later ``repro replay``
-    recovers it all onto the saved bundle.  ``--save-index`` re-persists
-    the mutated session atomically (tmp + rename; the bundle records the
-    new dataset fingerprint and epoch) and checkpoints the WAL.
+    The facade owns the whole choreography: replay any existing ``--wal``
+    first (consecutive runs continue one history), write-ahead-log the
+    new batch, apply it as an in-place patch, and -- via
+    :meth:`RegionService.persist` -- handle the ``--save-data`` /
+    ``--save-index`` / checkpoint lifecycle.
     """
-    from .engine.updates import UpdateBatch
+    from .service import UpdateRequest
 
-    dataset = _load(args)
     if not args.append and not args.delete:
         args.parser.error("update needs --append CSV and/or --delete indices")
-    delete = None
+    delete: tuple = ()
     if args.delete:
         try:
-            delete = np.array([int(v) for v in args.delete.split(",")])
+            delete = tuple(int(v) for v in args.delete.split(","))
         except ValueError:
             args.parser.error(f"bad --delete {args.delete!r}: expected I,J,K")
-    session = _session_for(args, dataset)
+    service, key = _open_service(args, index=args.index, wal=args.wal)
     if args.wal:
-        _replay_wal(session, args)
-    queries = _parse_batch_spec(session.dataset, args.queries)
-    for query in queries:
-        session.warm_for(query)
+        _recover_wal(service, key, args.wal)
+    requests = _parse_batch_requests(service, key, args.queries, method=args.method)
+    service.warm(requests)
 
-    append_ds = None
     if args.append:
+        # Pre-flight the CSV so a bad --append gets its targeted message
+        # (the facade re-reads it; update CSVs are small).
         from .data.io import load_csv
 
         try:
-            append_ds = load_csv(args.append, dataset.schema)
+            load_csv(args.append, service.dataset(key).schema)
         except (ValueError, KeyError, OSError) as exc:
             raise SystemExit(f"cannot load --append {args.append}: {exc}")
-
-    stats = session.apply(UpdateBatch(append=append_ds, delete=delete))
-    print(
-        f"applied update: +{stats.appended} -{stats.deleted} objects "
-        f"(epoch {stats.epoch}, "
-        f"{'patched ' + str(stats.dirty_cells) + ' dirty cells' if stats.index_patched else 'index rebuild'}, "
-        f"kept {stats.cell_entries_kept} cell entries"
-        f"{', logged to WAL' if stats.wal_logged else ''})"
+    request = UpdateRequest(
+        dataset=key, append_csv=args.append or None, delete=delete
     )
-    results = session.solve_batch(queries, method=args.method, workers=args.workers)
+    result = service.update(request)
+    print(
+        f"applied update: +{result.appended} -{result.deleted} objects "
+        f"(epoch {result.epoch}, "
+        f"{'patched ' + str(result.dirty_cells) + ' dirty cells' if result.index_patched else 'index rebuild'}, "
+        f"kept {result.cell_entries_kept} cell entries"
+        f"{', logged to WAL' if result.wal_logged else ''})"
+    )
+    results = service.query_batch(requests, workers=args.workers)
     _print_batch_results(results)
-    _save_session_outputs(session, args, dataset)
+    report = service.persist(
+        key, save_data=args.save_data, save_index=args.save_index
+    )
+    _print_persist(report, args)
     if args.verbose:
-        print(f"session: {session!r}")
+        print(f"session: {service.session(key)!r}")
     return 0
 
 
 def cmd_replay(args) -> int:
-    """Recover a crashed server: stale bundle + WAL -> live session.
-
-    Loads ``--data`` (the dataset the bundle fingerprints), restores the
-    session from ``--index`` (or starts cold), replays ``--wal`` onto it
-    -- torn tails truncated, records the bundle covers skipped -- and
-    optionally serves a query batch and re-saves the caught-up bundle
-    (which checkpoints the log).
-    """
-    import os
-
+    """Recover a crashed server: stale bundle + WAL -> live session."""
     if not os.path.exists(args.wal):
         # update --wal treats a missing log as "first run, create it";
         # a *recovery* command must fail closed instead -- a typo'd
@@ -501,35 +464,94 @@ def cmd_replay(args) -> int:
             f"cannot replay --wal {args.wal}: no such file (nothing to "
             "recover -- check the path; a fresh deployment needs no replay)"
         )
-    dataset = _load(args)
-    session = _session_for(args, dataset)
-    _replay_wal(session, args)
+    service, key = _open_service(args, index=args.index, wal=args.wal)
+    _recover_wal(service, key, args.wal)
+    session = service.session(key)
     print(
         f"recovered session at epoch {session.epoch} "
         f"({session.dataset.n} objects)"
     )
     if args.queries:
-        queries = _parse_batch_spec(session.dataset, args.queries)
-        results = session.solve_batch(
-            queries, method=args.method, workers=args.workers
+        requests = _parse_batch_requests(
+            service, key, args.queries, method=args.method
         )
+        results = service.query_batch(requests, workers=args.workers)
         _print_batch_results(results)
-    _save_session_outputs(session, args, dataset)
+    report = service.persist(
+        key, save_data=args.save_data, save_index=args.save_index
+    )
+    _print_persist(report, args)
     if args.verbose:
-        print(f"session: {session!r}")
+        print(f"session: {service.session(key)!r}")
     return 0
 
 
 def cmd_maxrs(args) -> int:
-    from .dssearch.maxrs import max_rs_ds
-
-    dataset = _load(args)
-    result = max_rs_ds(dataset, args.width, args.height)
-    region = result.region
+    service, key = _open_service(args)
+    result = service.maxrs(key, args.width, args.height)
+    x_min, y_min, x_max, y_max = result.region
     print(
-        f"region=({region.x_min:.6g}, {region.y_min:.6g}, "
-        f"{region.x_max:.6g}, {region.y_max:.6g}) score={result.score:.6g}"
+        f"region=({x_min:.6g}, {y_min:.6g}, "
+        f"{x_max:.6g}, {y_max:.6g}) score={result.score:.6g}"
     )
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Serve the facade over HTTP (writer, or read-only WAL follower)."""
+    from .service import DurabilityPolicy
+    from .service.httpd import WalFollower, make_server
+
+    if args.follow and not args.wal:
+        args.parser.error("--follow needs --wal (the writer's log to follow)")
+    durability = DurabilityPolicy(
+        checkpoint_every_records=args.checkpoint_every_records,
+        checkpoint_every_bytes=args.checkpoint_every_bytes,
+        compact_every_records=args.compact_every_records,
+        checkpoint_on_close=not args.no_checkpoint_on_close,
+        replay_on_open=True,
+    )
+    service, key = _open_service(
+        args,
+        index=args.index,
+        wal=args.wal,
+        granularity=_parse_granularity(args.granularity),
+        durability=durability,
+        read_only=args.follow,
+    )
+    session = service.session(key)
+    followers = []
+    if args.follow:
+        followers.append(WalFollower(service, key, interval=args.poll_interval))
+    server = make_server(
+        service,
+        host=args.host,
+        port=args.port,
+        followers=followers,
+        quiet=not args.verbose,
+    )
+    host, port = server.server_address[:2]
+    print(
+        f"serving dataset (n={session.dataset.n}, epoch={session.epoch}"
+        f"{', read-only replica' if args.follow else ''}) "
+        f"on http://{host}:{port}",
+        flush=True,
+    )
+    for follower in followers:
+        follower.start()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        for follower in followers:
+            follower.stop()
+        server.server_close()
+        for report in service.close():
+            print(
+                f"checkpointed WAL at epoch {report.epoch} "
+                f"({report.wal_records_dropped} record(s) truncated)"
+            )
     return 0
 
 
@@ -567,7 +589,7 @@ def build_parser() -> argparse.ArgumentParser:
     search.set_defaults(func=cmd_search)
 
     batch = sub.add_parser(
-        "batch", help="run a batch of ASRS queries through one QuerySession"
+        "batch", help="run a batch of ASRS queries through one warm session"
     )
     batch.add_argument("--data", required=True, help="CSV with x,y,attr columns")
     batch.add_argument("--categorical", action="append", default=[], metavar="COLUMN")
@@ -703,6 +725,72 @@ def build_parser() -> argparse.ArgumentParser:
     maxrs = sub.add_parser("maxrs", help="find the densest region")
     add_data_args(maxrs)
     maxrs.set_defaults(func=cmd_maxrs)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve queries/updates over HTTP via the RegionService facade",
+    )
+    serve.add_argument("--data", required=True, help="CSV with x,y,attr columns")
+    serve.add_argument(
+        "--categorical", action="append", default=[], metavar="COLUMN"
+    )
+    serve.add_argument("--numeric", action="append", default=[], metavar="COLUMN")
+    serve.add_argument(
+        "--index",
+        help="session bundle: restored on start, rewritten by checkpoints",
+    )
+    serve.add_argument(
+        "--wal", help="write-ahead log for durable updates (and --follow)"
+    )
+    serve.add_argument(
+        "--granularity",
+        default="auto",
+        help="grid granularity 'auto' (default) or 'SX,SY'",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8237, help="0 picks a free port"
+    )
+    serve.add_argument(
+        "--checkpoint-every-records",
+        type=int,
+        default=None,
+        metavar="K",
+        help="checkpoint (CSV+bundle, truncate WAL) once the log holds K records",
+    )
+    serve.add_argument(
+        "--checkpoint-every-bytes",
+        type=int,
+        default=None,
+        metavar="B",
+        help="checkpoint once the log holds B bytes",
+    )
+    serve.add_argument(
+        "--compact-every-records",
+        type=int,
+        default=None,
+        metavar="N",
+        help="merge the log's records into one batch once it holds N "
+        "(when no checkpoint trigger fired)",
+    )
+    serve.add_argument(
+        "--no-checkpoint-on-close",
+        action="store_true",
+        help="skip the shutdown checkpoint",
+    )
+    serve.add_argument(
+        "--follow",
+        action="store_true",
+        help="read-only replica: poll --wal and replay the writer's records",
+    )
+    serve.add_argument(
+        "--poll-interval",
+        type=float,
+        default=1.0,
+        help="--follow poll period in seconds",
+    )
+    serve.add_argument("--verbose", action="store_true")
+    serve.set_defaults(func=cmd_serve, parser=serve)
     return parser
 
 

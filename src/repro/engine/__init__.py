@@ -20,9 +20,10 @@ from .persist import load_session, save_session
 from .pool import SessionPool
 from .session import QuerySession, aggregator_recipe, aggregator_signature
 from .updates import UpdateBatch, UpdateStats
-from .wal import ReplayStats, WriteAheadLog, replay
+from .wal import CompactStats, ReplayStats, WriteAheadLog, replay
 
 __all__ = [
+    "CompactStats",
     "QuerySession",
     "ReplayStats",
     "SessionPool",

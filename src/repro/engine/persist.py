@@ -45,12 +45,16 @@ from .session import QuerySession, aggregator_recipe, aggregator_signature
 #: the index's pre-suffix cell sums (incremental updates); v3 adds the
 #: per-compiler channel-table cell sums and an aggregator rebuild
 #: recipe per table, so a restored session accepts updates (and WAL
-#: replay) without one cold channel-table rebuild.  v1 bundles are
+#: replay) without one cold channel-table rebuild; v4 adds the (full,
+#: over) range sums next to each lattice, so a restored-but-not-yet-
+#: adopted ("pending") lattice is *delta-patched* through updates and
+#: replay instead of dropping to a full lazy recompute.  v1 bundles are
 #: still read but the restored session refuses mutation (no cell sums
-#: to patch); v2 bundles mutate with a lazy cold table recompute.
-#: Versions newer than this build are refused with a targeted message.
-FORMAT_VERSION = 3
-_READABLE_VERSIONS = (1, 2, 3)
+#: to patch); v2 bundles mutate with a lazy cold table recompute; v3
+#: bundles mutate but re-derive lattices lazily.  Versions newer than
+#: this build are refused with a targeted message.
+FORMAT_VERSION = 4
+_READABLE_VERSIONS = (1, 2, 3, 4)
 
 
 def dataset_fingerprint(dataset: SpatialDataset) -> dict:
@@ -100,10 +104,12 @@ def save_session(session: QuerySession, path, *, checkpoint_wal: bool = True) ->
         tables_by_id = dict(session._tables)
         table_cells_by_id = dict(session._table_cells)
         lattices_by_key = dict(session._lattices)
+        lattice_sums_by_key = dict(session._lattice_sums)
         pending_tables = dict(session._pending_tables)
         pending_table_cells = dict(session._pending_table_cells)
         pending_recipes = dict(session._pending_recipes)
         pending_lattices = dict(session._pending_lattices)
+        pending_lattice_sums = dict(session._pending_lattice_sums)
 
     meta: dict = {
         "format_version": FORMAT_VERSION,
@@ -188,20 +194,35 @@ def save_session(session: QuerySession, path, *, checkpoint_wal: bool = True) ->
         if cells is not None:
             arrays[f"tabcells_{j}"] = cells
 
+    # Each lattice travels with the (full, over) range sums it was
+    # derived from (format v4): a restored pending lattice can then be
+    # delta-patched through updates and WAL replay exactly like a live
+    # one.  Sums may be absent (carried over from an older bundle);
+    # the lattice still loads, updates just drop it to a lazy refresh.
     lattices: dict = {}
     for (width, height, compiler_id), lattice in lattices_by_key.items():
         signature = signature_of.get(compiler_id)
         if signature is not None:
-            lattices.setdefault((width, height, signature), lattice)
+            lattices.setdefault(
+                (width, height, signature),
+                (lattice, lattice_sums_by_key.get((width, height, compiler_id))),
+            )
     for key, lattice in pending_lattices.items():
-        lattices.setdefault(key, lattice)
-    for (width, height, signature), lattice in lattices.items():
+        lattices.setdefault(key, (lattice, pending_lattice_sums.get(key)))
+    for (width, height, signature), (lattice, sums) in lattices.items():
         j = len(meta["lattices"])
         meta["lattices"].append(
-            {"width": width, "height": height, "signature": signature}
+            {
+                "width": width,
+                "height": height,
+                "signature": signature,
+                "has_sums": sums is not None,
+            }
         )
         for part, arr in zip(("x0", "y0", "lo", "hi"), lattice):
             arrays[f"lat_{j}_{part}"] = arr
+        if sums is not None:
+            arrays[f"lat_{j}_full"], arrays[f"lat_{j}_over"] = sums
 
     arrays["meta"] = np.array(json.dumps(meta))
     # Atomic + fsynced write-then-rename: a crash mid-save must not
@@ -305,4 +326,10 @@ def load_session(
             session._pending_lattices[key] = tuple(
                 bundle[f"lat_{j}_{part}"] for part in ("x0", "y0", "lo", "hi")
             )
+            if entry.get("has_sums") and f"lat_{j}_full" in bundle.files:
+                session._pending_lattice_sums[key] = (
+                    bundle[f"lat_{j}_full"],
+                    bundle[f"lat_{j}_over"],
+                )
+        session.bundle_version = int(version)
     return session

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import os
 import threading
+import warnings
 from collections import OrderedDict
 from typing import Hashable, Tuple
 
@@ -171,21 +172,73 @@ class SessionPool:
                 "evict it first to switch logs"
             )
 
-    def solve(self, key: Hashable, query, dataset=None, **kwargs):
-        """Solve one query on the keyed session (created if ``dataset``).
+    def adopt(self, key: Hashable, session: QuerySession) -> QuerySession:
+        """Register an externally built session under ``key``.
 
-        Re-checks the byte budget afterwards -- solving grows caches.
+        For callers whose construction choreography the pool cannot
+        express -- :class:`repro.service.RegionService` restores a
+        bundle, attaches (or deliberately does not attach) a write-ahead
+        log and replays it with custom repair semantics before the
+        session ever serves traffic.  If ``key`` is already resident, a
+        *different* session object is refused (silently replacing a
+        live session would orphan its mutations), while adopting the
+        resident object is a no-op touch.  Returns the resident session.
         """
-        result = self.session(key, dataset).solve(query, **kwargs)
+        with self._lock:
+            resident = self._sessions.setdefault(key, session)
+            if resident is not session:
+                raise ValueError(
+                    f"session key {key!r} is already resident with a "
+                    "different session; evict it first"
+                )
+            self._sessions.move_to_end(key)
+            self._enforce_budget(touched=key)
+            return resident
+
+    def reaccount(self, key: Hashable) -> None:
+        """Re-measure one session's bytes and re-enforce the budget.
+
+        Call after growing a session's caches outside the pool (e.g.
+        solving directly on the object :meth:`session` returned) so the
+        byte budget tracks the growth.  Unknown keys are a no-op.
+        """
         with self._lock:
             self._enforce_budget(touched=key)
+
+    def solve(self, key: Hashable, query, dataset=None, **kwargs):
+        """Deprecated: solve one query on the keyed session.
+
+        .. deprecated::
+            The kwargs pass-through serving surface moved to the typed
+            facade -- route queries through
+            :meth:`repro.service.RegionService.query`, or call
+            ``session(key).solve(...)`` followed by
+            :meth:`reaccount`.  Kept as a thin shim so existing callers
+            keep working; behavior is unchanged (budget re-checked
+            after the solve).
+        """
+        warnings.warn(
+            "SessionPool.solve is deprecated; route queries through "
+            "repro.service.RegionService.query, or use "
+            "pool.session(key).solve(...) + pool.reaccount(key)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        result = self.session(key, dataset).solve(query, **kwargs)
+        self.reaccount(key)
         return result
 
     def solve_batch(self, key: Hashable, queries, dataset=None, **kwargs) -> list:
-        """Batch counterpart of :meth:`solve` (supports ``workers=``)."""
+        """Deprecated batch counterpart of :meth:`solve` (same shim)."""
+        warnings.warn(
+            "SessionPool.solve_batch is deprecated; route queries through "
+            "repro.service.RegionService.query_batch, or use "
+            "pool.session(key).solve_batch(...) + pool.reaccount(key)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         results = self.session(key, dataset).solve_batch(queries, **kwargs)
-        with self._lock:
-            self._enforce_budget(touched=key)
+        self.reaccount(key)
         return results
 
     def apply(self, key: Hashable, batch, dataset=None):
@@ -348,11 +401,25 @@ class SessionPool:
         """
         with self._lock:
             total = 0
+            durability = {}
             for key, session in self._sessions.items():
                 size = self._nbytes_cache.get(key)
                 if size is None:
                     size = self._nbytes_cache[key] = session.cache_nbytes()
                 total += size
+                # Per-dataset durability state so operators (and the
+                # service /stats endpoint) can see replication lag:
+                # which sessions log where, how many records a restart
+                # would replay, and what bundle vintage they restored
+                # from.  WriteAheadLog.state() is O(1) after its first
+                # scan, so this stays repr-cheap.
+                wal = session.wal
+                durability[key] = {
+                    "epoch": session.epoch,
+                    "n": session.dataset.n,
+                    "bundle_version": session.bundle_version,
+                    "wal": None if wal is None else wal.state(),
+                }
             return {
                 "sessions": len(self._sessions),
                 "keys": list(self._sessions),
@@ -360,6 +427,7 @@ class SessionPool:
                 "evictions": self._evictions,
                 "max_bytes": self.max_bytes,
                 "max_sessions": self.max_sessions,
+                "durability": durability,
             }
 
     def __len__(self) -> int:

@@ -238,6 +238,11 @@ class QuerySession:
         #: attached, every effective mutation is durably logged before
         #: state changes (see :meth:`attach_wal`).
         self.wal = None
+        #: Bundle format version this session was restored from
+        #: (``load_session`` sets it; ``None`` for a cold session).
+        #: Purely diagnostic -- ``cache_info()``/``SessionPool.info()``
+        #: surface it so operators can spot pre-current bundles.
+        self.bundle_version: int | None = None
         #: Set by ``load_session`` when the restored index carries no
         #: pre-suffix cell sums (a pre-v2 bundle): the session serves
         #: queries but refuses mutation with a targeted error naming
@@ -287,6 +292,11 @@ class QuerySession:
         self._pending_table_cells: Dict[str, np.ndarray] = {}
         self._pending_recipes: Dict[str, list] = {}
         self._pending_lattices: Dict[Tuple[float, float, str], tuple] = {}
+        # The (full, over) range sums each pending lattice was derived
+        # from (format-v4 bundles persist them): incremental updates
+        # delta-patch a pending lattice exactly like a live one instead
+        # of dropping it to a full lazy recompute (engine/updates.py).
+        self._pending_lattice_sums: Dict[Tuple[float, float, str], tuple] = {}
         # Concurrency (DESIGN.md §8.1): the index gets a dedicated lock
         # (its build is the one expensive single-shot artefact); every
         # other cache goes through the in-flight-deduplicated _memo.
@@ -315,6 +325,29 @@ class QuerySession:
                 self._active_solves -= 1
                 if self._active_solves == 0:
                     self._update_cv.notify_all()
+
+    @contextmanager
+    def _exclusive_gate(self):
+        """Exclusive side of the update gate (drains in-flight solves).
+
+        Held by ``apply``/``append``/``delete`` for the whole mutation,
+        and by :meth:`repro.service.RegionService.compact` while it
+        rewrites the session's write-ahead log and re-aligns the epoch:
+        anything run under this gate observes no concurrent solve and
+        admits none until it exits.
+        """
+        with self._update_cv:
+            while self._updating:
+                self._update_cv.wait()
+            self._updating = True
+            while self._active_solves:
+                self._update_cv.wait()
+        try:
+            yield
+        finally:
+            with self._update_cv:
+                self._updating = False
+                self._update_cv.notify_all()
 
     # ------------------------------------------------------------------
     # Memoization machinery
@@ -449,10 +482,18 @@ class QuerySession:
             if self._pending_lattices:
                 sig = aggregator_signature(compiler.aggregator)
                 if sig is not None:
-                    pending = self._pending_lattices.get(
-                        (float(width), float(height), sig)
-                    )
+                    pending_key = (float(width), float(height), sig)
+                    pending = self._pending_lattices.get(pending_key)
                     if pending is not None:
+                        # Adopted from disk.  v4 bundles carry the range
+                        # sums the intervals were derived from: install
+                        # them so later updates delta-patch this lattice
+                        # like a live one (pre-v4 adoptions have none
+                        # and drop to a full lazy refresh on update).
+                        sums = self._pending_lattice_sums.get(pending_key)
+                        if sums is not None:
+                            with self._memo_lock:
+                                self._lattice_sums[key] = sums
                         return pending
             geometry = self._memo(
                 self._lattice_geometry,
@@ -562,34 +603,63 @@ class QuerySession:
         if method not in ("gids", "ds"):
             raise ValueError(f"method must be 'gids' or 'ds', got {method!r}")
         with self._solve_gate():
-            engine = self._engine(query, delta)
-            if self.dataset.n == 0:
-                result: RegionResult = engine.result()
-                if return_stats:
-                    # Match the stats type of the corresponding cold call.
-                    return result, (
-                        GIDSStats() if method == "gids" else engine.stats
-                    )
-                return result
-            if method == "ds":
-                result = engine.run()
-                return (result, engine.stats) if return_stats else result
-            compiler = engine.compiler
-            cell_key = (float(query.width), float(query.height), id(compiler))
-            return gi_ds_search(
-                self.dataset,
-                query,
-                index=self.index,
-                probe_cells=probe_cells,
-                return_stats=return_stats,
-                engine=engine,
-                channel_tables=self.channel_tables(compiler),
-                bound_context=self.context_for(compiler),
-                lattice_intervals=self.lattice_for(
-                    query.width, query.height, compiler
-                ),
-                cell_cache=self._memo(self._cells, cell_key, dict, pin=compiler),
+            return self._solve_gated(
+                query, method, delta, probe_cells, return_stats
             )
+
+    def solve_with_epoch(
+        self,
+        query: ASRSQuery,
+        method: str = "gids",
+        delta: float = 0.0,
+        probe_cells: int = 16,
+        return_stats: bool = False,
+    ) -> tuple:
+        """:meth:`solve` plus the dataset epoch the answer was computed at.
+
+        The epoch is read under the same update-gate hold as the solve,
+        so a concurrent mutation can never make the label disagree with
+        the dataset the search actually ran on -- what a serving layer
+        stamping results with epochs (``repro.service``) needs.
+        """
+        if method not in ("gids", "ds"):
+            raise ValueError(f"method must be 'gids' or 'ds', got {method!r}")
+        with self._solve_gate():
+            return (
+                self._solve_gated(query, method, delta, probe_cells, return_stats),
+                self.epoch,
+            )
+
+    def _solve_gated(self, query, method, delta, probe_cells, return_stats):
+        """The solve body; callers hold the shared side of the update gate."""
+        engine = self._engine(query, delta)
+        if self.dataset.n == 0:
+            result: RegionResult = engine.result()
+            if return_stats:
+                # Match the stats type of the corresponding cold call.
+                return result, (
+                    GIDSStats() if method == "gids" else engine.stats
+                )
+            return result
+        if method == "ds":
+            result = engine.run()
+            return (result, engine.stats) if return_stats else result
+        compiler = engine.compiler
+        cell_key = (float(query.width), float(query.height), id(compiler))
+        return gi_ds_search(
+            self.dataset,
+            query,
+            index=self.index,
+            probe_cells=probe_cells,
+            return_stats=return_stats,
+            engine=engine,
+            channel_tables=self.channel_tables(compiler),
+            bound_context=self.context_for(compiler),
+            lattice_intervals=self.lattice_for(
+                query.width, query.height, compiler
+            ),
+            cell_cache=self._memo(self._cells, cell_key, dict, pin=compiler),
+        )
 
     def solve_batch(
         self,
@@ -716,12 +786,22 @@ class QuerySession:
             self._pending_table_cells.clear()
             self._pending_recipes.clear()
             self._pending_lattices.clear()
+            self._pending_lattice_sums.clear()
             # Dropping a non-patchable restored index lifts the mutation
             # block: the next build derives cell sums from the dataset.
             self._nonpatchable_restore = None
 
     def cache_info(self) -> dict:
-        """Occupancy of the session caches (for tests and diagnostics)."""
+        """Occupancy of the session caches (for tests and diagnostics).
+
+        Beyond cache occupancy, reports the session's durability state
+        (``epoch``, ``bundle_version``, and -- when a write-ahead log is
+        attached -- its path, head epoch, byte size and the number of
+        records since the last checkpoint), so ``SessionPool.info()``
+        and the service ``/stats`` endpoint can show operators how far
+        a restart or a read replica would have to replay.
+        """
+        wal = self.wal
         return {
             "index_built": self._index is not None,
             "compilers": len(self._compilers),
@@ -732,6 +812,9 @@ class QuerySession:
             "lattices": len(self._lattices),
             # list(): solves may insert cell caches concurrently.
             "cached_cells": sum(len(c) for c in list(self._cells.values())),
+            "epoch": self.epoch,
+            "bundle_version": self.bundle_version,
+            "wal": None if wal is None else wal.state(),
         }
 
     def cache_nbytes(self) -> int:
@@ -782,6 +865,8 @@ class QuerySession:
             total += arr_bytes(table)
         for lattice in list(self._pending_lattices.values()):
             total += sum(arr_bytes(arr) for arr in lattice)
+        for sums in list(self._pending_lattice_sums.values()):
+            total += sum(arr_bytes(arr) for arr in sums)
         for cells in list(self._cells.values()):
             for entry in list(cells.values()):
                 if not entry:

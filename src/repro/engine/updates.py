@@ -56,7 +56,8 @@ import numpy as np
 
 from ..asp.rectset import RectSet
 from ..asp.reduction import reduce_to_asp
-from ..core.channels import ChannelCompiler
+from ..core.aggregators import AverageAggregator
+from ..core.channels import BoundContext, ChannelCompiler
 from ..core.objects import SpatialDataset
 from ..dssearch.drop import gps_accuracy
 from ..index.summary import cell_sums_to_suffix_table, range_sums
@@ -101,6 +102,8 @@ class UpdateStats:
     reductions_patched: int = 0
     lattices_patched: int = 0
     lattices_dropped: int = 0
+    pending_lattices_patched: int = 0
+    pending_lattices_dropped: int = 0
     lattice_positions_refreshed: int = 0
     cell_entries_kept: int = 0
     cell_entries_dropped: int = 0
@@ -126,20 +129,10 @@ def apply_update(
     bitwise-identical either way (benchmarks use it as the baseline).
     Returns an :class:`UpdateStats`.
     """
-    with session._update_cv:
-        while session._updating:
-            session._update_cv.wait()
-        session._updating = True
-        while session._active_solves:
-            session._update_cv.wait()
-    try:
+    with session._exclusive_gate():
         return _apply_exclusive(
             session, batch, log=log, delta_lattice=delta_lattice
         )
-    finally:
-        with session._update_cv:
-            session._updating = False
-            session._update_cv.notify_all()
 
 
 def _apply_exclusive(
@@ -239,6 +232,8 @@ def _derive_and_swap(
         old_pending_tables = dict(session._pending_tables)
         old_pending_cells = dict(session._pending_table_cells)
         old_pending_recipes = dict(session._pending_recipes)
+        old_pending_lattices = dict(session._pending_lattices)
+        old_pending_lattice_sums = dict(session._pending_lattice_sums)
     old_index = session._index
     new_index = None
     dirty_flat = members = local = None
@@ -360,12 +355,13 @@ def _derive_and_swap(
     new_pending_tables: dict = {}
     new_pending_cells: dict = {}
     new_pending_recipes: dict = {}
-    if old_pending_tables:
-        live_by_sig = {}
+    live_by_sig: dict = {}
+    if old_pending_tables or old_pending_lattices:
         for new_comp in new_compilers.values():
             sig = aggregator_signature(new_comp.aggregator)
             if sig is not None:
                 live_by_sig.setdefault(sig, new_comp)
+    if old_pending_tables:
         members_ds = None
         for sig, _ in old_pending_tables.items():
             live = live_by_sig.get(sig)
@@ -448,6 +444,85 @@ def _derive_and_swap(
     else:
         stats.lattices_dropped = len(old_lattices)
 
+    # Pending lattices restored from a v4 bundle but not yet adopted by
+    # a live aggregator: patch them like live ones, or a WAL replay onto
+    # a fresh restore would drop every persisted lattice to the full
+    # lazy recompute the persisted range sums exist to avoid.  The
+    # interval bounds are recomputed through a *structural* compiler
+    # rebuilt from the persisted recipe (``bounds_from_sums`` reads only
+    # the term layout, never the weights, so an empty-row compile is
+    # bitwise the live one) against the already-patched pending table;
+    # the bound-context gate compares extremes computed straight from
+    # the recipe's selections over the old and new datasets, which is
+    # bitwise ``ChannelCompiler.make_context`` on either side.
+    new_pending_lattices: dict = {}
+    new_pending_lattice_sums: dict = {}
+    computed_geometry: dict = {}
+    if delta_lattice and new_index is not None and old_pending_lattices:
+        from ..index.gids import candidate_lattice_geometry
+
+        changed_map = _changed_corner_map(new_index, dirty_flat)
+        ctx_cache: dict = {}
+        for (width, height, sig), lattice in old_pending_lattices.items():
+            live = live_by_sig.get(sig)
+            if live is not None:
+                live_key = (width, height, id(live))
+                if live_key in new_lattices:
+                    # The live compiler's patched lattice IS this one.
+                    key = (width, height, sig)
+                    new_pending_lattices[key] = new_lattices[live_key]
+                    new_pending_lattice_sums[key] = new_lattice_sums[live_key]
+                    stats.pending_lattices_patched += 1
+                    continue
+            sums = old_pending_lattice_sums.get((width, height, sig))
+            recipe = (
+                new_pending_recipes.get(sig) or old_pending_recipes.get(sig)
+            )
+            table = new_pending_tables.get(sig)
+            if sums is None or recipe is None or table is None:
+                stats.pending_lattices_dropped += 1
+                continue
+            cached = ctx_cache.get(sig)
+            if cached is None:
+                try:
+                    aggregator = aggregator_from_recipe(recipe)
+                    old_ctx = _recipe_context(old_ds, aggregator)
+                    new_ctx = _recipe_context(new_ds, aggregator)
+                    stub = ChannelCompiler(
+                        new_ds.subset(np.empty(0, dtype=np.int64)), aggregator
+                    )
+                except (KeyError, ValueError, TypeError):
+                    cached = ctx_cache[sig] = (None, None, None)
+                else:
+                    cached = ctx_cache[sig] = (old_ctx, new_ctx, stub)
+            old_ctx, new_ctx, stub = cached
+            if stub is None or old_ctx != new_ctx:
+                stats.pending_lattices_dropped += 1
+                continue
+            geometry = old_geometry.get((width, height)) or computed_geometry.get(
+                (width, height)
+            )
+            if geometry is None:
+                # Deterministic from the (geometry-preserving) patched
+                # index, so computing it here is bitwise the cached one.
+                geometry = computed_geometry[
+                    (width, height)
+                ] = candidate_lattice_geometry(new_index, width, height)
+            patched = _patch_lattice(
+                lattice, sums, geometry, changed_map, table, stub, new_ctx
+            )
+            if patched is None:
+                stats.pending_lattices_dropped += 1
+                continue
+            key = (width, height, sig)
+            new_pending_lattices[key], new_pending_lattice_sums[key], refreshed = (
+                patched
+            )
+            stats.pending_lattices_patched += 1
+            stats.lattice_positions_refreshed += refreshed
+    else:
+        stats.pending_lattices_dropped = len(old_pending_lattices)
+
     # Per-cell level-0 accumulations: keep entries no changed rectangle
     # overlaps (their active set, gathered coordinates and accumulation
     # are bitwise the cold ones); renumber active indices after deletes.
@@ -498,11 +573,14 @@ def _derive_and_swap(
             # The index geometry may shift on a cold rebuild; the cached
             # lattice geometry is only valid while it is preserved.
             session._lattice_geometry = {}
+        else:
+            session._lattice_geometry.update(computed_geometry)
         session._cells = new_cells
         session._pending_tables = new_pending_tables
         session._pending_table_cells = new_pending_cells
         session._pending_recipes = new_pending_recipes
-        session._pending_lattices = {}
+        session._pending_lattices = new_pending_lattices
+        session._pending_lattice_sums = new_pending_lattice_sums
         session._pins = {
             agg_id: old_pins[agg_id]
             for agg_id in set(new_compilers) | set(new_empty_reps)
@@ -512,6 +590,25 @@ def _derive_and_swap(
         session.epoch += 1
         stats.epoch = session.epoch
     return stats
+
+
+def _recipe_context(dataset: SpatialDataset, aggregator) -> BoundContext:
+    """The full-dataset bound context of a recipe-rebuilt aggregator.
+
+    Bitwise :meth:`ChannelCompiler.make_context` -- same raw column,
+    same selection mask, same min/max -- but without compiling the
+    weight matrix, so pending-lattice patching can gate on context
+    movement at O(n) per average term instead of a full O(n·C) compile.
+    """
+    extremes: dict = {}
+    for index, term in enumerate(aggregator.terms):
+        if not isinstance(term, AverageAggregator):
+            continue
+        sel = term.selection.mask(dataset)
+        chosen = dataset.column(term.attribute)[sel]
+        if chosen.size:
+            extremes[index] = (float(chosen.min()), float(chosen.max()))
+    return BoundContext(extremes)
 
 
 def _changed_corner_map(index, dirty_flat: np.ndarray) -> np.ndarray:

@@ -82,12 +82,32 @@ class ReplayStats:
     lattices_patched: int = 0
 
 
+@dataclass
+class CompactStats:
+    """What one :meth:`WriteAheadLog.compact` call did."""
+
+    records_before: int = 0
+    records_after: int = 0
+    merged: int = 0
+    base_epoch: int = 0
+    head_epoch: int = 0
+    bytes_before: int = 0
+    bytes_after: int = 0
+
+
 def _frame_crc(epoch: int, pre_n: int, payload: bytes) -> int:
     return zlib.crc32(payload, zlib.crc32(struct.pack("<qq", epoch, pre_n)))
 
 
-def _encode_record(batch, schema) -> bytes:
-    """The ``.npz`` payload of one update batch (arrays round-trip bitwise)."""
+def _encode_record(batch, schema, span: int = 1) -> bytes:
+    """The ``.npz`` payload of one update batch (arrays round-trip bitwise).
+
+    ``span`` > 1 marks a record produced by :meth:`WriteAheadLog.compact`
+    that stands in for that many original single-epoch records; replay
+    uses it to fail closed when a bundle's epoch falls *inside* the
+    merged span (the merged record can neither be skipped nor applied
+    for such a bundle).
+    """
     append_ds = batch.append_dataset(schema)
     if append_ds is not None and append_ds.schema != schema:
         raise ValueError("WAL record append rows must share the session schema")
@@ -96,6 +116,8 @@ def _encode_record(batch, schema) -> bytes:
         "append_n": 0 if append_ds is None else append_ds.n,
         "has_delete": batch.delete is not None,
     }
+    if span != 1:
+        meta["span"] = int(span)
     arrays: dict = {"meta": np.array(json.dumps(meta))}
     if batch.delete is not None:
         arrays["delete"] = np.asarray(batch.delete)
@@ -107,6 +129,40 @@ def _encode_record(batch, schema) -> bytes:
     buf = io.BytesIO()
     np.savez(buf, **arrays)
     return buf.getvalue()
+
+
+def _payload_span(payload: bytes) -> int:
+    """The epoch span of a record payload (1 unless written by compact).
+
+    A span-``s`` record at epoch ``e`` stands for the original records
+    at epochs ``[e, e+s)``: applying it advances a session from ``e``
+    straight to ``e + s``, and the record *after* it (if any) carries
+    epoch ``e + s``.  Epoch numbering is therefore stable across
+    compaction -- replicas and bundles that reference the old numbers
+    keep working.
+    """
+    with np.load(io.BytesIO(payload), allow_pickle=False) as blob:
+        meta = json.loads(str(blob["meta"][()]))
+    return int(meta.get("span", 1))
+
+
+def _keep_mask(n: int, mask_or_indices) -> np.ndarray:
+    """Boolean keep-mask over ``n`` rows for a delete selection.
+
+    Mirrors :meth:`SpatialDataset.delete_mask` so compaction can compose
+    delete selections without materializing intermediate datasets.
+    """
+    sel = np.asarray(mask_or_indices)
+    keep = np.ones(n, dtype=bool)
+    if sel.dtype == bool:
+        if sel.shape != (n,):
+            raise ValueError(f"delete mask has shape {sel.shape}, expected ({n},)")
+        keep[sel] = False
+    else:
+        if sel.size and (sel.min() < -n or sel.max() >= n):
+            raise IndexError(f"delete index out of range for dataset of {n} rows")
+        keep[sel] = False
+    return keep
 
 
 def _decode_record(payload: bytes, schema):
@@ -228,6 +284,13 @@ class WriteAheadLog:
         # pre-epoch + 1, or the checkpoint marker of an empty log.
         # Computed from the open-time scan; None until first use.
         self._head_epoch: int | None = None
+        # Intact record count and header checkpoint marker, kept in step
+        # with every append/rollback/checkpoint/reset/compact so
+        # :meth:`state` (the durability signal policy checkpoints key
+        # off, called after every update) never re-reads the file on
+        # the hot path.  None until the first open-time scan.
+        self._records: int | None = None
+        self._checkpoint_epoch: int | None = None
         # True only for a log file this object just created: its first
         # append adopts the session's epoch as the baseline.
         self._adopt_head = False
@@ -267,11 +330,16 @@ class WriteAheadLog:
                     with open(self.path, "r+b") as fh:
                         fh.truncate(good_end)
                         os.fsync(fh.fileno())
+                # The last record's span decides the head: a compacted
+                # record at epoch e spanning s epochs is followed by
+                # epoch e + s, not e + 1.
                 self._head_epoch = (
-                    frames[-1][0] + 1
+                    frames[-1][0] + _payload_span(frames[-1][2])
                     if frames
                     else int(header.get("checkpoint_epoch", 0))
                 )
+                self._records = len(frames)
+                self._checkpoint_epoch = int(header.get("checkpoint_epoch", 0))
                 self._adopt_head = False
             else:
                 # A brand-new log has no history to protect: the first
@@ -279,6 +347,8 @@ class WriteAheadLog:
                 # restored from an epoch>0 bundle legitimately starts
                 # a fresh log there).
                 self._head_epoch = 0
+                self._records = 0
+                self._checkpoint_epoch = 0
                 self._adopt_head = True
             self._fh = open(self.path, "ab")
             if not exists:
@@ -320,6 +390,7 @@ class WriteAheadLog:
                 fh = open(self.path, "ab")
                 self._fh = fh
                 self._head_epoch = epoch
+                self._checkpoint_epoch = epoch
             elif epoch != self._head_epoch:
                 raise ValueError(
                     f"appending to {self.path!s} at epoch {epoch} but the "
@@ -359,6 +430,8 @@ class WriteAheadLog:
                 os.fsync(fh.fileno())
                 self._unsynced = 0
             self._head_epoch = epoch + 1
+            if self._records is not None:
+                self._records += 1
             return _AppendToken(epoch, pre_n, crc)
 
     def rollback(self, token: "_AppendToken") -> None:
@@ -379,6 +452,7 @@ class WriteAheadLog:
             if not os.path.exists(self.path) or os.path.getsize(self.path) == 0:
                 return
             frames, good_end, torn, _ = _scan(self.path)
+            n_kept = len(frames)
             if frames:
                 epoch, pre_n, payload = frames[-1]
                 if (epoch, pre_n) == (token.epoch, token.pre_n) and (
@@ -386,6 +460,8 @@ class WriteAheadLog:
                 ):
                     good_end -= _FRAME.size + len(payload)
                     self._head_epoch = epoch
+                    n_kept -= 1
+            self._records = n_kept
             # Truncating at good_end also sheds any torn tail bytes.
             with open(self.path, "r+b") as fh:
                 fh.truncate(good_end)
@@ -467,6 +543,10 @@ class WriteAheadLog:
                     )
 
             replace_atomically(self.path, write)
+            self._records = len(kept)
+            self._checkpoint_epoch = marker
+            if not kept:
+                self._head_epoch = marker
             return len(frames) - len(kept)
 
     def reset(self) -> int:
@@ -483,11 +563,186 @@ class WriteAheadLog:
         with self._lock:
             self._drop_handle()
             self._head_epoch = 0
+            self._records = 0
+            self._checkpoint_epoch = 0
             if not os.path.exists(self.path) or os.path.getsize(self.path) == 0:
                 return 0
             frames, _, _, _ = _scan(self.path)
             replace_atomically(self.path, lambda fh: fh.write(_header_bytes()))
             return len(frames)
+
+    def state(self) -> dict:
+        """Durability snapshot: record count, epochs, bytes on disk.
+
+        ``records`` is the number of intact records the log holds --
+        records since the last checkpoint, i.e. exactly what a restart
+        must replay (operators read it as replication lag; a
+        :class:`~repro.service.DurabilityPolicy` keys its checkpoint
+        and compaction triggers off it and off ``bytes``).  Cheap after
+        the first call: counts are maintained in step with every
+        append/checkpoint/rollback, so only a never-opened log pays a
+        one-off scan.
+        """
+        with self._lock:
+            if self._fh is not None:
+                self._fh.flush()
+            exists = os.path.exists(self.path) and os.path.getsize(self.path) > 0
+            if (
+                self._records is None
+                or self._head_epoch is None
+                or self._checkpoint_epoch is None
+            ):
+                if exists:
+                    frames, _, _, header = _scan(self.path)
+                    self._records = len(frames)
+                    self._head_epoch = (
+                        frames[-1][0] + _payload_span(frames[-1][2])
+                        if frames
+                        else int(header.get("checkpoint_epoch", 0))
+                    )
+                    self._checkpoint_epoch = int(
+                        header.get("checkpoint_epoch", 0)
+                    )
+                else:
+                    self._records, self._head_epoch = 0, 0
+                    self._checkpoint_epoch = 0
+            return {
+                "path": self.path,
+                "records": int(self._records),
+                "head_epoch": int(self._head_epoch),
+                "checkpoint_epoch": int(self._checkpoint_epoch),
+                "bytes": os.path.getsize(self.path) if exists else 0,
+            }
+
+    def compact(self, schema) -> CompactStats:
+        """Merge every logged record into one equivalent batch.
+
+        Composes the log's delete/append sequence into a single
+        :class:`~repro.engine.updates.UpdateBatch` whose application to
+        the dataset at the log's base epoch yields the bitwise-identical
+        final dataset (deletes preserve row order and appends land at
+        the end, so surviving original rows and surviving appended rows
+        each keep their relative order -- the merged batch deletes the
+        originals that did not survive and appends the appended rows
+        that did, in order).
+
+        Epoch numbering is **stable across compaction**: the rewritten
+        log holds one record at the base epoch whose payload carries
+        the merged *span* (summing the spans of already-compacted
+        inputs, so re-compaction keeps covering the full range), and
+        the log's head epoch is unchanged -- the live session, every
+        replica, and every bundle keep their epoch numbers.  Applying
+        the merged record fast-forwards a session from the base epoch
+        straight to ``base + span`` (:func:`replay`); a bundle whose
+        epoch falls strictly *inside* the span fails closed.  A stream
+        that cancels out to a net no-op still compacts to one (empty)
+        record, because mid-span bundles hold mid-span data and must
+        not silently replay nothing.  Compact is a durability-
+        preserving rewrite (atomic fsynced replace): at no point is the
+        old log gone without the new one being durable.
+        """
+        with self._lock:
+            self._drop_handle()
+            stats = CompactStats()
+            if not os.path.exists(self.path) or os.path.getsize(self.path) == 0:
+                return stats
+            frames, _, _, header = _scan(self.path)
+            stats.records_before = len(frames)
+            stats.records_after = len(frames)
+            stats.bytes_before = os.path.getsize(self.path)
+            stats.bytes_after = stats.bytes_before
+            marker = int(header.get("checkpoint_epoch", 0))
+            if frames:
+                stats.base_epoch = frames[0][0]
+                stats.head_epoch = frames[-1][0] + _payload_span(frames[-1][2])
+            else:
+                stats.base_epoch = stats.head_epoch = marker
+            if len(frames) <= 1:
+                return stats
+            base_epoch, base_n = frames[0][0], frames[0][1]
+
+            # Compose the record sequence over a row-provenance array:
+            # entries < base_n are original rows, entries >= base_n
+            # index into the concatenation of all appended datasets.
+            src = np.arange(base_n, dtype=np.int64)
+            appends: list = []
+            app_total = 0
+            expected_epoch = base_epoch
+            for epoch, pre_n, payload in frames:
+                if epoch != expected_epoch:
+                    raise ValueError(
+                        f"cannot compact {self.path!s}: record epochs are not "
+                        f"contiguous (expected {expected_epoch}, got {epoch})"
+                    )
+                if pre_n != src.size:
+                    raise ValueError(
+                        f"cannot compact {self.path!s}: record at epoch "
+                        f"{epoch} expects {pre_n} rows but the composed "
+                        f"state has {src.size} -- the log is internally "
+                        "inconsistent"
+                    )
+                batch = _decode_record(payload, schema)
+                # A record may itself be a prior compaction's merge: its
+                # span counts toward the new total, or a bundle inside
+                # the *old* span would slip past the straddle check.
+                expected_epoch = epoch + _payload_span(payload)
+                if batch.delete is not None:
+                    src = src[_keep_mask(src.size, batch.delete)]
+                app_ds = batch.append_dataset(schema)
+                if app_ds is not None and app_ds.n:
+                    appends.append(app_ds)
+                    src = np.concatenate(
+                        [
+                            src,
+                            base_n
+                            + app_total
+                            + np.arange(app_ds.n, dtype=np.int64),
+                        ]
+                    )
+                    app_total += app_ds.n
+
+            kept_originals = src[src < base_n]
+            delete_idx = np.setdiff1d(
+                np.arange(base_n, dtype=np.int64), kept_originals
+            )
+            surviving_app = src[src >= base_n] - base_n
+            merged_append = None
+            if surviving_app.size:
+                app_concat = appends[0]
+                for extra in appends[1:]:
+                    app_concat = app_concat.append(extra)
+                merged_append = app_concat.subset(surviving_app)
+            from .updates import UpdateBatch
+
+            span = expected_epoch - base_epoch
+            merged = UpdateBatch(
+                append=merged_append,
+                delete=delete_idx if delete_idx.size else None,
+            )
+            payload = _encode_record(merged, schema, span=span)
+
+            def write(fh) -> None:
+                fh.write(_header_bytes(marker))
+                fh.write(
+                    _FRAME.pack(
+                        len(payload),
+                        _frame_crc(base_epoch, base_n, payload),
+                        base_epoch,
+                        base_n,
+                    )
+                    + payload
+                )
+
+            replace_atomically(self.path, write)
+            self._records = 1
+            self._head_epoch = base_epoch + span
+            self._checkpoint_epoch = marker
+            self._adopt_head = False
+            stats.records_after = 1
+            stats.merged = stats.records_before - 1
+            stats.head_epoch = int(self._head_epoch)
+            stats.bytes_after = os.path.getsize(self.path)
+            return stats
 
     def __repr__(self) -> str:
         size = os.path.getsize(self.path) if os.path.exists(self.path) else 0
@@ -544,10 +799,36 @@ def replay(session, wal, *, repair: bool = True) -> ReplayStats:
             with open(path, "r+b") as fh:
                 fh.truncate(good_end)
     schema = session.dataset.schema
+
+    def check_span(epoch: int, payload: bytes) -> None:
+        # A compacted record spanning [epoch, epoch+span) can neither be
+        # skipped nor applied when the bundle's epoch falls strictly
+        # inside the span.  Only the LAST skipped frame can straddle:
+        # record epochs are contiguous across spans, so an earlier
+        # skipped frame followed by another skipped frame ends before
+        # that one starts -- decoding one payload per replay keeps the
+        # skip path O(1) per record for replica polls.
+        span = _payload_span(payload)
+        if epoch + span > session.epoch:
+            raise ValueError(
+                f"write-ahead log {path!s} holds a compacted record "
+                f"spanning epochs {epoch}-{epoch + span - 1} but the "
+                f"session is at epoch {session.epoch}, *inside* the "
+                "span: the merged record can neither be skipped nor "
+                "applied for this bundle.  Restore from the bundle "
+                "saved at the compaction base (or rebuild with "
+                "`repro index-build`)"
+            )
+
+    last_skipped: tuple | None = None
     for epoch, pre_n, payload in frames:
         if epoch < session.epoch:
+            last_skipped = (epoch, payload)
             stats.skipped += 1
             continue
+        if last_skipped is not None:
+            check_span(*last_skipped)
+            last_skipped = None
         if epoch > session.epoch:
             raise ValueError(
                 f"write-ahead log {path!s} starts at epoch {epoch} but the "
@@ -571,6 +852,21 @@ def replay(session, wal, *, repair: bool = True) -> ReplayStats:
         stats.appended += ustats.appended
         stats.deleted += ustats.deleted
         stats.pending_tables_patched += ustats.pending_tables_patched
-        stats.lattices_patched += ustats.lattices_patched
+        stats.lattices_patched += (
+            ustats.lattices_patched + ustats.pending_lattices_patched
+        )
+        span = _payload_span(payload)
+        if span > 1:
+            # A compacted record stands for `span` original updates:
+            # fast-forward to the epoch past the merged range so the
+            # following record (logged at base + span) lines up.  Also
+            # covers the net-no-op merge, whose apply bumps nothing.
+            # Under the exclusive gate: a replica may be serving while
+            # it replays, and an in-flight solve_with_epoch must never
+            # observe the post-merge dataset with the pre-merge label.
+            with session._exclusive_gate():
+                session.epoch = epoch + span
+    if last_skipped is not None:
+        check_span(*last_skipped)
     stats.final_epoch = session.epoch
     return stats

@@ -1,0 +1,47 @@
+"""The typed serving facade over the whole engine stack (DESIGN.md §11).
+
+:class:`RegionService` is the one operational surface a durable,
+restartable ASRS server needs: it owns a
+:class:`~repro.engine.SessionPool` and, per dataset, the bundle path,
+write-ahead log and a declarative :class:`DurabilityPolicy`
+(checkpoint every K records / B bytes / on close, compact the log by
+batch-merging, replay on open).  Requests and responses are typed
+dataclasses with a stable JSON codec -- :class:`DatasetSpec`,
+:class:`QueryRequest`, :class:`UpdateRequest`, :class:`RegionResult` --
+and :mod:`repro.service.httpd` serves that codec over HTTP
+(``repro serve``), including a read-only ``--follow`` replica mode
+that polls and replays the writer's log.
+"""
+
+from .facade import PersistResult, RegionService, parse_term, term_specs
+from .types import (
+    CheckpointResult,
+    CompactResult,
+    DatasetSpec,
+    DurabilityPolicy,
+    OpenResult,
+    QueryRequest,
+    RegionResult,
+    UpdateRequest,
+    UpdateResult,
+    decode_float,
+    encode_float,
+)
+
+__all__ = [
+    "CheckpointResult",
+    "CompactResult",
+    "DatasetSpec",
+    "DurabilityPolicy",
+    "OpenResult",
+    "PersistResult",
+    "QueryRequest",
+    "RegionResult",
+    "RegionService",
+    "UpdateRequest",
+    "UpdateResult",
+    "decode_float",
+    "encode_float",
+    "parse_term",
+    "term_specs",
+]

@@ -1,0 +1,216 @@
+"""A stdlib JSON-over-HTTP frontend for :class:`RegionService`.
+
+``repro serve`` wires this up (DESIGN.md §11.5).  The protocol is the
+typed codec verbatim -- request bodies are
+``QueryRequest.to_dict()`` / ``UpdateRequest.to_dict()`` documents,
+responses are ``RegionResult.to_dict()`` etc., so any JSON client
+round-trips results bit-for-bit (non-finite floats ride as sentinel
+strings):
+
+=========  ======  ====================================================
+path       method  body -> response
+=========  ======  ====================================================
+/query     POST    QueryRequest -> RegionResult (or {"results": [...]}
+                   for ``topk`` > 1)
+/update    POST    UpdateRequest -> UpdateResult (403 on a replica)
+/checkpoint POST   {"dataset": key?} -> CheckpointResult
+/compact   POST    {"dataset": key?} -> CompactResult
+/healthz   GET     {"status": "ok", "read_only": ..., "datasets": ...}
+/stats     GET     RegionService.stats()
+=========  ======  ====================================================
+
+``"dataset"`` may be omitted from any body when the service serves
+exactly one dataset.  Errors come back as ``{"error": ...}`` with 400
+(bad request), 403 (mutation on a read-only replica), 404 (unknown
+path or dataset) or 500.
+
+The server is a ``ThreadingHTTPServer``: each request runs on its own
+thread against the thread-safe engine underneath (solves share warm
+caches; updates drain solves via the session's update gate).  A
+read-only replica additionally runs a :class:`WalFollower` thread that
+polls the writer's WAL and replays new records -- the one-writer /
+many-reader deployment the per-process GIL pushes toward.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .facade import RegionService
+from .types import QueryRequest, UpdateRequest
+
+
+class WalFollower(threading.Thread):
+    """Poll-and-replay loop keeping a read-only replica caught up.
+
+    Calls :meth:`RegionService.refresh` every ``interval`` seconds;
+    replay itself serializes against in-flight queries via the
+    session's update gate, so served answers are always a consistent
+    epoch.  ``stop()`` ends the loop promptly.
+    """
+
+    def __init__(
+        self, service: RegionService, key: str, interval: float = 1.0
+    ) -> None:
+        super().__init__(name=f"wal-follower-{key}", daemon=True)
+        self.service = service
+        self.key = key
+        self.interval = float(interval)
+        self.replayed = 0
+        self.ticks = 0
+        self.last_error: str | None = None
+        self._stop = threading.Event()
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    def run(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                stats = self.service.refresh(self.key)
+                self.replayed += stats.applied
+                self.last_error = None
+            except Exception as exc:  # keep following; surface via /healthz
+                self.last_error = f"{type(exc).__name__}: {exc}"
+            self.ticks += 1
+
+
+class RegionServer(ThreadingHTTPServer):
+    """The HTTP server; holds the service every handler dispatches to."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address,
+        service: RegionService,
+        followers: list | None = None,
+        quiet: bool = True,
+    ) -> None:
+        self.service = service
+        self.followers = followers or []
+        self.quiet = quiet
+        super().__init__(address, _Handler)
+
+    def shutdown(self) -> None:
+        for follower in self.followers:
+            follower.stop()
+        super().shutdown()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> RegionService:
+        return self.server.service
+
+    # -- plumbing ------------------------------------------------------
+    def log_message(self, fmt, *args) -> None:
+        if not getattr(self.server, "quiet", True):
+            super().log_message(fmt, *args)
+
+    def _send(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload, allow_nan=False).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length == 0:
+            return {}
+        raw = self.rfile.read(length)
+        data = json.loads(raw.decode("utf-8"))
+        if not isinstance(data, dict):
+            raise ValueError("request body must be a JSON object")
+        return data
+
+    def _default_dataset(self, body: dict) -> dict:
+        if "dataset" not in body:
+            keys = self.service.keys()
+            if len(keys) == 1:
+                body = dict(body, dataset=keys[0])
+            else:
+                raise KeyError(
+                    "request names no 'dataset' and the service serves "
+                    f"{len(keys)} -- pass one of {keys}"
+                )
+        return body
+
+    # -- routes --------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        try:
+            if self.path == "/healthz":
+                service = self.service
+                datasets = {}
+                for key in service.keys():
+                    session = service.session(key)
+                    datasets[key] = {"n": session.dataset.n, "epoch": session.epoch}
+                payload = {
+                    "status": "ok",
+                    "read_only": service.read_only,
+                    "datasets": datasets,
+                }
+                followers = getattr(self.server, "followers", [])
+                if followers:
+                    payload["follower"] = {
+                        "ticks": sum(f.ticks for f in followers),
+                        "replayed": sum(f.replayed for f in followers),
+                        "last_error": next(
+                            (f.last_error for f in followers if f.last_error),
+                            None,
+                        ),
+                    }
+                self._send(200, payload)
+            elif self.path == "/stats":
+                self._send(200, self.service.stats())
+            else:
+                self._send(404, {"error": f"unknown path {self.path!r}"})
+        except Exception as exc:
+            self._send(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        try:
+            body = self._default_dataset(self._body())
+            if self.path == "/query":
+                request = QueryRequest.from_dict(body)
+                if request.topk > 1:
+                    results = self.service.query_topk(request)
+                    self._send(200, {"results": [r.to_dict() for r in results]})
+                else:
+                    self._send(200, self.service.query(request).to_dict())
+            elif self.path == "/update":
+                request = UpdateRequest.from_dict(body)
+                self._send(200, self.service.update(request).to_dict())
+            elif self.path == "/checkpoint":
+                self._send(
+                    200, self.service.checkpoint(body["dataset"]).to_dict()
+                )
+            elif self.path == "/compact":
+                self._send(200, self.service.compact(body["dataset"]).to_dict())
+            else:
+                self._send(404, {"error": f"unknown path {self.path!r}"})
+        except PermissionError as exc:
+            self._send(403, {"error": str(exc)})
+        except (ValueError, KeyError, TypeError, json.JSONDecodeError) as exc:
+            self._send(400, {"error": f"{type(exc).__name__}: {exc}"})
+        except Exception as exc:
+            self._send(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+
+def make_server(
+    service: RegionService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    followers: list | None = None,
+    quiet: bool = True,
+) -> RegionServer:
+    """Build (but do not start) the HTTP server; ``port=0`` auto-picks."""
+    return RegionServer((host, port), service, followers=followers, quiet=quiet)

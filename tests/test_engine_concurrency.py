@@ -197,8 +197,10 @@ class TestSessionPool:
         dataset_b, queries_b = _workload(7, 60, 3)
         pool = SessionPool(max_bytes=1, settings=SMALL)  # everything over budget
         session_a = pool.session("a", dataset_a)
-        pool.solve_batch("a", queries_a)
-        pool.solve_batch("b", queries_b, dataset=dataset_b)
+        pool.session("a").solve_batch(queries_a)
+        pool.reaccount("a")
+        pool.session("b", dataset_b).solve_batch(queries_b)
+        pool.reaccount("b")
         # "a" (LRU) was evicted and its caches dropped; "b" (MRU) survives
         # even though it alone exceeds the budget.
         assert "a" not in pool and "b" in pool
@@ -246,7 +248,9 @@ class TestSessionPool:
         def run(job):
             key, qi = job
             dataset, queries = workloads[key]
-            return job, pool.solve(key, queries[qi], dataset=dataset)
+            result = pool.session(key, dataset).solve(queries[qi])
+            pool.reaccount(key)
+            return job, result
 
         jobs = [
             (key, qi)
@@ -273,7 +277,8 @@ class TestPoolMeasurementRace:
         # the staleness under test lives in that cache.
         pool = SessionPool(settings=SMALL, max_bytes=1 << 40)
         session = pool.session("a", dataset)
-        pool.solve("a", queries[0])
+        session.solve(queries[0])
+        pool.reaccount("a")
         assert pool.info()["bytes"] > 0
 
         in_apply = threading.Event()

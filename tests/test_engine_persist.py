@@ -11,7 +11,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import ASRSQuery, CompositeAggregator, SumAggregator
+from repro.core import ASRSQuery, CompositeAggregator, SpatialDataset, SumAggregator
 from repro.core.selection import SelectByValue, SelectWhere
 from repro.dssearch import SearchSettings
 from repro.engine import (
@@ -472,6 +472,143 @@ class TestFormatV3:
         assert calls == []  # no cold channel-table rebuild
         cold = QuerySession(restored.dataset, settings=SMALL)
         for got, want in zip(results, cold.solve_batch(queries)):
+            assert _same_result(got, want)
+
+
+class TestFormatV4:
+    """v4 bundles persist each lattice's (full, over) range sums, so a
+    restored *pending* lattice rides the delta-aware refresh through
+    updates and replay instead of dropping to a full lazy recompute."""
+
+    def _localized_append(self, dataset, n=3):
+        """Rows in the dataset's low corner: few dirty cells, and their
+        suffix-quadrant shadow touches few lattice range corners, so the
+        delta patch stays below the too-many-touched fallback."""
+        b = dataset.bounds()
+        return SpatialDataset(
+            np.full(n, b.x_min + 1.0),
+            np.full(n, b.y_min + 1.0),
+            dataset.schema,
+            {
+                "kind": np.zeros(n, dtype=np.int64),
+                "score": np.full(n, 1.5),
+            },
+        )
+
+    def test_lattice_sums_roundtrip_and_adoption(self, tmp_path):
+        dataset, aggregator, queries = _instance(47, 80)
+        session = QuerySession(dataset, settings=SMALL)
+        session.solve_batch(queries)
+        assert session._lattice_sums  # live sums exist to persist
+        path = tmp_path / "v4.idx"
+        save_session(session, path)
+        restored = load_session(path, dataset)
+        assert restored.bundle_version == 4
+        assert restored._pending_lattice_sums
+        # Adoption installs the sums next to the adopted intervals, so
+        # the lattice stays delta-patchable as a live artefact too.
+        adopted_by = random_aggregator()
+        compiler = restored.compiler_for(adopted_by)
+        restored.channel_tables(compiler)
+        restored.lattice_for(queries[0].width, queries[0].height, compiler)
+        key = (float(queries[0].width), float(queries[0].height), id(compiler))
+        assert key in restored._lattice_sums
+
+    def test_pending_lattice_delta_patched_on_update(self, tmp_path):
+        """The satellite contract: update a fresh restore before any
+        adoption -- the pending lattice is patched in place (not
+        dropped), the first solve adopts it without recomputing the
+        intervals, and answers stay bitwise-identical to cold."""
+        dataset, aggregator, queries = _instance(48, 80)
+        session = QuerySession(dataset, settings=SMALL)
+        session.solve_batch(queries)
+        path = tmp_path / "v4u.idx"
+        save_session(session, path)
+
+        restored = load_session(path, dataset)
+        stats = restored.append(self._localized_append(dataset))
+        assert stats.pending_lattices_patched >= 1
+        assert stats.pending_lattices_dropped == 0
+
+        import repro.engine.session as session_module
+
+        calls = []
+        original = session_module.candidate_lattice_intervals
+
+        def counting(*args, **kwargs):
+            calls.append(args)
+            return original(*args, **kwargs)
+
+        try:
+            session_module.candidate_lattice_intervals = counting
+            results = restored.solve_batch(queries)
+        finally:
+            session_module.candidate_lattice_intervals = original
+        assert calls == []  # the patched pending lattice was adopted as-is
+        cold = QuerySession(
+            restored.dataset, granularity=restored.granularity, settings=SMALL
+        )
+        for got, want in zip(results, cold.solve_batch(queries)):
+            assert _same_result(got, want)
+
+    def test_pending_lattice_patched_through_wal_replay(self, tmp_path):
+        """Crash recovery keeps the persisted lattices too: replaying a
+        localized update stream onto a fresh v4 restore patches the
+        pending lattices record by record, identity-checked."""
+        from repro.engine import WriteAheadLog, replay
+
+        dataset, aggregator, queries = _instance(49, 80)
+        live = QuerySession(dataset, settings=SMALL)
+        live.solve_batch(queries)
+        path = tmp_path / "v4w.idx"
+        save_session(live, path)
+        live.attach_wal(tmp_path / "v4w.wal")
+        for _ in range(2):
+            live.append(self._localized_append(live.dataset))
+
+        restored = load_session(path, dataset)
+        rstats = replay(restored, WriteAheadLog(tmp_path / "v4w.wal"))
+        assert rstats.applied == 2
+        assert rstats.lattices_patched >= 2  # pendings patched per record
+        for got, want in zip(
+            restored.solve_batch(queries), live.solve_batch(queries)
+        ):
+            assert _same_result(got, want)
+
+    def test_v3_bundle_without_sums_still_loads_and_updates(self, tmp_path):
+        """Read shim: a bundle without lattice sums (pre-v4 layout) loads
+        fine; updates just drop its pending lattices to the lazy path."""
+        dataset, aggregator, queries = _instance(50, 60)
+        session = QuerySession(dataset, settings=SMALL)
+        session.solve_batch(queries)
+        path = tmp_path / "v3like.idx"
+        save_session(session, path)
+        import json
+
+        with np.load(path, allow_pickle=False) as bundle:
+            meta = json.loads(str(bundle["meta"][()]))
+            arrays = {
+                name: bundle[name]
+                for name in bundle.files
+                if not (name.endswith("_full") or name.endswith("_over"))
+            }
+        meta["format_version"] = 3
+        for entry in meta["lattices"]:
+            entry.pop("has_sums", None)
+        arrays["meta"] = np.array(json.dumps(meta))
+        with open(path, "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+        restored = load_session(path, dataset)
+        assert restored.bundle_version == 3
+        assert not restored._pending_lattice_sums
+        stats = restored.append(self._localized_append(dataset))
+        assert stats.pending_lattices_dropped >= 1
+        cold = QuerySession(
+            restored.dataset, granularity=restored.granularity, settings=SMALL
+        )
+        for got, want in zip(
+            restored.solve_batch(queries), cold.solve_batch(queries)
+        ):
             assert _same_result(got, want)
 
 

@@ -352,7 +352,8 @@ class TestPoolUpdates:
         agg = random_aggregator()
         pool = SessionPool(max_bytes=None)
         queries = _queries(ds, agg)
-        pool.solve("a", queries[0], ds)
+        pool.session("a", ds).solve(queries[0])
+        pool.reaccount("a")
         before = pool.info()["bytes"]
         stats = pool.append("a", _in_bounds_rows(rng, ds, 20))
         assert stats.appended == 20
@@ -369,8 +370,10 @@ class TestPoolUpdates:
         queries = _queries(ds_a, agg)
         pool = SessionPool(max_sessions=1)
         session_a = pool.session("a", ds_a)
-        pool.solve("a", queries[0])
-        pool.solve("b", queries[0], ds_b)  # evicts "a", clears its caches
+        session_a.solve(queries[0])
+        pool.reaccount("a")
+        pool.session("b", ds_b).solve(queries[0])
+        pool.reaccount("b")  # evicts "a", clears its caches
         assert "a" not in pool
         assert not session_a.cache_info()["index_built"]
         # Update the evicted (cold) session, then re-admit and solve.

@@ -262,8 +262,8 @@ class TestReplay:
         agg = random_aggregator()
         queries = _queries(ds, agg, seed=31)
         pool = SessionPool()
-        pool.session("k", ds, wal=tmp_path / "pool.wal")
-        pool.solve("k", queries[0])
+        pool.session("k", ds, wal=tmp_path / "pool.wal").solve(queries[0])
+        pool.reaccount("k")
         pool.append("k", _in_bounds_rows(rng, ds, 5))
         session = pool.session("k")
         assert len(session.wal.records(ds.schema)) == 1

@@ -50,3 +50,9 @@ class TestExamples:
         out = run_example("batch_sessions.py", "--n", "3000", "--queries", "4")
         assert "batch answers identical to cold calls: True" in out
         assert "best region over the batch" in out
+
+    def test_serve_http(self):
+        out = run_example("serve_http.py", "--n", "2000")
+        assert "serving on http://" in out
+        assert "replayed 3 WAL record(s)" in out
+        assert "recovered answers identical to pre-crash: True" in out

@@ -1,0 +1,301 @@
+"""The HTTP frontend end to end (DESIGN.md §11.5).
+
+In-process ``ThreadingHTTPServer`` for protocol coverage (every
+endpoint, error statuses, read-only 403), and a real ``repro serve``
+subprocess for the crash drill: query, update durably over HTTP,
+``kill -9`` the writer, then recover from (CSV, WAL) and assert the
+answers are bitwise-identical to both the pre-crash server's and a
+cold session on the final dataset.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import SpatialDataset
+from repro.data.io import save_csv
+from repro.engine import QuerySession
+from repro.service import (
+    DatasetSpec,
+    DurabilityPolicy,
+    QueryRequest,
+    RegionResult,
+    RegionService,
+    UpdateRequest,
+)
+from repro.service.httpd import make_server
+
+from .conftest import make_random_dataset
+
+TERMS = ("fD:kind", "fS:score")
+
+
+def _post(base: str, path: str, payload: dict) -> dict:
+    body = json.dumps(payload).encode()
+    request = urllib.request.Request(
+        f"{base}{path}", data=body, headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return json.loads(response.read().decode())
+
+
+def _get(base: str, path: str) -> dict:
+    with urllib.request.urlopen(f"{base}{path}", timeout=30) as response:
+        return json.loads(response.read().decode())
+
+
+def _query_payload(ds, seed=7) -> dict:
+    rng = np.random.default_rng(seed)
+    dim = 3 + 1  # kind distribution (3 categories) + score sum
+    return QueryRequest(
+        dataset="d",
+        terms=TERMS,
+        width=12.0,
+        height=9.0,
+        target=tuple(rng.uniform(0, 4, size=dim)),
+    ).to_dict()
+
+
+@pytest.fixture()
+def http_service(tmp_path):
+    rng = np.random.default_rng(60)
+    ds = make_random_dataset(rng, 100, extent=90.0)
+    data = tmp_path / "d.csv"
+    save_csv(ds, data)
+    spec = DatasetSpec(
+        key="d",
+        data=str(data),
+        categorical=("kind",),
+        numeric=("score",),
+        index=str(tmp_path / "d.idx"),
+        wal=str(tmp_path / "d.wal"),
+        durability=DurabilityPolicy(checkpoint_on_close=False),
+    )
+    service = RegionService()
+    service.open(spec)
+    server = make_server(service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        yield f"http://{host}:{port}", service, ds
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+
+class TestEndpoints:
+    def test_healthz_and_stats(self, http_service):
+        base, service, ds = http_service
+        health = _get(base, "/healthz")
+        assert health["status"] == "ok"
+        assert health["read_only"] is False
+        assert health["datasets"]["d"] == {"n": ds.n, "epoch": 0}
+        stats = _get(base, "/stats")
+        assert stats["datasets"]["d"]["epoch"] == 0
+        assert stats["pool"]["sessions"] == 1
+
+    def test_query_matches_in_process(self, http_service):
+        base, service, ds = http_service
+        payload = _query_payload(ds)
+        over_http = RegionResult.from_dict(_post(base, "/query", payload))
+        in_process = service.query(QueryRequest.from_dict(payload))
+        assert over_http.region == in_process.region
+        assert over_http.score == in_process.score
+        assert over_http.representation == in_process.representation
+
+    def test_query_defaults_single_dataset(self, http_service):
+        base, _, ds = http_service
+        payload = _query_payload(ds)
+        del payload["dataset"]
+        result = _post(base, "/query", payload)
+        assert "region" in result
+
+    def test_update_then_checkpoint_then_compact(self, http_service, tmp_path):
+        base, service, ds = http_service
+        update = _post(
+            base,
+            "/update",
+            UpdateRequest(
+                dataset="d",
+                append=((10.0, 10.0, {"kind": "k1", "score": 2.5}),),
+                delete=(0,),
+            ).to_dict(),
+        )
+        assert update["appended"] == 1 and update["deleted"] == 1
+        assert update["wal_logged"] and update["epoch"] == 1
+        _post(
+            base,
+            "/update",
+            UpdateRequest(
+                dataset="d", append=((11.0, 11.0, {"kind": "k0", "score": 1.0}),)
+            ).to_dict(),
+        )
+        compacted = _post(base, "/compact", {"dataset": "d"})
+        assert compacted["records_before"] == 2
+        assert compacted["records_after"] == 1
+        checkpoint = _post(base, "/checkpoint", {"dataset": "d"})
+        assert checkpoint["wal_records_dropped"] == 1
+        assert os.path.exists(checkpoint["index_path"])
+        assert _get(base, "/healthz")["datasets"]["d"]["n"] == ds.n + 1
+
+    def test_errors(self, http_service):
+        base, _, ds = http_service
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post(base, "/query", {"dataset": "nope", "terms": ["fD:kind"],
+                                   "width": 1, "height": 1, "target": [0]})
+        assert err.value.code == 400
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(base, "/nope")
+        assert err.value.code == 404
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post(base, "/query", {"terms": []})
+        assert err.value.code == 400
+
+
+class TestReadOnlyReplica:
+    def test_update_forbidden(self, tmp_path):
+        rng = np.random.default_rng(61)
+        ds = make_random_dataset(rng, 60, extent=90.0)
+        data = tmp_path / "d.csv"
+        save_csv(ds, data)
+        service = RegionService(read_only=True)
+        service.open(
+            DatasetSpec(key="d", data=str(data), categorical=("kind",),
+                        numeric=("score",), wal=str(tmp_path / "d.wal"))
+        )
+        server = make_server(service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        base = f"http://{host}:{port}"
+        try:
+            assert _get(base, "/healthz")["read_only"] is True
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _post(
+                    base,
+                    "/update",
+                    UpdateRequest(
+                        dataset="d",
+                        append=((1.0, 1.0, {"kind": "k0", "score": 0.0}),),
+                    ).to_dict(),
+                )
+            assert err.value.code == 403
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+
+
+class TestCrashRecovery:
+    def test_kill_minus_nine_then_replay_is_bitwise_identical(self, tmp_path):
+        """The acceptance drill: serve over HTTP, update durably, SIGKILL
+        the writer, replay the WAL -- answers must be bitwise-identical
+        to the pre-crash server's and to a cold session on the final
+        dataset."""
+        rng = np.random.default_rng(62)
+        ds = make_random_dataset(rng, 120, extent=90.0)
+        data = tmp_path / "d.csv"
+        save_csv(ds, data)
+        wal = tmp_path / "d.wal"
+        index = tmp_path / "d.idx"
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--data", str(data), "--categorical", "kind",
+                "--numeric", "score", "--index", str(index),
+                "--wal", str(wal), "--port", "0",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            line = proc.stdout.readline()
+            assert "on http://" in line, (line, proc.stderr.read())
+            base = line.strip().rsplit(" on ", 1)[1]
+
+            payload = _query_payload(ds)
+            payload["dataset"] = "cli"
+            updates = [
+                UpdateRequest(
+                    dataset="cli",
+                    append=(
+                        (20.0, 20.0, {"kind": "k2", "score": 4.5}),
+                        (30.0, 40.0, {"kind": "k0", "score": -1.25}),
+                    ),
+                    delete=(5, 11),
+                ),
+                UpdateRequest(
+                    dataset="cli",
+                    append=((50.0, 60.0, {"kind": "k1", "score": 0.125}),),
+                ),
+            ]
+            for update in updates:
+                reply = _post(base, "/update", update.to_dict())
+                assert reply["wal_logged"]
+            pre_crash = RegionResult.from_dict(_post(base, "/query", payload))
+            assert _get(base, "/healthz")["datasets"]["cli"]["epoch"] == 2
+        finally:
+            # kill -9: no shutdown hook runs, no close-time checkpoint.
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+
+        assert not index.exists()  # nothing ever checkpointed the bundle
+        assert wal.exists()
+
+        # Recover the writer from (CSV, WAL) -- replay_on_open default.
+        recovered = RegionService()
+        opened = recovered.open(
+            DatasetSpec(
+                key="cli", data=str(data), categorical=("kind",),
+                numeric=("score",), index=str(index), wal=str(wal),
+            )
+        )
+        assert opened.replayed == 2 and opened.epoch == 2
+        after = recovered.query(QueryRequest.from_dict(payload))
+        assert after.region == pre_crash.region
+        assert after.score == pre_crash.score
+        assert after.representation == pre_crash.representation
+
+        # And against a cold session on the independently derived final
+        # dataset (the ground truth the WAL must reconstruct).
+        final = ds
+        for update in updates:
+            append = SpatialDataset.from_records(list(update.append), ds.schema)
+            final = final.delete(np.asarray(update.delete, dtype=np.int64))
+            final = final.append(append)
+        session = recovered.session("cli")
+        cold = QuerySession(final, granularity=session.granularity)
+        agg = recovered.aggregator("cli", TERMS)
+        from repro.core import ASRSQuery
+
+        query = ASRSQuery.from_vector(
+            12.0, 9.0, agg, np.asarray(payload["target"], dtype=np.float64)
+        )
+        cold_result = cold.solve(query)
+        region = cold_result.region
+        assert after.region == (
+            region.x_min, region.y_min, region.x_max, region.y_max
+        )
+        assert after.score == cold_result.distance
+        assert np.array_equal(
+            np.asarray(after.representation), cold_result.representation
+        )
