@@ -90,6 +90,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import signal
 import sys
 import zipfile
 
@@ -537,13 +538,27 @@ def cmd_serve(args) -> int:
         f"on http://{host}:{port}",
         flush=True,
     )
+    from . import faults
+
+    armed = faults.active()
+    if armed:
+        print(f"failpoints armed: {armed}", flush=True)
     for follower in followers:
         follower.start()
+
+    # Containerized deploys stop with SIGTERM: treat it like Ctrl-C so
+    # the close-time durability policy (checkpoint_on_close) still runs
+    # instead of the process dying with records only in the WAL.
+    def _sigterm(signum, frame):
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _sigterm)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
+        signal.signal(signal.SIGTERM, previous)
         for follower in followers:
             follower.stop()
         server.server_close()

@@ -16,6 +16,18 @@ import os
 import tempfile
 from typing import Callable
 
+from .. import faults
+
+#: Failpoints bracketing the three commit boundaries (DESIGN.md §12):
+#: a fault before the fsync loses the data blocks, one between fsync
+#: and rename loses the rename, one after the rename but before the
+#: directory fsync can lose the directory entry on power loss.  All
+#: three must leave either the previous good file or the complete new
+#: one behind.
+FP_PRE_FSYNC = faults.register("atomicio.pre-fsync")
+FP_PRE_RENAME = faults.register("atomicio.post-fsync-pre-rename")
+FP_PRE_DIRSYNC = faults.register("atomicio.post-rename-pre-dirfsync")
+
 #: Probed once at import: os.umask is process-global, and zeroing it
 #: per call would race concurrent file creation elsewhere (the threaded
 #: serving paths this module backs) into world-writable files.
@@ -58,7 +70,9 @@ def replace_atomically(
         with os.fdopen(fd, "w" if text else "wb", newline=newline) as fh:
             writer(fh)
             fh.flush()
+            faults.failpoint(FP_PRE_FSYNC)
             os.fsync(fh.fileno())
+        faults.failpoint(FP_PRE_RENAME)
         # mkstemp creates 0600; preserve an existing target's mode (a
         # dataset CSV other services read must stay readable), else
         # honor the umask like a plain open() would.
@@ -68,6 +82,7 @@ def replace_atomically(
             mode = 0o666 & ~_UMASK
         os.chmod(tmp, mode)
         os.replace(tmp, target)
+        faults.failpoint(FP_PRE_DIRSYNC)
         fsync_dir(directory)
     except BaseException:
         try:

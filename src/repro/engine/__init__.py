@@ -20,7 +20,14 @@ from .persist import load_session, save_session
 from .pool import SessionPool
 from .session import QuerySession, aggregator_recipe, aggregator_signature
 from .updates import UpdateBatch, UpdateStats
-from .wal import CompactStats, ReplayStats, WriteAheadLog, replay
+from .wal import (
+    CompactStats,
+    ReplayStats,
+    WalRollbackError,
+    WalWriteError,
+    WriteAheadLog,
+    replay,
+)
 
 __all__ = [
     "CompactStats",
@@ -29,6 +36,8 @@ __all__ = [
     "SessionPool",
     "UpdateBatch",
     "UpdateStats",
+    "WalRollbackError",
+    "WalWriteError",
     "WriteAheadLog",
     "aggregator_recipe",
     "aggregator_signature",

@@ -34,12 +34,19 @@ from dataclasses import asdict
 
 import numpy as np
 
+from .. import faults
 from ..asp.rectset import RectSet
 from ..core.atomicio import replace_atomically
 from ..core.objects import SpatialDataset
 from ..dssearch.search import SearchSettings
 from ..index.grid_index import GridIndex
 from .session import QuerySession, aggregator_recipe, aggregator_signature
+
+#: A fault at ``save`` must leave the previous bundle (and the WAL
+#: records the new one would have truncated) intact; a fault at
+#: ``restore`` must surface loudly -- never a half-restored session.
+FP_SAVE = faults.register("persist.save")
+FP_RESTORE = faults.register("persist.restore")
 
 #: Bump when the bundle layout changes.  v2 added the dataset epoch and
 #: the index's pre-suffix cell sums (incremental updates); v3 adds the
@@ -95,6 +102,7 @@ def save_session(session: QuerySession, path, *, checkpoint_wal: bool = True) ->
     # (engine/updates.py), so fingerprinting the captured dataset object
     # -- itself immutable -- keeps the bundle's fingerprint consistent
     # with the snapshotted caches even when a save races an update.
+    faults.failpoint(FP_SAVE)
     with session._memo_lock:
         dataset = session.dataset
         epoch = session.epoch
@@ -260,6 +268,7 @@ def load_session(
     their anchor, so an override with a different anchor falls back to
     cold reductions (answers stay correct either way).
     """
+    faults.failpoint(FP_RESTORE)
     with np.load(path, allow_pickle=False) as bundle:
         if "meta" not in bundle.files:
             raise ValueError(

@@ -54,6 +54,7 @@ from typing import Sequence
 
 import numpy as np
 
+from .. import faults
 from ..asp.rectset import RectSet
 from ..asp.reduction import reduce_to_asp
 from ..core.aggregators import AverageAggregator
@@ -61,6 +62,12 @@ from ..core.channels import BoundContext, ChannelCompiler
 from ..core.objects import SpatialDataset
 from ..dssearch.drop import gps_accuracy
 from ..index.summary import cell_sums_to_suffix_table, range_sums
+from .wal import WalRollbackError, WalWriteError
+
+#: Fires between the durable WAL append and the in-memory apply: a
+#: crash here is the canonical logged-but-unapplied state replay must
+#: resurrect; a raise here exercises the rollback path.
+FP_POST_LOG = faults.register("update.post-log")
 
 
 @dataclass(frozen=True)
@@ -175,20 +182,43 @@ def _apply_exclusive(
     wal = session.wal if log else None
     wal_token = None
     if wal is not None:
-        wal_token = wal.append(
-            UpdateBatch(append=append_ds, delete=batch.delete),
-            epoch=session.epoch,
-            pre_n=old_ds.n,
-            schema=old_ds.schema,
-        )
+        try:
+            wal_token = wal.append(
+                UpdateBatch(append=append_ds, delete=batch.delete),
+                epoch=session.epoch,
+                pre_n=old_ds.n,
+                schema=old_ds.schema,
+            )
+        except ValueError:
+            raise  # epoch-lineage validation, not an I/O failure
+        except Exception as exc:
+            # Nothing applied, nothing acknowledged; the log truncated
+            # itself back to the last good record.  Typed so the serving
+            # layer can degrade the dataset instead of guessing.
+            raise WalWriteError(
+                f"WAL append failed at epoch {session.epoch}: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
         stats.wal_logged = True
     try:
+        faults.failpoint(FP_POST_LOG)
         return _derive_and_swap(
             session, append_ds, kept, stats, delta_lattice=delta_lattice
         )
-    except BaseException:
+    except BaseException as primary:
         if wal is not None:
-            wal.rollback(wal_token)
+            try:
+                wal.rollback(wal_token)
+            except BaseException as exc:
+                # The orphaned record is still in the log and a later
+                # replay would wrongly apply it; only an explicit
+                # recover (replay) makes log and session agree again.
+                raise WalRollbackError(
+                    "WAL rollback failed after the apply raised "
+                    f"{type(primary).__name__}: {primary} -- the log now "
+                    f"holds an unapplied record at epoch {session.epoch} "
+                    f"(rollback error: {type(exc).__name__}: {exc})"
+                ) from exc
             stats.wal_logged = False
         raise
 

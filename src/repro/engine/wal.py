@@ -45,8 +45,39 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import faults
 from ..core.atomicio import fsync_dir, replace_atomically
 from ..core.objects import SpatialDataset
+
+#: Failpoints at the WAL's own commit boundaries (DESIGN.md §12).
+#: ``frame-write`` sits where a torn frame lands on real storage;
+#: ``crc`` simulates corruption detected while framing; ``truncate``
+#: fires before checkpoint rewrites the log; ``rollback`` simulates the
+#: repair path itself failing (the one fault that leaves log and
+#: session out of agreement).
+FP_APPEND_CRC = faults.register("wal.append.crc")
+FP_APPEND_FRAME = faults.register("wal.append.frame-write")
+FP_CHECKPOINT_TRUNCATE = faults.register("wal.checkpoint.truncate")
+FP_ROLLBACK = faults.register("wal.rollback")
+
+
+class WalWriteError(RuntimeError):
+    """A WAL append failed: nothing was applied, nothing acknowledged.
+
+    The serving layer maps this to a *degraded* dataset -- queries keep
+    serving the last applied epoch, mutations are refused with the
+    cause -- rather than retrying into a log of unknown state.
+    """
+
+
+class WalRollbackError(RuntimeError):
+    """Rolling back a logged-but-unapplied record failed.
+
+    The log now holds a record the session never applied; a later
+    replay would wrongly apply it.  The serving layer treats this as
+    *failed* (mutations, checkpoints and compactions all refused) until
+    an explicit recover replays log and session back into agreement.
+    """
 
 #: File layout: MAGIC, then ``<II`` (format version, header-meta length),
 #: then the header-meta JSON, then records.  Each record frame is
@@ -375,6 +406,7 @@ class WriteAheadLog:
         """
         payload = _encode_record(batch, schema)
         crc = _frame_crc(epoch, pre_n, payload)
+        faults.failpoint(FP_APPEND_CRC)
         frame = _FRAME.pack(len(payload), crc, epoch, pre_n)
         with self._lock:
             fh = self._open()
@@ -402,6 +434,7 @@ class WriteAheadLog:
             self._adopt_head = False
             start = fh.tell()
             try:
+                faults.failpoint(FP_APPEND_FRAME, fh=fh, data=frame + payload)
                 fh.write(frame + payload)
                 fh.flush()
             except BaseException:
@@ -448,6 +481,7 @@ class WriteAheadLog:
         update gate, so no later record can have been appended.
         """
         with self._lock:
+            faults.failpoint(FP_ROLLBACK)
             self._drop_handle()
             if not os.path.exists(self.path) or os.path.getsize(self.path) == 0:
                 return
@@ -542,6 +576,7 @@ class WriteAheadLog:
                         + payload
                     )
 
+            faults.failpoint(FP_CHECKPOINT_TRUNCATE)
             replace_atomically(self.path, write)
             self._records = len(kept)
             self._checkpoint_epoch = marker

@@ -1,0 +1,263 @@
+"""Failpoint fault injection (DESIGN.md §12).
+
+A process-wide registry of *failpoints*: named checkpoints compiled
+into the durability-critical write paths (``atomicio``, the WAL,
+persistence, the serving facade, the HTTP frontend).  Disabled -- the
+default -- a checkpoint is one module-global read
+(``if not _armed: return``); the chaos harness and operators arm them
+to inject deterministic faults at exactly the boundary under test:
+
+=================  ====================================================
+action             effect at the checkpoint
+=================  ====================================================
+``raise``          raise :class:`FailpointError` (named after the site)
+``crash``          ``os._exit(CRASH_EXIT_CODE)`` -- no cleanup, no
+                   atexit, the closest stdlib gets to ``kill -9`` from
+                   inside
+``sleep:<s>``      ``time.sleep(s)`` -- stall to widen race windows
+``torn-write:<b>`` write the first ``b`` bytes of the pending buffer
+                   to the site's file handle, flush+fsync, then crash
+                   -- a torn frame on real storage
+=================  ====================================================
+
+Modifiers: ``@once`` fires on the first hit only; ``@every-N`` fires
+on every Nth hit (1-indexed).  Specs combine as
+``name=action[:arg][@modifier]``, comma-separated in the
+``REPRO_FAILPOINTS`` environment variable::
+
+    REPRO_FAILPOINTS='wal.append.frame-write=torn-write:7@once' \
+        repro serve ...
+
+Every site calls :func:`register` at import time, so
+:func:`registered` enumerates the full surface -- the chaos matrix
+asserts it covers each one (a new failpoint without a chaos case
+fails the suite).  Malformed specs raise immediately rather than
+silently disabling a fault the operator believed was armed.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "ENV_VAR",
+    "FailpointError",
+    "active",
+    "disable",
+    "enable",
+    "failpoint",
+    "load_env",
+    "parse_specs",
+    "register",
+    "registered",
+    "reset",
+]
+
+ENV_VAR = "REPRO_FAILPOINTS"
+
+#: Exit status used by ``crash`` / ``torn-write`` so harnesses can tell
+#: an injected crash apart from an ordinary failure.
+CRASH_EXIT_CODE = 86
+
+_ACTIONS = frozenset({"raise", "crash", "sleep", "torn-write"})
+
+
+class FailpointError(RuntimeError):
+    """The loud, named error a ``raise``-action failpoint injects."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"injected fault: failpoint {name!r}")
+        self.name = name
+
+
+@dataclass
+class _Spec:
+    """One armed failpoint: action plus firing schedule."""
+
+    action: str
+    arg: Optional[float] = None
+    once: bool = False
+    every: Optional[int] = None
+    hits: int = 0
+    fired: int = 0
+    lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def should_fire(self) -> bool:
+        with self.lock:
+            self.hits += 1
+            if self.once and self.fired:
+                return False
+            if self.every is not None and self.hits % self.every != 0:
+                return False
+            self.fired += 1
+            return True
+
+
+_lock = threading.Lock()
+_names: set = set()
+_specs: Dict[str, _Spec] = {}
+#: The fast-path flag -- ``failpoint()`` returns after one read of this
+#: when nothing is armed.  Only mutated under ``_lock``.
+_armed = False
+
+
+def register(name: str) -> str:
+    """Declare a failpoint site; returns ``name`` for constant-binding."""
+    if not name or "=" in name or "," in name:
+        raise ValueError(f"bad failpoint name {name!r}")
+    with _lock:
+        _names.add(name)
+    return name
+
+
+def registered() -> FrozenSet[str]:
+    """Every failpoint site declared anywhere in the process."""
+    with _lock:
+        return frozenset(_names)
+
+
+def _parse_one(name: str, text: str) -> _Spec:
+    spec, _, modifier = text.partition("@")
+    action, _, raw_arg = spec.partition(":")
+    if action not in _ACTIONS:
+        raise ValueError(
+            f"failpoint {name!r}: unknown action {action!r} "
+            f"(expected one of {sorted(_ACTIONS)})"
+        )
+    arg: Optional[float] = None
+    if action == "sleep":
+        if not raw_arg:
+            raise ValueError(f"failpoint {name!r}: sleep needs ':<seconds>'")
+        arg = float(raw_arg)
+        if arg < 0:
+            raise ValueError(f"failpoint {name!r}: negative sleep")
+    elif action == "torn-write":
+        if not raw_arg:
+            raise ValueError(f"failpoint {name!r}: torn-write needs ':<bytes>'")
+        arg = float(int(raw_arg))
+        if arg < 0:
+            raise ValueError(f"failpoint {name!r}: negative torn-write length")
+    elif raw_arg:
+        raise ValueError(f"failpoint {name!r}: {action} takes no argument")
+    once = False
+    every: Optional[int] = None
+    if modifier:
+        if modifier == "once":
+            once = True
+        elif modifier.startswith("every-"):
+            every = int(modifier[len("every-"):])
+            if every < 1:
+                raise ValueError(f"failpoint {name!r}: every-N needs N >= 1")
+        else:
+            raise ValueError(
+                f"failpoint {name!r}: unknown modifier {modifier!r} "
+                "(expected 'once' or 'every-N')"
+            )
+    return _Spec(action=action, arg=arg, once=once, every=every)
+
+
+def parse_specs(text: str) -> Dict[str, _Spec]:
+    """Parse a ``REPRO_FAILPOINTS`` value into ``{name: spec}``.
+
+    Raises :class:`ValueError` on any malformed entry -- an operator
+    arming a fault must never find it silently ignored.
+    """
+    specs: Dict[str, _Spec] = {}
+    for entry in text.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        name, sep, spec_text = entry.partition("=")
+        name = name.strip()
+        if not sep or not name or not spec_text.strip():
+            raise ValueError(f"bad failpoint entry {entry!r} (want name=action)")
+        specs[name] = _parse_one(name, spec_text.strip())
+    return specs
+
+
+def enable(name: str, spec_text: str) -> None:
+    """Arm ``name`` with an action spec like ``'raise'`` or ``'sleep:0.1@once'``."""
+    spec = _parse_one(name, spec_text)
+    global _armed
+    with _lock:
+        _names.add(name)
+        _specs[name] = spec
+        _armed = True
+
+
+def disable(name: str) -> None:
+    """Disarm ``name`` (a no-op if it was not armed)."""
+    global _armed
+    with _lock:
+        _specs.pop(name, None)
+        _armed = bool(_specs)
+
+
+def reset() -> None:
+    """Disarm every failpoint (sites stay registered)."""
+    global _armed
+    with _lock:
+        _specs.clear()
+        _armed = False
+
+
+def active() -> Dict[str, str]:
+    """``{name: action}`` for every armed failpoint."""
+    with _lock:
+        return {name: spec.action for name, spec in _specs.items()}
+
+
+def load_env(environ: Optional[Dict[str, str]] = None) -> Dict[str, str]:
+    """Arm every failpoint named in ``REPRO_FAILPOINTS``; returns them."""
+    text = (environ if environ is not None else os.environ).get(ENV_VAR, "")
+    if not text:
+        return {}
+    global _armed
+    specs = parse_specs(text)
+    with _lock:
+        for name, spec in specs.items():
+            _names.add(name)
+            _specs[name] = spec
+        _armed = bool(_specs)
+    return {name: spec.action for name, spec in specs.items()}
+
+
+def failpoint(name: str, *, fh=None, data: Optional[bytes] = None) -> None:
+    """The checkpoint.  Near-free when nothing is armed.
+
+    ``fh``/``data`` give ``torn-write`` a file handle and the bytes the
+    caller was about to write; sites on write paths pass them so a torn
+    frame lands on real storage before the crash.
+    """
+    if not _armed:
+        return
+    with _lock:
+        spec = _specs.get(name)
+    if spec is None or not spec.should_fire():
+        return
+    if spec.action == "sleep":
+        time.sleep(spec.arg or 0.0)
+        return
+    if spec.action == "raise":
+        raise FailpointError(name)
+    if spec.action == "torn-write":
+        if fh is not None and data is not None:
+            torn = data[: int(spec.arg or 0)]
+            if torn:
+                fh.write(torn)
+            try:
+                fh.flush()
+                os.fsync(fh.fileno())
+            except (OSError, ValueError):
+                pass  # best effort -- we are about to crash anyway
+        os._exit(CRASH_EXIT_CODE)
+    # "crash": simulate power loss / kill -9 from inside the process.
+    os._exit(CRASH_EXIT_CODE)
+
+
+load_env()

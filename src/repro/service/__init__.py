@@ -13,7 +13,13 @@ and :mod:`repro.service.httpd` serves that codec over HTTP
 that polls and replays the writer's log.
 """
 
-from .facade import PersistResult, RegionService, parse_term, term_specs
+from .facade import (
+    DatasetUnavailable,
+    PersistResult,
+    RegionService,
+    parse_term,
+    term_specs,
+)
 from .types import (
     CheckpointResult,
     CompactResult,
@@ -32,6 +38,7 @@ __all__ = [
     "CheckpointResult",
     "CompactResult",
     "DatasetSpec",
+    "DatasetUnavailable",
     "DurabilityPolicy",
     "OpenResult",
     "PersistResult",

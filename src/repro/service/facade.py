@@ -54,9 +54,10 @@ from ..core.aggregators import (
 from ..core.objects import SpatialDataset
 from ..core.query import ASRSQuery
 from ..core.selection import SelectAll, SelectByValue
+from .. import faults
 from ..dssearch.search import SearchSettings
 from ..engine import SessionPool
-from ..engine.wal import ReplayStats, replay
+from ..engine.wal import ReplayStats, WalRollbackError, WalWriteError, replay
 from .types import (
     CheckpointResult,
     CompactResult,
@@ -67,6 +68,36 @@ from .types import (
     UpdateRequest,
     UpdateResult,
 )
+
+#: Failpoints at the facade's *ordering* points -- the places where the
+#: CSV-before-bundle-before-truncate and commit-before-policy sequences
+#: could silently invert under a fault (DESIGN.md §12).
+FP_UPDATE_PRE_POLICY = faults.register("facade.update.pre-policy")
+FP_CHECKPOINT_PRE_CSV = faults.register("facade.checkpoint.pre-csv")
+FP_CHECKPOINT_PRE_BUNDLE = faults.register("facade.checkpoint.pre-bundle")
+FP_COMPACT_PRE_REWRITE = faults.register("facade.compact.pre-rewrite")
+FP_PERSIST_PRE_SAVE = faults.register("facade.persist.pre-save")
+FP_REFRESH_REOPEN = faults.register("facade.refresh.reopen")
+
+
+class DatasetUnavailable(RuntimeError):
+    """A mutation (or repair-gated operation) refused by health state.
+
+    Queries keep serving the last applied epoch; the HTTP frontend maps
+    this to 503 so clients and load balancers see the outage instead of
+    silently stale acknowledgements.
+    """
+
+    def __init__(self, dataset: str, state: str, cause: str, verb: str) -> None:
+        super().__init__(
+            f"dataset {dataset!r} is {state} ({cause}); {verb} refused -- "
+            "queries still serve; repair with checkpoint"
+            + ("/recover" if state == "degraded" else " after recover")
+        )
+        self.dataset = dataset
+        self.state = state
+        self.cause = cause
+
 
 _TERM_KINDS = {
     "fD": DistributionAggregator,
@@ -199,6 +230,13 @@ class RegionService:
             OrderedDict()
         )
         self._counters: Dict[str, Dict[str, int]] = {}
+        # Per-dataset health (DESIGN.md §12): "ok" | "degraded" |
+        # "failed".  Degraded = a durability write failed but log and
+        # session still agree (mutations refused, queries serve,
+        # checkpoint repairs).  Failed = a WAL rollback failure left an
+        # unapplied record in the log (checkpoint/compact also refused
+        # -- they would enshrine the orphan -- only recover() repairs).
+        self._health: Dict[str, Dict[str, object]] = {}
         # (wal size, mtime_ns, session epoch) at the last successful
         # refresh(), per key: unchanged marks make replica idle ticks
         # O(1) instead of a full log re-scan.
@@ -308,6 +346,9 @@ class RegionService:
             self._counters.setdefault(
                 spec.key,
                 {"queries": 0, "updates": 0, "checkpoints": 0, "compactions": 0},
+            )
+            self._health.setdefault(
+                spec.key, {"state": "ok", "cause": None, "since": None}
             )
         self._pool.adopt(spec.key, session)
 
@@ -517,6 +558,49 @@ class RegionService:
         )
 
     # ------------------------------------------------------------------
+    # Health (DESIGN.md §12: the degraded-mode state machine)
+    # ------------------------------------------------------------------
+    def _degrade(self, key: str, cause: str, *, state: str = "degraded") -> None:
+        with self._lock:
+            entry = self._health.setdefault(
+                key, {"state": "ok", "cause": None, "since": None}
+            )
+            if entry["state"] == "failed" and state != "failed":
+                return  # failed is sticky; a lesser fault never downgrades it
+            entry["state"] = state
+            entry["cause"] = cause
+            entry["since"] = time.time()
+
+    def _mark_ok(self, key: str) -> None:
+        with self._lock:
+            self._health[key] = {"state": "ok", "cause": None, "since": None}
+
+    def _health_of(self, key: str) -> Dict[str, object]:
+        with self._lock:
+            return dict(
+                self._health.get(key, {"state": "ok", "cause": None, "since": None})
+            )
+
+    def _require_available(self, key: str, verb: str, *, allow_degraded: bool = False) -> None:
+        entry = self._health_of(key)
+        state = str(entry["state"])
+        if state == "ok" or (allow_degraded and state == "degraded"):
+            return
+        raise DatasetUnavailable(key, state, str(entry["cause"]), verb)
+
+    def health(self) -> dict:
+        """Per-dataset health plus the worst state across all of them."""
+        with self._lock:
+            datasets = {key: dict(entry) for key, entry in self._health.items()}
+        states = {str(entry["state"]) for entry in datasets.values()}
+        overall = (
+            "failed"
+            if "failed" in states
+            else "degraded" if "degraded" in states else "ok"
+        )
+        return {"state": overall, "datasets": datasets}
+
+    # ------------------------------------------------------------------
     # Mutation + durability
     # ------------------------------------------------------------------
     def _require_writer(self, what: str) -> None:
@@ -541,26 +625,54 @@ class RegionService:
         return UpdateBatch(append=append, delete=delete)
 
     def update(self, request: UpdateRequest) -> UpdateResult:
-        """Apply one mutation, then run the dataset's durability policy."""
+        """Apply one mutation, then run the dataset's durability policy.
+
+        Health gates and transitions (DESIGN.md §12): a degraded or
+        failed dataset refuses mutations up front (queries still
+        serve).  A WAL *append* failure degrades -- nothing applied,
+        nothing acknowledged, the client may retry after repair.  A WAL
+        *rollback* failure marks the dataset failed -- the log holds a
+        record the session never applied.  A *policy* checkpoint or
+        compaction failure after the update committed degrades but does
+        NOT raise: the mutation is durable in the log, and an error
+        here would make the client retry a committed batch into a
+        double-apply; the result carries ``degraded=True`` instead.
+        """
         self._require_writer("updates")
+        self._require_available(request.dataset, "updates")
         t0 = time.perf_counter()
         key = request.dataset
         spec = self.spec(key)
         session = self.session(key)
         batch = self._to_batch(request, session.dataset.schema)
-        stats = self._pool.apply(key, batch)
+        try:
+            stats = self._pool.apply(key, batch)
+        except WalRollbackError as exc:
+            self._degrade(key, str(exc), state="failed")
+            raise DatasetUnavailable(key, "failed", str(exc), "this update") from exc
+        except WalWriteError as exc:
+            self._degrade(key, str(exc))
+            raise DatasetUnavailable(key, "degraded", str(exc), "this update") from exc
         self._count(key, "updates")
         checkpointed = compacted = False
+        degraded = False
         wal = session.wal
         if wal is not None and (stats.appended or stats.deleted):
-            policy = spec.durability
-            state = wal.state()
-            if policy.checkpoint_due(state):
-                self.checkpoint(key)
-                checkpointed = True
-            elif policy.compact_due(state):
-                self.compact(key)
-                compacted = True
+            try:
+                faults.failpoint(FP_UPDATE_PRE_POLICY)
+                policy = spec.durability
+                state = wal.state()
+                if policy.checkpoint_due(state):
+                    self.checkpoint(key)
+                    checkpointed = True
+                elif policy.compact_due(state):
+                    self.compact(key)
+                    compacted = True
+            except Exception as exc:
+                # The update itself committed (logged + applied);
+                # checkpoint() / compact() already recorded the cause.
+                self._degrade(key, f"{type(exc).__name__}: {exc}")
+                degraded = True
         return UpdateResult(
             dataset=key,
             # stats.epoch was recorded inside the exclusive apply, so it
@@ -575,6 +687,7 @@ class RegionService:
             cell_entries_kept=stats.cell_entries_kept,
             checkpointed=checkpointed,
             compacted=compacted,
+            degraded=degraded,
             elapsed_s=time.perf_counter() - t0,
         )
 
@@ -584,8 +697,15 @@ class RegionService:
         The CSV lands before the bundle: the bundle save checkpoints
         the log, destroying the records the saved state supersedes, so
         everything the checkpoint covers must be durable first.
+
+        This is also the *repair* path for a degraded dataset -- a
+        checkpoint that completes proves the full durability sequence
+        works again, so success clears the degraded state.  A *failed*
+        dataset refuses checkpoints: truncating around an unapplied
+        orphan record would enshrine it for the next replay.
         """
         self._require_writer("checkpoints")
+        self._require_available(key, "checkpoints", allow_degraded=True)
         spec = self.spec(key)
         session = self.session(key)
         if spec.data is None or spec.index is None:
@@ -600,16 +720,26 @@ class RegionService:
         # the CSV write and the bundle save would log a record the bundle
         # covers but the CSV does not -- the checkpoint would then
         # truncate the only durable copy of that update.
-        with session._exclusive_gate():
-            save_csv(session.dataset, spec.data)
-            wal = session.wal
-            before = wal.state()["records"] if wal is not None else 0
-            self._pool.save(key, spec.index, checkpoint_wal=True)
-            after = wal.state()["records"] if wal is not None else 0
-            with self._lock:
-                # The on-disk baseline now reflects the live session.
-                self._baselines[key] = session.dataset
+        try:
+            with session._exclusive_gate():
+                faults.failpoint(FP_CHECKPOINT_PRE_CSV)
+                save_csv(session.dataset, spec.data)
+                wal = session.wal
+                before = wal.state()["records"] if wal is not None else 0
+                faults.failpoint(FP_CHECKPOINT_PRE_BUNDLE)
+                self._pool.save(key, spec.index, checkpoint_wal=True)
+                after = wal.state()["records"] if wal is not None else 0
+                with self._lock:
+                    # The on-disk baseline now reflects the live session.
+                    self._baselines[key] = session.dataset
+        except Exception as exc:
+            # Whatever broke, the WAL still holds every record the
+            # bundle does not cover (truncation is the *last* step and
+            # atomic) -- durability is intact, serving degrades.
+            self._degrade(key, f"checkpoint failed: {type(exc).__name__}: {exc}")
+            raise
         self._count(key, "checkpoints")
+        self._mark_ok(key)
         return CheckpointResult(
             dataset=key,
             epoch=session.epoch,
@@ -632,12 +762,22 @@ class RegionService:
         session on the final dataset.
         """
         self._require_writer("compaction")
+        # Degraded allows compaction (log rewrite is atomic and cannot
+        # lose records); failed does not -- a rewrite would relegitimize
+        # the orphan record.  Success does not clear degraded: only a
+        # full checkpoint proves the whole durability sequence again.
+        self._require_available(key, "compaction", allow_degraded=True)
         session = self.session(key)
         wal = session.wal
         if wal is None:
             raise ValueError(f"dataset {key!r} has no write-ahead log to compact")
-        with session._exclusive_gate():
-            cstats = wal.compact(session.dataset.schema)
+        try:
+            with session._exclusive_gate():
+                faults.failpoint(FP_COMPACT_PRE_REWRITE)
+                cstats = wal.compact(session.dataset.schema)
+        except Exception as exc:
+            self._degrade(key, f"compaction failed: {type(exc).__name__}: {exc}")
+            raise
         self._count(key, "compactions")
         return CompactResult(
             dataset=key,
@@ -660,9 +800,15 @@ class RegionService:
         self._require_writer("recovery")
         session = self.session(key)
         if session.wal is None:
+            self._mark_ok(key)
             return ReplayStats(final_epoch=session.epoch)
+        # recover() is the one repair a *failed* dataset accepts: replay
+        # applies any orphaned record, after which log and session agree
+        # again (the failed batch is thereby resurrected -- the log is
+        # the authority once rollback has failed; DESIGN.md §12).
         stats = replay(session, session.wal)
         self._pool.reaccount(key)
+        self._mark_ok(key)
         return stats
 
     def refresh(self, key: str) -> ReplayStats:
@@ -709,6 +855,7 @@ class RegionService:
         # and the CSV on disk is momentarily newer than the bundle),
         # the exception propagates to the poller, nothing was touched,
         # and the next tick retries.
+        faults.failpoint(FP_REFRESH_REOPEN)
         new_session, dataset, _ = self._build(spec, None)
         with self._lock:
             self._sessions[key] = new_session
@@ -735,6 +882,8 @@ class RegionService:
         new epoch-0 baseline), and kept untouched for side copies.
         """
         self._require_writer("persistence")
+        self._require_available(key, "persistence", allow_degraded=True)
+        faults.failpoint(FP_PERSIST_PRE_SAVE)
         spec = self.spec(key)
         session = self.session(key)
         wal = session.wal
@@ -782,6 +931,7 @@ class RegionService:
     def stats(self) -> dict:
         """Operational snapshot: per-dataset state + pool durability info."""
         pool_info = self._pool.info()
+        health = self.health()
         with self._lock:
             entries = [
                 (key, spec, self._sessions.get(key), dict(self._counters.get(key, {})))
@@ -790,6 +940,9 @@ class RegionService:
         datasets = {}
         for key, spec, session, entry in entries:
             entry["spec"] = spec.to_dict()
+            entry["health"] = health["datasets"].get(
+                key, {"state": "ok", "cause": None, "since": None}
+            )
             # Durability state comes from the facade-held session, not
             # pool residency -- a budget-evicted session is still open.
             if session is not None:
@@ -805,6 +958,7 @@ class RegionService:
             datasets[key] = entry
         return {
             "read_only": self.read_only,
+            "health": health["state"],
             "datasets": datasets,
             "pool": {k: v for k, v in pool_info.items() if k != "durability"},
         }
@@ -835,7 +989,13 @@ class RegionService:
                 and spec.index is not None
                 and wal.state()["records"] > 0
             ):
-                reports.append(self.checkpoint(key))
+                try:
+                    reports.append(self.checkpoint(key))
+                except DatasetUnavailable:
+                    # A failed dataset must not checkpoint around its
+                    # orphan record; the log keeps everything, and the
+                    # operator saw the state at /healthz.
+                    pass
             wal.close()
         return reports
 

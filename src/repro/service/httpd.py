@@ -12,34 +12,51 @@ path       method  body -> response
 =========  ======  ====================================================
 /query     POST    QueryRequest -> RegionResult (or {"results": [...]}
                    for ``topk`` > 1)
-/update    POST    UpdateRequest -> UpdateResult (403 on a replica)
+/update    POST    UpdateRequest -> UpdateResult (403 on a replica,
+                   503 on a degraded/failed dataset)
 /checkpoint POST   {"dataset": key?} -> CheckpointResult
 /compact   POST    {"dataset": key?} -> CompactResult
-/healthz   GET     {"status": "ok", "read_only": ..., "datasets": ...}
+/healthz   GET     {"status": "ok"|"degraded", ...} -- HTTP 200 when
+                   every dataset is healthy and the follower (if any)
+                   is keeping up, 503 otherwise
 /stats     GET     RegionService.stats()
 =========  ======  ====================================================
 
 ``"dataset"`` may be omitted from any body when the service serves
 exactly one dataset.  Errors come back as ``{"error": ...}`` with 400
 (bad request), 403 (mutation on a read-only replica), 404 (unknown
-path or dataset) or 500.
+path or dataset), 413 (body over ``max_body_bytes``), 503 (dataset
+degraded/failed -- DESIGN.md §12) or 500.
 
 The server is a ``ThreadingHTTPServer``: each request runs on its own
 thread against the thread-safe engine underneath (solves share warm
-caches; updates drain solves via the session's update gate).  A
-read-only replica additionally runs a :class:`WalFollower` thread that
-polls the writer's WAL and replays new records -- the one-writer /
-many-reader deployment the per-process GIL pushes toward.
+caches; updates drain solves via the session's update gate).  Handler
+threads are protected from hostile or stuck clients by a per-connection
+socket timeout and a request-body size cap.  A read-only replica
+additionally runs a :class:`WalFollower` thread that polls the writer's
+WAL and replays new records -- the one-writer / many-reader deployment
+the per-process GIL pushes toward.
 """
 
 from __future__ import annotations
 
 import json
+import socket
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from .facade import RegionService
+from .. import faults
+from .facade import DatasetUnavailable, RegionService
 from .types import QueryRequest, UpdateRequest
+
+#: Fires at the top of every POST dispatch -- the outermost place a
+#: request can die; the generic handler must turn it into a named 500,
+#: never a hung or half-written response.
+FP_REQUEST = faults.register("httpd.request")
+
+
+class _PayloadTooLarge(ValueError):
+    """Request body exceeds the server's ``max_body_bytes``."""
 
 
 class WalFollower(threading.Thread):
@@ -48,33 +65,65 @@ class WalFollower(threading.Thread):
     Calls :meth:`RegionService.refresh` every ``interval`` seconds;
     replay itself serializes against in-flight queries via the
     session's update gate, so served answers are always a consistent
-    epoch.  ``stop()`` ends the loop promptly.
+    epoch.  Consecutive failures back off exponentially (doubling up to
+    ``max_backoff``) so a broken writer path is not hammered, and the
+    streak is surfaced: after ``DEGRADED_AFTER`` straight failures the
+    follower reports itself degraded and ``/healthz`` turns 503.
+    ``stop()`` ends the loop promptly.
     """
 
+    #: Consecutive failed ticks before the follower counts as degraded.
+    DEGRADED_AFTER = 3
+
     def __init__(
-        self, service: RegionService, key: str, interval: float = 1.0
+        self,
+        service: RegionService,
+        key: str,
+        interval: float = 1.0,
+        max_backoff: float = 30.0,
     ) -> None:
         super().__init__(name=f"wal-follower-{key}", daemon=True)
         self.service = service
         self.key = key
         self.interval = float(interval)
+        self.max_backoff = float(max_backoff)
         self.replayed = 0
         self.ticks = 0
+        self.error_streak = 0
         self.last_error: str | None = None
         self._stop = threading.Event()
+
+    @property
+    def degraded(self) -> bool:
+        return self.error_streak >= self.DEGRADED_AFTER
+
+    @property
+    def delay(self) -> float:
+        """Seconds until the next tick: base interval, backed off."""
+        if self.error_streak == 0:
+            return self.interval
+        return min(
+            self.max_backoff, self.interval * (2.0 ** min(self.error_streak, 16))
+        )
 
     def stop(self) -> None:
         self._stop.set()
 
+    def tick(self) -> None:
+        """One poll: refresh, then update streak and error bookkeeping."""
+        try:
+            stats = self.service.refresh(self.key)
+            self.replayed += stats.applied
+            self.last_error = None
+            self.error_streak = 0
+        except Exception as exc:  # keep following; surface via /healthz
+            self.last_error = f"{type(exc).__name__}: {exc}"
+            self.error_streak += 1
+        self.ticks += 1
+
     def run(self) -> None:
-        while not self._stop.wait(self.interval):
-            try:
-                stats = self.service.refresh(self.key)
-                self.replayed += stats.applied
-                self.last_error = None
-            except Exception as exc:  # keep following; surface via /healthz
-                self.last_error = f"{type(exc).__name__}: {exc}"
-            self.ticks += 1
+        while not self._stop.wait(self.delay):
+            self.tick()
 
 
 class RegionServer(ThreadingHTTPServer):
@@ -88,10 +137,14 @@ class RegionServer(ThreadingHTTPServer):
         service: RegionService,
         followers: list | None = None,
         quiet: bool = True,
+        max_body_bytes: int = 8 << 20,
+        request_timeout: float = 30.0,
     ) -> None:
         self.service = service
         self.followers = followers or []
         self.quiet = quiet
+        self.max_body_bytes = int(max_body_bytes)
+        self.request_timeout = float(request_timeout)
         super().__init__(address, _Handler)
 
     def shutdown(self) -> None:
@@ -109,15 +162,28 @@ class _Handler(BaseHTTPRequestHandler):
         return self.server.service
 
     # -- plumbing ------------------------------------------------------
+    def setup(self) -> None:
+        # Per-connection socket timeout: a client that stalls mid-body
+        # (or never sends one) times out instead of pinning a handler
+        # thread forever.  BaseHTTPRequestHandler honours self.timeout
+        # via settimeout when set before setup() binds the rfile.
+        self.timeout = getattr(self.server, "request_timeout", 30.0)
+        super().setup()
+
     def log_message(self, fmt, *args) -> None:
         if not getattr(self.server, "quiet", True):
             super().log_message(fmt, *args)
 
-    def _send(self, status: int, payload: dict) -> None:
+    def _send(self, status: int, payload: dict, *, close: bool = False) -> None:
         body = json.dumps(payload, allow_nan=False).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if close:
+            # Advertise the close: the client must not reuse a
+            # connection we are about to drop.
+            self.send_header("Connection", "close")
+            self.close_connection = True
         self.end_headers()
         self.wfile.write(body)
 
@@ -125,6 +191,12 @@ class _Handler(BaseHTTPRequestHandler):
         length = int(self.headers.get("Content-Length") or 0)
         if length == 0:
             return {}
+        limit = getattr(self.server, "max_body_bytes", 8 << 20)
+        if length > limit:
+            raise _PayloadTooLarge(
+                f"request body of {length} bytes exceeds the server's "
+                f"{limit}-byte limit"
+            )
         raw = self.rfile.read(length)
         data = json.loads(raw.decode("utf-8"))
         if not isinstance(data, dict):
@@ -148,35 +220,55 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             if self.path == "/healthz":
                 service = self.service
+                health = service.health()
                 datasets = {}
                 for key in service.keys():
                     session = service.session(key)
-                    datasets[key] = {"n": session.dataset.n, "epoch": session.epoch}
+                    entry = health["datasets"].get(
+                        key, {"state": "ok", "cause": None, "since": None}
+                    )
+                    datasets[key] = {
+                        "n": session.dataset.n,
+                        "epoch": session.epoch,
+                        "state": entry["state"],
+                        "cause": entry["cause"],
+                    }
+                followers = getattr(self.server, "followers", [])
+                follower_degraded = any(f.degraded for f in followers)
+                status = (
+                    "ok"
+                    if health["state"] == "ok" and not follower_degraded
+                    else "degraded"
+                )
                 payload = {
-                    "status": "ok",
+                    "status": status,
                     "read_only": service.read_only,
                     "datasets": datasets,
                 }
-                followers = getattr(self.server, "followers", [])
                 if followers:
                     payload["follower"] = {
                         "ticks": sum(f.ticks for f in followers),
                         "replayed": sum(f.replayed for f in followers),
+                        "error_streak": max(f.error_streak for f in followers),
+                        "degraded": follower_degraded,
                         "last_error": next(
                             (f.last_error for f in followers if f.last_error),
                             None,
                         ),
                     }
-                self._send(200, payload)
+                self._send(200 if status == "ok" else 503, payload)
             elif self.path == "/stats":
                 self._send(200, self.service.stats())
             else:
                 self._send(404, {"error": f"unknown path {self.path!r}"})
+        except (socket.timeout, TimeoutError):
+            self.close_connection = True
         except Exception as exc:
             self._send(500, {"error": f"{type(exc).__name__}: {exc}"})
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         try:
+            faults.failpoint(FP_REQUEST)
             body = self._default_dataset(self._body())
             if self.path == "/query":
                 request = QueryRequest.from_dict(body)
@@ -196,6 +288,25 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send(200, self.service.compact(body["dataset"]).to_dict())
             else:
                 self._send(404, {"error": f"unknown path {self.path!r}"})
+        except (socket.timeout, TimeoutError):
+            # The client stalled mid-read; nothing was applied (the
+            # body never arrived).  Drop the connection -- there is no
+            # point writing a response into a dead socket.
+            self.close_connection = True
+        except _PayloadTooLarge as exc:
+            # Close after responding: the unread body is still in
+            # flight, and keep-alive would misparse it as a request.
+            self._send(413, {"error": str(exc)}, close=True)
+        except DatasetUnavailable as exc:
+            self._send(
+                503,
+                {
+                    "error": str(exc),
+                    "dataset": exc.dataset,
+                    "state": exc.state,
+                    "cause": exc.cause,
+                },
+            )
         except PermissionError as exc:
             self._send(403, {"error": str(exc)})
         except (ValueError, KeyError, TypeError, json.JSONDecodeError) as exc:
@@ -211,6 +322,15 @@ def make_server(
     *,
     followers: list | None = None,
     quiet: bool = True,
+    max_body_bytes: int = 8 << 20,
+    request_timeout: float = 30.0,
 ) -> RegionServer:
     """Build (but do not start) the HTTP server; ``port=0`` auto-picks."""
-    return RegionServer((host, port), service, followers=followers, quiet=quiet)
+    return RegionServer(
+        (host, port),
+        service,
+        followers=followers,
+        quiet=quiet,
+        max_body_bytes=max_body_bytes,
+        request_timeout=request_timeout,
+    )

@@ -481,6 +481,11 @@ class UpdateResult:
     cell_entries_kept: int = 0
     checkpointed: bool = False
     compacted: bool = False
+    #: The update committed, but the policy-driven checkpoint/compaction
+    #: after it failed -- the dataset is serving degraded (DESIGN.md
+    #: §12).  Deliberately not an error: erroring after the commit would
+    #: push clients into retrying an applied batch.
+    degraded: bool = False
     elapsed_s: float = 0.0
 
     def to_dict(self) -> dict:

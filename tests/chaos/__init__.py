@@ -1,0 +1,10 @@
+"""Chaos harness: deterministic fault injection over the serving stack.
+
+Built on :mod:`repro.faults` (DESIGN.md §12).  ``test_matrix`` drives
+every registered failpoint in-process and asserts the invariant --
+recovered state bitwise-identical to a cold session on the effective
+dataset, or a loud named fail-closed error, never silent stale
+serving; ``test_crash`` repeats the crash-action subset in real
+subprocesses (``os._exit`` bypasses pytest); ``test_serve_chaos``
+runs the live ``repro serve`` drill under concurrent load.
+"""

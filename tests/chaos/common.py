@@ -1,0 +1,119 @@
+"""Shared scaffolding for the chaos matrix.
+
+One deterministic writer setup, one probe query, and the bitwise
+oracle every case ends on: the served answer (and dataset) must equal
+a cold :class:`~repro.engine.QuerySession` built on the independently
+derived effective dataset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import ASRSQuery, SpatialDataset
+from repro.data.io import save_csv
+from repro.engine import QuerySession
+from repro.service import (
+    DatasetSpec,
+    DurabilityPolicy,
+    QueryRequest,
+    RegionService,
+    UpdateRequest,
+)
+
+from ..conftest import make_random_dataset
+
+TERMS = ("fD:kind", "fS:score")
+SEED = 101
+BASE_N = 80
+
+
+def base_dataset() -> SpatialDataset:
+    rng = np.random.default_rng(SEED)
+    return make_random_dataset(rng, BASE_N, extent=90.0)
+
+
+def make_spec(tmp_path, *, durability: DurabilityPolicy | None = None) -> DatasetSpec:
+    return DatasetSpec(
+        key="d",
+        data=str(tmp_path / "d.csv"),
+        categorical=("kind",),
+        numeric=("score",),
+        index=str(tmp_path / "d.idx"),
+        wal=str(tmp_path / "d.wal"),
+        durability=durability or DurabilityPolicy(checkpoint_on_close=False),
+    )
+
+
+def open_writer(tmp_path, *, durability: DurabilityPolicy | None = None):
+    """Fresh writer service over the deterministic base dataset."""
+    ds = base_dataset()
+    spec = make_spec(tmp_path, durability=durability)
+    save_csv(ds, spec.data)
+    service = RegionService()
+    service.open(spec)
+    return service, ds, spec
+
+
+def update_request(i: int = 0) -> UpdateRequest:
+    """The i-th deterministic mutation: 2 appends + 1 delete.
+
+    Deliberately unequal append/delete counts, so ``n`` after any
+    prefix of updates never coincidentally matches another prefix --
+    a recovery serving the wrong state cannot hide behind row count.
+    """
+    return UpdateRequest(
+        dataset="d",
+        append=(
+            (20.0 + 3.0 * i, 25.0, {"kind": "k1", "score": 1.5 + i}),
+            (40.0 + 2.0 * i, 10.0 + i, {"kind": "k2", "score": -0.5}),
+        ),
+        delete=(3 + i,),
+    )
+
+
+def effective_dataset(base: SpatialDataset, requests) -> SpatialDataset:
+    """Apply update requests the way the engine does: delete, then append."""
+    final = base
+    for request in requests:
+        if request.delete:
+            final = final.delete(np.asarray(request.delete, dtype=np.int64))
+        if request.append:
+            final = final.append(
+                SpatialDataset.from_records(list(request.append), base.schema)
+            )
+    return final
+
+
+def probe_request(seed: int = 7) -> QueryRequest:
+    rng = np.random.default_rng(seed)
+    dim = 3 + 1  # kind distribution (3 categories) + score sum
+    return QueryRequest(
+        dataset="d",
+        terms=TERMS,
+        width=12.0,
+        height=9.0,
+        target=tuple(rng.uniform(0, 4, size=dim)),
+    )
+
+
+def assert_bitwise(service, base: SpatialDataset, applied_requests, probe=None):
+    """The recovery invariant: served state == cold session, bitwise."""
+    probe = probe or probe_request()
+    live = service.query(probe)
+    final = effective_dataset(base, applied_requests)
+    session = service.session("d")
+    assert np.array_equal(session.dataset.xs, final.xs)
+    assert np.array_equal(session.dataset.ys, final.ys)
+    cold = QuerySession(final, granularity=session.granularity)
+    agg = service.aggregator("d", TERMS)
+    query = ASRSQuery.from_vector(
+        probe.width, probe.height, agg, np.asarray(probe.target, dtype=np.float64)
+    )
+    cold_result = cold.solve(query)
+    region = cold_result.region
+    assert live.region == (region.x_min, region.y_min, region.x_max, region.y_max)
+    assert live.score == cold_result.distance
+    assert np.array_equal(
+        np.asarray(live.representation), cold_result.representation
+    )

@@ -1,0 +1,13 @@
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+
+
+@pytest.fixture(autouse=True)
+def _quiescent_failpoints():
+    """Every chaos test starts and ends with nothing armed."""
+    faults.reset()
+    yield
+    faults.reset()

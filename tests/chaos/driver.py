@@ -1,0 +1,50 @@
+"""Subprocess driver for crash-injection scenarios.
+
+``crash`` and ``torn-write`` failpoints call ``os._exit`` -- they must
+run in a real child process, not under pytest.  The parent test arms
+faults via ``REPRO_FAILPOINTS`` in the child's environment and runs::
+
+    python -m tests.chaos.driver <workdir> <op> [<op> ...]
+
+ops: ``update0`` .. ``update9`` (apply :func:`common.update_request`
+i), ``checkpoint``.  The driver creates the baseline CSV on first run
+(deterministic: same seed as the in-process matrix), opens the
+standard writer spec over ``<workdir>``, executes the ops and exits 0
+-- unless an armed failpoint kills it first with
+``faults.CRASH_EXIT_CODE``.  The parent then recovers from whatever
+the crash left on disk and asserts the invariant.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+from repro.data.io import save_csv
+from repro.service import RegionService
+
+from .common import base_dataset, make_spec, update_request
+
+
+def main(argv) -> int:
+    workdir = argv[0]
+    ops = argv[1:]
+    spec = make_spec(Path(workdir))
+    if not os.path.exists(spec.data):
+        save_csv(base_dataset(), spec.data)
+    service = RegionService()
+    service.open(spec)
+    for op in ops:
+        if op.startswith("update"):
+            service.update(update_request(int(op[len("update"):])))
+        elif op == "checkpoint":
+            service.checkpoint("d")
+        else:
+            raise SystemExit(f"unknown op {op!r}")
+    print("done", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,165 @@
+"""Real-crash scenarios: ``crash`` / ``torn-write`` actions in a child
+process (``os._exit`` bypasses pytest), recovery asserted by the
+parent.
+
+Each scenario arms one failpoint via ``REPRO_FAILPOINTS`` in the
+child's environment, lets :mod:`tests.chaos.driver` run a deterministic
+op sequence until the fault kills it (asserting the injected exit
+code), then recovers from whatever landed on disk and checks the
+invariant: bitwise-identical to a cold session on the effective
+dataset, or a loud named fail-closed error whose documented remediation
+leads there.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import faults
+from repro.service import RegionService
+
+from .common import assert_bitwise, base_dataset, make_spec, update_request
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def _run_driver(workdir, ops, failpoints: str | None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        str(REPO_ROOT / "src")
+        + os.pathsep
+        + str(REPO_ROOT)
+        + os.pathsep
+        + env.get("PYTHONPATH", "")
+    )
+    env.pop(faults.ENV_VAR, None)
+    if failpoints is not None:
+        env[faults.ENV_VAR] = failpoints
+    return subprocess.run(
+        [sys.executable, "-m", "tests.chaos.driver", str(workdir), *ops],
+        env=env,
+        cwd=str(REPO_ROOT),
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+def test_driver_baseline_runs_clean(tmp_path):
+    """No faults armed: the driver must complete (else crash scenarios
+    prove nothing)."""
+    result = _run_driver(tmp_path, ["update0", "update1", "checkpoint"], None)
+    assert result.returncode == 0, result.stderr
+    assert "done" in result.stdout
+    recovered = RegionService()
+    recovered.open(make_spec(tmp_path))
+    assert_bitwise(recovered, base_dataset(), [update_request(0), update_request(1)])
+
+
+def test_crash_after_wal_append_replays_the_batch(tmp_path):
+    """kill -9 between the durable log write and the apply: the
+    logged-but-unapplied batch must be resurrected by replay."""
+    result = _run_driver(
+        tmp_path, ["update0", "update1"], "update.post-log=crash@once"
+    )
+    assert result.returncode == faults.CRASH_EXIT_CODE, result.stderr
+    recovered = RegionService()
+    opened = recovered.open(make_spec(tmp_path))
+    assert opened.replayed == 1  # update0: logged before the crash
+    assert opened.epoch == 1
+    assert_bitwise(recovered, base_dataset(), [update_request(0)])
+
+
+def test_torn_frame_is_truncated_on_recovery(tmp_path):
+    """Crash mid-frame-write with 7 real bytes on disk: recovery must
+    CRC-reject the torn tail, truncate it, and serve the pre-batch
+    state -- the batch was never acknowledged."""
+    result = _run_driver(
+        tmp_path, ["update0"], "wal.append.frame-write=torn-write:7@once"
+    )
+    assert result.returncode == faults.CRASH_EXIT_CODE, result.stderr
+    spec = make_spec(tmp_path)
+    wal_size = os.path.getsize(spec.wal)
+    recovered = RegionService()
+    opened = recovered.open(spec)
+    assert opened.replayed == 0
+    assert opened.replay_truncated_bytes == 7  # exactly the torn bytes
+    assert os.path.getsize(spec.wal) == wal_size - 7  # repaired on disk
+    assert_bitwise(recovered, base_dataset(), [])
+    # The log is healthy again: the next update appends and replays.
+    recovered.update(update_request(0))
+    assert_bitwise(recovered, base_dataset(), [update_request(0)])
+
+
+def test_crash_mid_checkpoint_before_csv_keeps_wal_authoritative(tmp_path):
+    """kill -9 inside the checkpoint's CSV write (pre-fsync): the old
+    baseline survives the atomic replace, the WAL still holds the
+    update, and recovery replays to the exact pre-crash state."""
+    # Write the baseline here: the driver's own CSV creation also goes
+    # through replace_atomically, and @once must fire inside the
+    # *checkpoint's* CSV write instead.
+    from repro.data.io import save_csv
+
+    save_csv(base_dataset(), make_spec(tmp_path).data)
+    result = _run_driver(
+        tmp_path, ["update0", "checkpoint"], "atomicio.pre-fsync=crash@once"
+    )
+    assert result.returncode == faults.CRASH_EXIT_CODE, result.stderr
+    spec = make_spec(tmp_path)
+    assert not os.path.exists(spec.index)  # bundle save never ran
+    recovered = RegionService()
+    opened = recovered.open(spec)
+    assert opened.replayed == 1
+    assert_bitwise(recovered, base_dataset(), [update_request(0)])
+
+
+def test_crash_between_csv_and_bundle_fails_closed_with_remediation(tmp_path):
+    """kill -9 at the checkpoint's ordering point (CSV written, bundle
+    not, WAL not truncated): the CSV is a *new baseline* the log's
+    lineage no longer matches.  Recovery must fail loudly -- naming the
+    mismatch and the remediation -- and following the remediation
+    (delete the log: the CSV already reflects its records) must yield
+    the bitwise-correct dataset.  Never silent stale serving."""
+    result = _run_driver(
+        tmp_path,
+        ["update0", "checkpoint"],
+        "facade.checkpoint.pre-bundle=crash@once",
+    )
+    assert result.returncode == faults.CRASH_EXIT_CODE, result.stderr
+    spec = make_spec(tmp_path)
+    assert not os.path.exists(spec.index)  # crash hit before the bundle
+    broken = RegionService()
+    with pytest.raises(ValueError, match="different dataset lineages"):
+        broken.open(spec)  # loud, named -- not a silently wrong dataset
+    # The error text documents the repair: the re-saved CSV already
+    # reflects the logged records, so the log can safely be deleted.
+    os.unlink(spec.wal)
+    recovered = RegionService()
+    opened = recovered.open(spec)
+    assert opened.replayed == 0
+    assert_bitwise(recovered, base_dataset(), [update_request(0)])
+
+
+def test_crash_before_wal_truncation_replays_idempotently(tmp_path):
+    """kill -9 after CSV+bundle landed but before the checkpoint
+    truncated the log: replay must *skip* the already-covered records
+    (epoch below the bundle's), not re-apply them."""
+    result = _run_driver(
+        tmp_path,
+        ["update0", "checkpoint"],
+        "wal.checkpoint.truncate=crash@once",
+    )
+    assert result.returncode == faults.CRASH_EXIT_CODE, result.stderr
+    spec = make_spec(tmp_path)
+    assert os.path.exists(spec.index)  # bundle landed before the crash
+    recovered = RegionService()
+    opened = recovered.open(spec)
+    assert opened.restored_from_bundle
+    assert opened.replayed == 0  # update0's record skipped, not re-applied
+    assert opened.replay_skipped == 1
+    assert_bitwise(recovered, base_dataset(), [update_request(0)])

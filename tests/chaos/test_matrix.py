@@ -1,0 +1,334 @@
+"""The in-process crash-recovery matrix: one case per failpoint.
+
+Coverage is *programmatic*: the parametrization enumerates
+``faults.registered()`` after importing every registering module, so a
+new failpoint added anywhere without a chaos case fails this suite.
+Each case arms its site with ``raise`` (the in-process stand-in for a
+fault at that boundary -- the ``crash``/``torn-write`` hard variants
+run in :mod:`tests.chaos.test_crash` subprocesses), then asserts the
+invariant: bitwise-identical recovery, or a loud named fail-closed
+error with ``/healthz``-visible degraded state -- never silent stale
+serving.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+# Import every module that registers failpoints, so registered() below
+# enumerates the full surface at collection time.
+import repro.core.atomicio  # noqa: F401
+import repro.engine.persist  # noqa: F401
+import repro.engine.updates  # noqa: F401
+import repro.engine.wal  # noqa: F401
+import repro.service.facade  # noqa: F401
+import repro.service.httpd  # noqa: F401
+from repro import faults
+from repro.engine.wal import WalRollbackError, WalWriteError
+from repro.service import DatasetUnavailable, RegionService
+from repro.service.httpd import make_server
+
+from .common import (
+    assert_bitwise,
+    open_writer,
+    probe_request,
+    update_request,
+)
+
+
+def _assert_degraded_read_only(service, probe):
+    """The degraded contract: queries serve, mutations 503 with cause."""
+    assert service.health()["datasets"]["d"]["state"] == "degraded"
+    service.query(probe)  # still answering
+    with pytest.raises(DatasetUnavailable, match="degraded"):
+        service.update(update_request(9))
+
+
+def _case_checkpoint_path(name):
+    """A fault anywhere in the checkpoint sequence: the WAL must keep
+    every record the bundle does not cover, the dataset degrades, and
+    a retried checkpoint repairs everything."""
+
+    def run(tmp_path):
+        service, ds, spec = open_writer(tmp_path)
+        service.update(update_request(0))
+        probe = probe_request()
+        records_before = service.session("d").wal.state()["records"]
+        assert records_before == 1
+        faults.enable(name, "raise@once")
+        with pytest.raises(faults.FailpointError, match=name):
+            service.checkpoint("d")
+        # Durability intact: the failed checkpoint truncated nothing.
+        assert service.session("d").wal.state()["records"] == records_before
+        _assert_degraded_read_only(service, probe)
+        service.checkpoint("d")  # the repair path
+        assert service.health()["state"] == "ok"
+        service.update(update_request(1))
+        assert_bitwise(service, ds, [update_request(0), update_request(1)], probe)
+        # And a cold recovery from what is on disk agrees, bitwise.
+        service.close()
+        recovered = RegionService()
+        recovered.open(spec)
+        assert_bitwise(recovered, ds, [update_request(0), update_request(1)], probe)
+
+    return run
+
+
+def _case_wal_append(name):
+    """A fault while appending to the log: nothing applied, nothing
+    acknowledged, dataset degraded; checkpoint repairs; the retried
+    update then lands."""
+
+    def run(tmp_path):
+        service, ds, spec = open_writer(tmp_path)
+        probe = probe_request()
+        before = service.query(probe)
+        faults.enable(name, "raise@once")
+        with pytest.raises(DatasetUnavailable, match="degraded") as err:
+            service.update(update_request(0))
+        assert isinstance(err.value.__cause__, WalWriteError)
+        session = service.session("d")
+        assert session.epoch == 0  # nothing applied...
+        assert session.wal.state()["records"] == 0  # ...nothing logged
+        _assert_degraded_read_only(service, probe)
+        after = service.query(probe)
+        assert (after.region, after.score) == (before.region, before.score)
+        service.checkpoint("d")
+        assert service.health()["state"] == "ok"
+        service.update(update_request(0))  # the client's retry
+        assert_bitwise(service, ds, [update_request(0)], probe)
+
+    return run
+
+
+def _case_update_post_log(tmp_path):
+    """A fault after the durable log write but before the apply: the
+    record is rolled back, log and session still agree, the error is
+    loud, and an immediate retry succeeds -- no degradation needed."""
+    service, ds, spec = open_writer(tmp_path)
+    probe = probe_request()
+    faults.enable("update.post-log", "raise@once")
+    with pytest.raises(faults.FailpointError, match="update.post-log"):
+        service.update(update_request(0))
+    session = service.session("d")
+    assert session.epoch == 0
+    assert session.wal.state()["records"] == 0  # rolled back cleanly
+    assert service.health()["datasets"]["d"]["state"] == "ok"
+    service.update(update_request(0))
+    assert_bitwise(service, ds, [update_request(0)], probe)
+
+
+def _case_wal_rollback(tmp_path):
+    """The worst fault: the apply failed AND the rollback failed.  The
+    log holds a record the session never applied -- the dataset is
+    *failed*: mutations, checkpoints and compactions all refused (a
+    checkpoint would enshrine the orphan), queries keep serving, and
+    recover() repairs by replaying the orphan (resurrecting the batch:
+    once rollback has failed, the log is the authority)."""
+    service, ds, spec = open_writer(tmp_path)
+    probe = probe_request()
+    before = service.query(probe)
+    faults.enable("update.post-log", "raise@once")  # the primary failure...
+    faults.enable("wal.rollback", "raise@once")  # ...and the repair fails too
+    with pytest.raises(DatasetUnavailable, match="failed") as err:
+        service.update(update_request(0))
+    assert isinstance(err.value.__cause__, WalRollbackError)
+    session = service.session("d")
+    assert session.wal.state()["records"] == 1  # the orphan is real
+    assert session.epoch == 0  # ...and was never applied
+    assert service.health()["datasets"]["d"]["state"] == "failed"
+    after = service.query(probe)  # queries still serve
+    assert (after.region, after.score) == (before.region, before.score)
+    for refused in (
+        lambda: service.update(update_request(1)),
+        lambda: service.checkpoint("d"),
+        lambda: service.compact("d"),
+    ):
+        with pytest.raises(DatasetUnavailable, match="failed"):
+            refused()
+    stats = service.recover("d")
+    assert stats.applied == 1  # the orphaned batch, replayed
+    assert service.health()["state"] == "ok"
+    assert_bitwise(service, ds, [update_request(0)], probe)
+
+
+def _case_persist_restore(tmp_path):
+    """A fault restoring the bundle at open: the open fails loudly --
+    the service never silently serves without the state it was asked
+    to restore."""
+    service, ds, spec = open_writer(tmp_path)
+    service.update(update_request(0))
+    service.checkpoint("d")  # writes the bundle restore will read
+    service.close()
+    faults.enable("persist.restore", "raise@once")
+    broken = RegionService()
+    with pytest.raises(faults.FailpointError, match="persist.restore"):
+        broken.open(spec)
+    assert broken.keys() == []  # nothing half-registered
+    recovered = RegionService()
+    recovered.open(spec)
+    assert_bitwise(recovered, ds, [update_request(0)])
+
+
+def _case_update_pre_policy(tmp_path):
+    """A fault after the update committed but before the durability
+    policy ran: the client must NOT get an error (a retry would
+    double-apply); the result says degraded, health says degraded, and
+    a checkpoint repairs."""
+    service, ds, spec = open_writer(tmp_path)
+    probe = probe_request()
+    faults.enable("facade.update.pre-policy", "raise@once")
+    result = service.update(update_request(0))
+    assert result.degraded is True
+    assert result.wal_logged and result.epoch == 1
+    assert service.session("d").epoch == 1  # the mutation committed
+    _assert_degraded_read_only(service, probe)
+    service.checkpoint("d")
+    assert service.health()["state"] == "ok"
+    second = service.update(update_request(1))
+    assert second.degraded is False
+    assert_bitwise(service, ds, [update_request(0), update_request(1)], probe)
+
+
+def _case_compact(tmp_path):
+    """A fault before the compaction rewrite: the log is untouched
+    (atomic replace never started), the dataset degrades, checkpoint
+    repairs."""
+    service, ds, spec = open_writer(tmp_path)
+    service.update(update_request(0))
+    service.update(update_request(1))
+    probe = probe_request()
+    wal_bytes = Path(spec.wal).read_bytes()
+    faults.enable("facade.compact.pre-rewrite", "raise@once")
+    with pytest.raises(faults.FailpointError, match="compact.pre-rewrite"):
+        service.compact("d")
+    assert Path(spec.wal).read_bytes() == wal_bytes  # log untouched
+    _assert_degraded_read_only(service, probe)
+    service.checkpoint("d")
+    assert service.health()["state"] == "ok"
+    assert_bitwise(service, ds, [update_request(0), update_request(1)], probe)
+
+
+def _case_persist_pre_save(tmp_path):
+    """A fault at the head of the CLI persist choreography: nothing was
+    written, nothing durably changed, health stays ok, retry works."""
+    service, ds, spec = open_writer(tmp_path)
+    service.update(update_request(0))
+    side = tmp_path / "side.csv"
+    faults.enable("facade.persist.pre-save", "raise@once")
+    with pytest.raises(faults.FailpointError, match="persist.pre-save"):
+        service.persist("d", save_data=str(side))
+    assert not side.exists()
+    assert service.health()["state"] == "ok"
+    result = service.persist("d", save_data=str(side))
+    assert side.exists() and result.wal_action == "side_copy"
+    assert_bitwise(service, ds, [update_request(0)])
+
+
+def _case_refresh_reopen(tmp_path):
+    """A fault in the replica's out-of-band reopen (after the writer
+    checkpointed past it): the poller sees the error, the last-good
+    session keeps serving consistently, and the next tick catches up."""
+    service, ds, spec = open_writer(tmp_path)
+    reader = RegionService(read_only=True)
+    reader.open(spec)
+    service.update(update_request(0))
+    service.checkpoint("d")  # truncates the record the replica missed
+    service.update(update_request(1))
+    probe = probe_request()
+    before = reader.query(probe)  # consistent pre-checkpoint answer
+    faults.enable("facade.refresh.reopen", "raise@once")
+    with pytest.raises(faults.FailpointError, match="refresh.reopen"):
+        reader.refresh("d")
+    after = reader.query(probe)  # last-good session still serving
+    assert (after.region, after.score, after.epoch) == (
+        before.region,
+        before.score,
+        before.epoch,
+    )
+    reader.refresh("d")  # next tick: reopen succeeds
+    assert reader.session("d").dataset.n == service.session("d").dataset.n
+    assert_bitwise(reader, ds, [update_request(0), update_request(1)], probe)
+
+
+def _case_httpd_request(tmp_path):
+    """A fault at the outermost request boundary: a named 500, the
+    connection stays usable, the next request answers, health is ok
+    (nothing durable was touched)."""
+    service, ds, spec = open_writer(tmp_path)
+    server = make_server(service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    base = f"http://{host}:{port}"
+    try:
+        faults.enable("httpd.request", "raise@once")
+        payload = json.dumps(probe_request().to_dict()).encode()
+        request = urllib.request.Request(
+            f"{base}/query", data=payload,
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=30)
+        assert err.value.code == 500
+        assert "httpd.request" in json.loads(err.value.read().decode())["error"]
+        with urllib.request.urlopen(
+            urllib.request.Request(
+                f"{base}/query", data=payload,
+                headers={"Content-Type": "application/json"},
+            ),
+            timeout=30,
+        ) as response:  # next request is clean
+            assert "region" in json.loads(response.read().decode())
+        with urllib.request.urlopen(f"{base}/healthz", timeout=30) as response:
+            assert json.loads(response.read().decode())["status"] == "ok"
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+    assert_bitwise(service, ds, [])
+
+
+CASES = {
+    "atomicio.pre-fsync": _case_checkpoint_path("atomicio.pre-fsync"),
+    "atomicio.post-fsync-pre-rename": _case_checkpoint_path(
+        "atomicio.post-fsync-pre-rename"
+    ),
+    "atomicio.post-rename-pre-dirfsync": _case_checkpoint_path(
+        "atomicio.post-rename-pre-dirfsync"
+    ),
+    "wal.append.crc": _case_wal_append("wal.append.crc"),
+    "wal.append.frame-write": _case_wal_append("wal.append.frame-write"),
+    "wal.checkpoint.truncate": _case_checkpoint_path("wal.checkpoint.truncate"),
+    "wal.rollback": _case_wal_rollback,
+    "persist.save": _case_checkpoint_path("persist.save"),
+    "persist.restore": _case_persist_restore,
+    "update.post-log": _case_update_post_log,
+    "facade.update.pre-policy": _case_update_pre_policy,
+    "facade.checkpoint.pre-csv": _case_checkpoint_path(
+        "facade.checkpoint.pre-csv"
+    ),
+    "facade.checkpoint.pre-bundle": _case_checkpoint_path(
+        "facade.checkpoint.pre-bundle"
+    ),
+    "facade.compact.pre-rewrite": _case_compact,
+    "facade.persist.pre-save": _case_persist_pre_save,
+    "facade.refresh.reopen": _case_refresh_reopen,
+    "httpd.request": _case_httpd_request,
+}
+
+
+def test_matrix_covers_every_registered_failpoint():
+    """A new failpoint without a chaos case fails the suite here."""
+    assert set(CASES) == set(faults.registered())
+
+
+@pytest.mark.parametrize("name", sorted(faults.registered() | set(CASES)))
+def test_fault(name, tmp_path):
+    CASES[name](tmp_path)  # KeyError here == uncovered failpoint

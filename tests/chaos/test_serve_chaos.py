@@ -1,0 +1,229 @@
+"""The live ``repro serve`` drill: writer + follower under concurrent
+query+update load, env-armed crash failpoint, restart, recovery.
+
+The e2e form of the matrix invariant -- plus the SIGTERM satellite
+(orderly container shutdown must still run the close-time checkpoint)
+and the env-driven degraded-mode smoke (`REPRO_FAILPOINTS` through a
+real server: mutation 503s, ``/healthz`` 503s with the cause,
+checkpoint repairs, mutation lands).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro import faults
+from repro.data.io import save_csv
+from repro.service import RegionService
+
+from .common import (
+    assert_bitwise,
+    base_dataset,
+    make_spec,
+    probe_request,
+    update_request,
+)
+
+SRC = str(Path(__file__).resolve().parent.parent.parent / "src")
+
+
+def _serve_env(failpoints: str | None = None) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop(faults.ENV_VAR, None)
+    if failpoints is not None:
+        env[faults.ENV_VAR] = failpoints
+    return env
+
+
+def _start_serve(tmp_path, *extra, failpoints: str | None = None):
+    spec = make_spec(tmp_path)
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--data", spec.data, "--categorical", "kind",
+            "--numeric", "score", "--wal", spec.wal, "--port", "0",
+            *extra,
+        ],
+        env=_serve_env(failpoints),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    line = proc.stdout.readline()
+    assert "on http://" in line, (line, proc.stderr.read())
+    return proc, line.strip().rsplit(" on ", 1)[1]
+
+
+def _post(base: str, path: str, payload: dict, timeout: float = 30) -> dict:
+    request = urllib.request.Request(
+        f"{base}{path}",
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return json.loads(response.read().decode())
+
+
+def _get(base: str, path: str, timeout: float = 30) -> dict:
+    with urllib.request.urlopen(f"{base}{path}", timeout=timeout) as response:
+        return json.loads(response.read().decode())
+
+
+def _serve_update(i: int) -> dict:
+    return dict(update_request(i).to_dict(), dataset="cli")
+
+
+def _serve_probe() -> dict:
+    return dict(probe_request().to_dict(), dataset="cli")
+
+
+class TestServeCrashDrill:
+    def test_crash_under_load_then_restart_recovers_bitwise(self, tmp_path):
+        """Writer + follower under concurrent queries; the 3rd update
+        crashes the writer *after* commit (env-armed ``crash@every-3``
+        at the pre-policy point); restart replays all three, the
+        follower converges to the same answers, and an in-process cold
+        open agrees bitwise."""
+        ds = base_dataset()
+        spec = make_spec(tmp_path)
+        save_csv(ds, spec.data)
+        writer, wbase = _start_serve(
+            tmp_path,
+            "--index", spec.index,
+            failpoints="facade.update.pre-policy=crash@every-3",
+        )
+        follower, fbase = _start_serve(
+            tmp_path, "--follow", "--poll-interval", "0.1"
+        )
+        stop = threading.Event()
+        query_errors: list = []
+
+        def hammer(base, may_fail):
+            payload = _serve_probe()
+            while not stop.is_set():
+                try:
+                    _post(base, "/query", payload, timeout=10)
+                except Exception as exc:
+                    # The writer dying mid-request is the point of the
+                    # drill; the follower must never drop a query.
+                    if not may_fail:
+                        query_errors.append(exc)
+                        return
+
+        threads = [
+            threading.Thread(target=hammer, args=(b, f), daemon=True)
+            for b, f in ((wbase, True), (wbase, True), (fbase, False))
+        ]
+        for t in threads:
+            t.start()
+        try:
+            assert _post(wbase, "/update", _serve_update(0))["wal_logged"]
+            assert _post(wbase, "/update", _serve_update(1))["wal_logged"]
+            # The third hits the armed crash point after its commit: the
+            # connection just dies.
+            with pytest.raises(Exception):
+                _post(wbase, "/update", _serve_update(2), timeout=10)
+            assert writer.wait(timeout=30) == faults.CRASH_EXIT_CODE
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(timeout=10)
+        assert query_errors == []
+
+        # Restart clean: recovery must replay all three committed
+        # updates (the crash came after the third applied + logged).
+        writer2, wbase2 = _start_serve(tmp_path, "--index", spec.index)
+        try:
+            health = _get(wbase2, "/healthz")
+            assert health["status"] == "ok"
+            assert health["datasets"]["cli"]["epoch"] == 3
+            recovered = _post(wbase2, "/query", _serve_probe())
+
+            # The follower kept running through the writer's death; it
+            # must converge on the same epoch and the same answer.
+            deadline = time.time() + 30
+            while time.time() < deadline:
+                fhealth = _get(fbase, "/healthz")
+                if fhealth["datasets"]["cli"]["epoch"] == 3:
+                    break
+                time.sleep(0.1)
+            else:
+                pytest.fail(f"follower never reached epoch 3: {fhealth}")
+            followed = _post(fbase, "/query", _serve_probe())
+            assert followed["region"] == recovered["region"]
+            assert followed["score"] == recovered["score"]
+            assert followed["representation"] == recovered["representation"]
+        finally:
+            follower.send_signal(signal.SIGTERM)
+            # SIGTERM satellite: orderly shutdown, close-time checkpoint.
+            writer2.send_signal(signal.SIGTERM)
+            assert writer2.wait(timeout=30) == 0
+            assert follower.wait(timeout=30) == 0
+        out = writer2.stdout.read()
+        assert "checkpointed WAL at epoch 3" in out
+
+        # The ground truth: a cold in-process open of what is on disk
+        # equals a cold session on the independently derived dataset.
+        service = RegionService()
+        service.open(spec)
+        assert_bitwise(
+            service, ds, [update_request(0), update_request(1), update_request(2)]
+        )
+
+    def test_env_armed_degradation_and_repair_over_http(self, tmp_path):
+        """The CI smoke, as a test: REPRO_FAILPOINTS through a real
+        server.  A WAL write fault degrades the dataset (update 503,
+        /healthz 503 with the cause), queries keep serving, a
+        checkpoint repairs (200), and the retried update lands."""
+        ds = base_dataset()
+        spec = make_spec(tmp_path)
+        save_csv(ds, spec.data)
+        proc, base = _start_serve(
+            tmp_path,
+            "--index", spec.index,
+            failpoints="wal.append.frame-write=raise@once",
+        )
+        try:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _post(base, "/update", _serve_update(0))
+            assert err.value.code == 503
+            refusal = json.loads(err.value.read().decode())
+            assert refusal["state"] == "degraded"
+            assert "wal.append.frame-write" in refusal["cause"]
+
+            health_err = None
+            try:
+                _get(base, "/healthz")
+            except urllib.error.HTTPError as exc:
+                health_err = exc
+            assert health_err is not None and health_err.code == 503
+            health = json.loads(health_err.read().decode())
+            assert health["status"] == "degraded"
+            assert health["datasets"]["cli"]["state"] == "degraded"
+
+            assert "region" in _post(base, "/query", _serve_probe())  # serving
+
+            checkpoint = _post(base, "/checkpoint", {"dataset": "cli"})
+            assert checkpoint["epoch"] == 0  # repairs, nothing was applied
+            assert _get(base, "/healthz")["status"] == "ok"
+            retried = _post(base, "/update", _serve_update(0))
+            assert retried["wal_logged"] and retried["epoch"] == 1
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=30) == 0
+
+        service = RegionService()
+        service.open(spec)
+        assert_bitwise(service, ds, [update_request(0)])

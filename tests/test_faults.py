@@ -1,0 +1,225 @@
+"""The failpoint registry itself (DESIGN.md §12).
+
+Env-spec parsing, ``once``/``every-n`` firing semantics, thread-safety
+of enable/disable against a hot checkpoint loop, and the inertness
+guarantee: with nothing armed, a ``failpoint()`` call must change no
+behavior (the tier-1 suite running with the checkpoints compiled in is
+the system-level form of the same guarantee).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import faults
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    faults.reset()
+    yield
+    faults.reset()
+
+
+class TestParsing:
+    def test_single_entry(self):
+        specs = faults.parse_specs("wal.append.crc=raise")
+        assert set(specs) == {"wal.append.crc"}
+        assert specs["wal.append.crc"].action == "raise"
+
+    def test_full_grammar(self):
+        specs = faults.parse_specs(
+            "a=raise@once, b=sleep:0.25@every-3 ,c=torn-write:7,d=crash"
+        )
+        assert specs["a"].once and specs["a"].action == "raise"
+        assert specs["b"].action == "sleep"
+        assert specs["b"].arg == 0.25 and specs["b"].every == 3
+        assert specs["c"].action == "torn-write" and specs["c"].arg == 7
+        assert specs["d"].action == "crash"
+
+    def test_empty_entries_skipped(self):
+        assert faults.parse_specs("") == {}
+        assert faults.parse_specs(" , ,") == {}
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "x=explode",            # unknown action
+            "x=sleep",              # missing argument
+            "x=torn-write",         # missing argument
+            "x=sleep:-1",           # negative sleep
+            "x=raise:3",            # raise takes no argument
+            "x=raise@sometimes",    # unknown modifier
+            "x=raise@every-0",      # every-N needs N >= 1
+            "noequals",             # not name=action
+            "=raise",               # empty name
+        ],
+    )
+    def test_malformed_specs_raise(self, bad):
+        # Loud, not silent: an operator arming a fault must never find
+        # it quietly ignored.
+        with pytest.raises(ValueError):
+            faults.parse_specs(bad)
+
+    def test_load_env_arms_and_reports(self):
+        armed = faults.load_env({faults.ENV_VAR: "site.a=raise@once"})
+        assert armed == {"site.a": "raise"}
+        assert faults.active() == {"site.a": "raise"}
+        with pytest.raises(faults.FailpointError):
+            faults.failpoint("site.a")
+
+    def test_load_env_empty_is_noop(self):
+        assert faults.load_env({}) == {}
+        assert faults.active() == {}
+
+
+class TestFiring:
+    def test_raise_names_the_site(self):
+        faults.enable("persist.save", "raise")
+        with pytest.raises(faults.FailpointError, match="persist.save"):
+            faults.failpoint("persist.save")
+
+    def test_once_fires_exactly_once(self):
+        faults.enable("x", "raise@once")
+        with pytest.raises(faults.FailpointError):
+            faults.failpoint("x")
+        for _ in range(10):
+            faults.failpoint("x")  # must not fire again
+
+    def test_every_n_fires_on_each_nth_hit(self):
+        faults.enable("x", "raise@every-3")
+        fired = []
+        for i in range(1, 10):
+            try:
+                faults.failpoint("x")
+            except faults.FailpointError:
+                fired.append(i)
+        assert fired == [3, 6, 9]
+
+    def test_unarmed_site_never_fires(self):
+        faults.enable("x", "raise")
+        faults.failpoint("y")  # armed registry, different site
+
+    def test_disable_disarms(self):
+        faults.enable("x", "raise")
+        faults.disable("x")
+        faults.failpoint("x")
+        assert faults.active() == {}
+
+    def test_sleep_actually_sleeps(self):
+        import time
+
+        faults.enable("x", "sleep:0.05")
+        t0 = time.perf_counter()
+        faults.failpoint("x")
+        assert time.perf_counter() - t0 >= 0.04
+
+    def test_register_rejects_grammar_collisions(self):
+        with pytest.raises(ValueError):
+            faults.register("bad=name")
+        with pytest.raises(ValueError):
+            faults.register("bad,name")
+        with pytest.raises(ValueError):
+            faults.register("")
+
+
+class TestThreadSafety:
+    def test_enable_disable_races_hot_checkpoints(self):
+        """Arm/disarm flapping under a hot failpoint loop: every hit
+        either passes through or raises the named error -- no torn spec
+        reads, no unrelated exceptions."""
+        stop = threading.Event()
+        errors = []
+
+        def hammer():
+            while not stop.is_set():
+                try:
+                    faults.failpoint("race.site")
+                except faults.FailpointError:
+                    pass
+                except BaseException as exc:  # pragma: no cover
+                    errors.append(exc)
+                    return
+
+        def flap():
+            for _ in range(300):
+                faults.enable("race.site", "raise")
+                faults.disable("race.site")
+
+        hammers = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in hammers:
+            t.start()
+        flappers = [threading.Thread(target=flap) for _ in range(2)]
+        for t in flappers:
+            t.start()
+        for t in flappers:
+            t.join()
+        stop.set()
+        for t in hammers:
+            t.join()
+        assert errors == []
+        assert faults.active() == {}
+
+    def test_once_fires_once_across_threads(self):
+        faults.enable("x", "raise@once")
+        fired = []
+        barrier = threading.Barrier(8)
+
+        def hit():
+            barrier.wait()
+            try:
+                faults.failpoint("x")
+            except faults.FailpointError:
+                fired.append(1)
+
+        threads = [threading.Thread(target=hit) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(fired) == 1
+
+
+class TestInertWhenDisabled:
+    def test_registry_starts_quiescent(self):
+        # reset() ran in the fixture; nothing armed means the fast path.
+        assert faults.active() == {}
+        for name in faults.registered():
+            faults.failpoint(name)  # must all be no-ops
+
+    def test_registered_sites_survive_reset(self):
+        before = faults.registered()
+        faults.enable("ephemeral.site", "raise")
+        faults.reset()
+        assert "ephemeral.site" in faults.registered()
+        assert before <= faults.registered()
+
+    def test_update_identity_with_checkpoints_compiled_in(self, tmp_path):
+        """The system-level inertness guarantee: an update through every
+        compiled-in checkpoint (WAL append, post-log, policy) yields
+        bitwise-identical state to the same update with the registry
+        conceptually absent -- i.e. the checkpoints change nothing."""
+        import numpy as np
+
+        from repro.engine import QuerySession
+        from repro.engine.updates import UpdateBatch
+
+        from .conftest import make_random_dataset
+
+        rng = np.random.default_rng(7)
+        ds = make_random_dataset(rng, 60)
+        a = QuerySession(ds)
+        b = QuerySession(ds)
+        a.attach_wal(tmp_path / "a.wal")
+        b.attach_wal(tmp_path / "b.wal")
+        batch = UpdateBatch(
+            append=((1.0, 2.0, {"kind": "k1", "score": 0.5}),), delete=(3,)
+        )
+        a.apply(batch)
+        b.apply(batch)
+        assert a.epoch == b.epoch
+        assert np.array_equal(a.dataset.xs, b.dataset.xs)
+        assert np.array_equal(a.dataset.ys, b.dataset.ys)
+        assert (tmp_path / "a.wal").read_bytes() == (tmp_path / "b.wal").read_bytes()

@@ -13,6 +13,7 @@ from __future__ import annotations
 import json
 import os
 import signal
+import socket
 import subprocess
 import sys
 import threading
@@ -103,7 +104,9 @@ class TestEndpoints:
         health = _get(base, "/healthz")
         assert health["status"] == "ok"
         assert health["read_only"] is False
-        assert health["datasets"]["d"] == {"n": ds.n, "epoch": 0}
+        assert health["datasets"]["d"] == {
+            "n": ds.n, "epoch": 0, "state": "ok", "cause": None,
+        }
         stats = _get(base, "/stats")
         assert stats["datasets"]["d"]["epoch"] == 0
         assert stats["pool"]["sessions"] == 1
@@ -299,3 +302,147 @@ class TestCrashRecovery:
         assert np.array_equal(
             np.asarray(after.representation), cold_result.representation
         )
+
+
+class TestHostileClients:
+    """The handler hardening satellites: oversized bodies and stalled
+    connections must not tie up (or crash) serving threads."""
+
+    def _serve(self, tmp_path, **server_kw):
+        rng = np.random.default_rng(63)
+        ds = make_random_dataset(rng, 60, extent=90.0)
+        data = tmp_path / "d.csv"
+        save_csv(ds, data)
+        service = RegionService()
+        service.open(
+            DatasetSpec(key="d", data=str(data), categorical=("kind",),
+                        numeric=("score",))
+        )
+        server = make_server(service, **server_kw)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        return server, thread, f"http://{host}:{port}", ds
+
+    def _teardown(self, server, thread):
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+    def test_oversized_body_is_413_and_connection_closes(self, tmp_path):
+        server, thread, base, ds = self._serve(tmp_path, max_body_bytes=1024)
+        try:
+            big = {"dataset": "d", "junk": "x" * 4096}
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _post(base, "/query", big)
+            assert err.value.code == 413
+            assert "1024" in json.loads(err.value.read().decode())["error"]
+            # Rejected by Content-Length alone: the body was never read,
+            # so the connection must close rather than desync on the
+            # unread bytes.  A fresh request still serves.
+            assert err.value.headers.get("Connection") == "close"
+            assert _get(base, "/healthz")["status"] == "ok"
+        finally:
+            self._teardown(server, thread)
+
+    def test_stalled_client_is_disconnected(self, tmp_path):
+        server, thread, base, ds = self._serve(tmp_path, request_timeout=0.3)
+        try:
+            host, port = server.server_address[:2]
+            with socket.create_connection((host, port), timeout=10) as sock:
+                # Promise a body, never send it: the per-connection
+                # timeout must kick the stalled client, not park the
+                # handler thread forever.
+                sock.sendall(
+                    b"POST /query HTTP/1.1\r\nHost: x\r\n"
+                    b"Content-Length: 50\r\n\r\n"
+                )
+                sock.settimeout(10)
+                assert sock.recv(1024) == b""  # server hung up on us
+            assert _get(base, "/healthz")["status"] == "ok"  # still serving
+        finally:
+            self._teardown(server, thread)
+
+
+class _RefreshStub:
+    """Stands in for RegionService in WalFollower unit tests."""
+
+    def __init__(self):
+        self.fail = False
+        self.calls = 0
+
+    def refresh(self, key):
+        self.calls += 1
+        if self.fail:
+            raise OSError("writer path gone")
+        return type("Stats", (), {"applied": 2})()
+
+
+class TestWalFollowerBackoff:
+    def test_streak_backoff_degraded_and_reset(self):
+        from repro.service.httpd import WalFollower
+
+        stub = _RefreshStub()
+        follower = WalFollower(stub, "d", interval=0.25, max_backoff=1.5)
+        assert follower.delay == 0.25
+        follower.tick()
+        assert follower.replayed == 2 and follower.error_streak == 0
+
+        stub.fail = True
+        delays = []
+        for _ in range(5):
+            follower.tick()
+            delays.append(follower.delay)
+        # Doubles per consecutive failure, then parks at max_backoff.
+        assert delays == [0.5, 1.0, 1.5, 1.5, 1.5]
+        assert follower.error_streak == 5
+        assert follower.degraded  # >= DEGRADED_AFTER straight failures
+        assert "writer path gone" in follower.last_error
+
+        stub.fail = False
+        follower.tick()  # one success clears the streak and the backoff
+        assert follower.error_streak == 0
+        assert not follower.degraded
+        assert follower.delay == 0.25
+        assert follower.last_error is None
+
+    def test_degraded_follower_turns_healthz_503(self, tmp_path):
+        rng = np.random.default_rng(64)
+        ds = make_random_dataset(rng, 60, extent=90.0)
+        data = tmp_path / "d.csv"
+        save_csv(ds, data)
+        service = RegionService(read_only=True)
+        service.open(
+            DatasetSpec(key="d", data=str(data), categorical=("kind",),
+                        numeric=("score",), wal=str(tmp_path / "d.wal"))
+        )
+        from repro.service.httpd import WalFollower
+
+        follower = WalFollower(service, "d", interval=60.0)  # never ticks
+        server = make_server(service, followers=[follower])
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        base = f"http://{host}:{port}"
+        try:
+            health = _get(base, "/healthz")
+            assert health["status"] == "ok"
+            assert health["follower"]["degraded"] is False
+
+            follower.error_streak = WalFollower.DEGRADED_AFTER
+            follower.last_error = "OSError: writer path gone"
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get(base, "/healthz")
+            assert err.value.code == 503
+            health = json.loads(err.value.read().decode())
+            assert health["status"] == "degraded"
+            assert health["follower"]["degraded"] is True
+            assert health["follower"]["error_streak"] == WalFollower.DEGRADED_AFTER
+            assert "writer path gone" in health["follower"]["last_error"]
+            # Queries still serve while the follower is behind: the
+            # replica degrades to staleness, never to refusal.
+            assert "region" in _post(base, "/query", _query_payload(ds))
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
