@@ -1,0 +1,46 @@
+"""Static analysis for the repro tree (``repro lint``, DESIGN.md §13).
+
+An AST-based lint engine whose rules are the system's own invariants:
+
+========  ==========================================================
+RPL001    guarded attributes only touched under their declared lock
+RPL002    durable writes only via core/atomicio or the WAL append
+RPL003    failpoints registered and chaos-matrix covered
+RPL004    strict JSON only via the service/types codec
+RPL005    no bare / silently-swallowed broad excepts in the core
+========  ==========================================================
+
+Run as ``python -m repro.analysis [paths]`` or ``repro lint``; exits
+non-zero on any finding.  Suppress a finding with
+``# repro: ignore[RULE] -- reason`` (the reason is mandatory).
+"""
+
+from .core import (
+    Finding,
+    Linter,
+    LintResult,
+    Project,
+    Rule,
+    SourceFile,
+    default_rules,
+    register_rule,
+)
+
+__all__ = [
+    "Finding",
+    "Linter",
+    "LintResult",
+    "Project",
+    "Rule",
+    "SourceFile",
+    "default_rules",
+    "register_rule",
+    "main",
+]
+
+
+def main(argv=None) -> int:
+    """Console entry point; importable so ``repro lint`` can delegate."""
+    from .__main__ import run
+
+    return run(argv)

@@ -1,0 +1,68 @@
+"""Command line front end: ``python -m repro.analysis [paths]``."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from .core import Linter, default_rules
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "Invariant-aware lint for the repro tree: lock discipline "
+            "(RPL001), atomic-write discipline (RPL002), failpoint/chaos "
+            "coverage (RPL003), codec discipline (RPL004), exception "
+            "hygiene (RPL005).  Exits 1 on any finding.  Suppress one "
+            "finding with '# repro: ignore[RULE] -- reason'."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="human-readable lines (default) or a JSON findings array",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule set and exit",
+    )
+    return parser
+
+
+def run(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in default_rules():
+            print(f"{rule.id}  {rule.title}")
+        return 0
+    result = Linter().lint_paths(args.paths)
+    if args.format == "json":
+        payload = [f.to_dict() for f in result.findings]
+        # repro: ignore[RPL004] -- lint tool output, not the serving codec
+        print(json.dumps(payload, indent=2))
+    else:
+        for finding in result.findings:
+            print(finding.render())
+        if result.findings:
+            print(
+                f"{len(result.findings)} finding(s) in "
+                f"{result.files_checked} file(s)",
+                file=sys.stderr,
+            )
+    return 1 if result.findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(run())

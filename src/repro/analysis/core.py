@@ -1,0 +1,365 @@
+"""The lint engine: files, comments, suppressions, rules, findings.
+
+``repro lint`` (DESIGN.md §13) turns the conventions the engine's
+correctness rests on -- guarded attributes only touched under their
+lock, durable writes only through :mod:`repro.core.atomicio`, every
+failpoint covered by the chaos matrix, strict JSON only via the
+:mod:`repro.service.types` codec -- into machine-checked invariants
+that fail in seconds at commit time instead of minutes into the chaos
+job (or never).
+
+The engine is deliberately small: a :class:`SourceFile` pairs an AST
+with the comment table the grammars below live in, a :class:`Rule`
+contributes findings in two passes (``collect`` builds cross-file
+state such as the failpoint registry, ``check`` emits findings), and
+the :class:`Linter` drives both passes and applies suppressions.
+
+Two comment grammars are recognised (both documented in DESIGN.md §13):
+
+``# guarded-by: <lock>``
+    On an ``self.<attr> = ...`` assignment in ``__init__``: declares
+    the attribute guarded by ``self.<lock>`` (RPL001).  On a ``def``
+    line: declares "callers hold ``self.<lock>``" -- the body is
+    checked as if the lock were held throughout.
+
+``# repro: ignore[RULE1,RULE2] -- reason``
+    Suppresses the named rules on that line (or on the line below,
+    when the comment stands alone).  The reason is mandatory; a
+    suppression without one is itself a finding (RPL000).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+#: Dropping this marker file into a directory excludes the whole
+#: subtree from directory walks -- the fixture corpus under
+#: ``tests/analysis/fixtures/`` is full of deliberate violations.
+SKIP_MARKER = ".repro-lint-skip"
+
+#: Rule id reserved for problems with the lint machinery itself
+#: (malformed suppressions, unparseable files).  Not suppressible.
+META_RULE = "RPL000"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*ignore\[([^\]]*)\](.*)$"
+)
+_REASON_RE = re.compile(r"^\s*--\s*(\S.*)$")
+_GUARDED_RE = re.compile(r"#\s*guarded-by:\s*([A-Za-z_][A-Za-z0-9_]*)\s*$")
+_RULE_ID_RE = re.compile(r"^RPL\d{3}$")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """A parsed ``# repro: ignore[...] -- reason`` comment."""
+
+    rules: Tuple[str, ...]
+    reason: str
+    line: int
+
+
+class SourceFile:
+    """One parsed python file: AST + comment table + suppressions."""
+
+    def __init__(self, path: Path, rel: str, text: str) -> None:
+        self.path = path
+        #: Posix-style path as given on the command line -- what rules
+        #: match scopes and allowlists against, and what findings print.
+        self.rel = rel
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree: Optional[ast.Module] = None
+        self.parse_error: Optional[str] = None
+        #: line number -> raw comment text (including the ``#``).
+        self.comments: Dict[int, str] = {}
+        #: line number -> parsed suppression on that line.
+        self.suppressions: Dict[int, Suppression] = {}
+        #: malformed suppression comments (missing reason / bad rule id).
+        self.bad_suppressions: List[Finding] = []
+        try:
+            self.tree = ast.parse(text)
+        except SyntaxError as exc:
+            self.parse_error = f"{type(exc).__name__}: {exc.msg} (line {exc.lineno})"
+        self._scan_comments()
+
+    # -- comment grammars ---------------------------------------------
+    def _scan_comments(self) -> None:
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(self.text).readline)
+            for tok in tokens:
+                if tok.type == tokenize.COMMENT:
+                    self.comments[tok.start[0]] = tok.string
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            # A file tokenize cannot finish already carries a parse
+            # error finding; comments seen before the failure stand.
+            pass
+        for line, comment in self.comments.items():
+            match = _SUPPRESS_RE.search(comment)
+            if match is None:
+                continue
+            rules = tuple(
+                part.strip() for part in match.group(1).split(",") if part.strip()
+            )
+            reason_match = _REASON_RE.match(match.group(2))
+            bad = None
+            if not rules or any(not _RULE_ID_RE.match(r) for r in rules):
+                bad = (
+                    "malformed suppression: expected "
+                    "'# repro: ignore[RPLnnn,...] -- reason'"
+                )
+            elif META_RULE in rules:
+                bad = f"{META_RULE} (the lint machinery itself) cannot be suppressed"
+            elif reason_match is None:
+                bad = (
+                    "suppression is missing its mandatory reason "
+                    "('# repro: ignore[RULE] -- why this is safe')"
+                )
+            if bad is not None:
+                self.bad_suppressions.append(
+                    Finding(META_RULE, self.rel, line, 0, bad)
+                )
+                continue
+            self.suppressions[line] = Suppression(
+                rules, reason_match.group(1).strip(), line
+            )
+
+    def guard_comment(self, line: int) -> Optional[str]:
+        """The lock named by a ``# guarded-by:`` comment on ``line``."""
+        comment = self.comments.get(line)
+        if comment is None:
+            return None
+        match = _GUARDED_RE.search(comment)
+        return match.group(1) if match else None
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        """True when a suppression for ``rule`` covers ``line``.
+
+        A suppression covers its own line; a standalone suppression
+        comment covers the next non-comment line (so multi-line
+        reason comments work).
+        """
+        sup = self.suppressions.get(line)
+        if sup is not None and rule in sup.rules:
+            return True
+        cursor = line - 1
+        while 1 <= cursor <= len(self.lines):
+            if not self.lines[cursor - 1].strip().startswith("#"):
+                break
+            above = self.suppressions.get(cursor)
+            if above is not None:
+                return rule in above.rules
+            cursor -= 1
+        return False
+
+    # -- path taxonomy -------------------------------------------------
+    @property
+    def is_test(self) -> bool:
+        parts = self.rel.split("/")
+        name = parts[-1]
+        return (
+            "tests" in parts
+            or name.startswith("test_")
+            or name == "conftest.py"
+        )
+
+    @property
+    def repro_module(self) -> Optional[str]:
+        """Path inside the ``repro`` package ('engine/wal.py'), if any."""
+        parts = self.rel.split("/")
+        if "repro" not in parts:
+            return None
+        idx = len(parts) - 1 - parts[::-1].index("repro")
+        sub = parts[idx + 1 :]
+        return "/".join(sub) if sub else None
+
+
+class Project:
+    """Cross-file state shared by the two passes (one Linter run)."""
+
+    def __init__(self) -> None:
+        #: failpoint name -> (rel, line) of its ``faults.register`` site.
+        self.registered: Dict[str, Tuple[str, int]] = {}
+        #: every string literal in the chaos matrix file.
+        self.matrix_names: Set[str] = set()
+        self.matrix_path: Optional[str] = None
+
+
+class Rule:
+    """One invariant checker.  Subclass, set ``id``, implement check."""
+
+    id: str = "RPL999"
+    title: str = ""
+
+    def applies(self, source: SourceFile) -> bool:
+        return True
+
+    def collect(self, source: SourceFile, project: Project) -> None:
+        """First pass: contribute cross-file state."""
+
+    def check(self, source: SourceFile, project: Project) -> Iterator[Finding]:
+        """Second pass: yield findings for one file."""
+        return iter(())
+
+
+_REGISTRY: List[Callable[[], Rule]] = []
+
+
+def register_rule(factory: Callable[[], Rule]) -> Callable[[], Rule]:
+    """Class decorator adding a rule to the default rule set."""
+    _REGISTRY.append(factory)
+    return factory
+
+
+def default_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, in id order."""
+    from . import rules as _rules  # noqa: F401 - imports register the rules
+
+    return sorted((factory() for factory in _REGISTRY), key=lambda r: r.id)
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into ``.py`` files, honouring skips."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            yield path
+        elif path.is_dir():
+            yield from _walk(path)
+
+
+def _walk(directory: Path) -> Iterator[Path]:
+    if (directory / SKIP_MARKER).exists():
+        return
+    entries = sorted(directory.iterdir(), key=lambda p: p.name)
+    for entry in entries:
+        if entry.name.startswith(".") or entry.name == "__pycache__":
+            continue
+        if entry.is_dir():
+            yield from _walk(entry)
+        elif entry.suffix == ".py":
+            yield entry
+
+
+@dataclass
+class LintResult:
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+class Linter:
+    """Drives the two passes over a file set and applies suppressions."""
+
+    def __init__(self, rules: Optional[Sequence[Rule]] = None) -> None:
+        self.rules = list(rules) if rules is not None else default_rules()
+
+    def lint_paths(self, paths: Sequence[str | Path]) -> LintResult:
+        sources: List[SourceFile] = []
+        unreadable: List[Finding] = []
+        seen = set()
+        for path in iter_python_files(paths):
+            key = path.resolve()
+            if key in seen:
+                continue
+            seen.add(key)
+            try:
+                text = path.read_text(encoding="utf-8")
+            except (OSError, UnicodeDecodeError) as exc:
+                unreadable.append(
+                    Finding(META_RULE, path.as_posix(), 0, 0, f"unreadable: {exc}")
+                )
+                continue
+            sources.append(SourceFile(path, path.as_posix(), text))
+        self._adopt_matrix(sources, paths)
+        result = self.lint_sources(sources)
+        result.findings.extend(unreadable)
+        return result
+
+    def lint_sources(self, sources: Sequence[SourceFile]) -> LintResult:
+        result = LintResult(files_checked=len(sources))
+        project = Project()
+        for source in sources:
+            result.findings.extend(source.bad_suppressions)
+            if source.parse_error is not None:
+                result.findings.append(
+                    Finding(
+                        META_RULE,
+                        source.rel,
+                        0,
+                        0,
+                        f"cannot parse: {source.parse_error}",
+                    )
+                )
+                continue
+            for rule in self.rules:
+                if rule.applies(source):
+                    rule.collect(source, project)
+        for source in sources:
+            if source.parse_error is not None:
+                continue
+            for rule in self.rules:
+                if not rule.applies(source):
+                    continue
+                for finding in rule.check(source, project):
+                    if not source.is_suppressed(finding.rule, finding.line):
+                        result.findings.append(finding)
+        result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return result
+
+    def _adopt_matrix(
+        self, sources: List[SourceFile], paths: Sequence[str | Path]
+    ) -> None:
+        """Ensure the chaos matrix file is visible to RPL003.
+
+        When ``tests/chaos/test_matrix.py`` is not among the linted
+        files (``repro lint src``), locate it relative to the linted
+        paths and parse it for collection only -- its names still
+        gate the registry, but it is not itself checked.
+        """
+        if any(s.rel.endswith("tests/chaos/test_matrix.py") for s in sources):
+            return
+        candidates = []
+        for raw in paths:
+            path = Path(raw).resolve()
+            candidates.extend([path, *path.parents])
+        for root in candidates:
+            matrix = root / "tests" / "chaos" / "test_matrix.py"
+            if matrix.is_file():
+                try:
+                    text = matrix.read_text(encoding="utf-8")
+                except (OSError, UnicodeDecodeError):
+                    return
+                sources.append(SourceFile(matrix, matrix.as_posix(), text))
+                return

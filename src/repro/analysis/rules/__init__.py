@@ -1,0 +1,24 @@
+"""The default rule set.
+
+Importing this package registers every built-in rule with
+:func:`repro.analysis.core.register_rule`.  To add a rule, drop a
+module here that defines a :class:`~repro.analysis.core.Rule`
+subclass decorated with ``@register_rule`` and import it below
+(DESIGN.md §13.4).
+"""
+
+from . import (  # noqa: F401 - imported for their registration side effect
+    rpl001_locks,
+    rpl002_atomic,
+    rpl003_failpoints,
+    rpl004_codec,
+    rpl005_excepts,
+)
+
+__all__ = [
+    "rpl001_locks",
+    "rpl002_atomic",
+    "rpl003_failpoints",
+    "rpl004_codec",
+    "rpl005_excepts",
+]

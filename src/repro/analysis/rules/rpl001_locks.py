@@ -1,0 +1,163 @@
+"""RPL001: guarded attributes are only touched under their lock.
+
+The engine's thread-safety story (DESIGN.md §7.4, §11) is a set of
+*conventions*: ``SessionPool._sessions`` only under ``self._lock``,
+``QuerySession._pins`` only under ``self._memo_lock``, the WAL's file
+handle only under the WAL lock.  This rule makes the convention
+machine-checked: an assignment in ``__init__`` carrying a
+``# guarded-by: <lock>`` comment declares the attribute guarded, and
+every other read or write of it inside the class must sit lexically
+inside a ``with self.<lock>:`` (or ``with self.<lock>():`` gate)
+block.
+
+The analysis is intraprocedural with two deliberate allowances:
+
+* ``__init__`` itself is exempt -- construction is single-threaded;
+* a ``# guarded-by: <lock>`` comment on a ``def`` line declares
+  "callers hold ``self.<lock>``" and checks the body as if the lock
+  were held throughout (the ``SessionPool._evict_lru`` /
+  ``WriteAheadLog._open`` helper pattern).
+
+Nested functions and lambdas inherit the lexically-held lock set --
+sound for the synchronous writer-callback idiom used here, unsound
+for a closure that escapes the ``with`` block (document an escape
+with a reasoned suppression).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Tuple
+
+from ..core import Finding, Project, Rule, SourceFile, register_rule
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    """The ``X`` of a ``self.X`` expression, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _held_by_item(item: ast.withitem) -> str | None:
+    """The lock name a ``with`` item acquires, if it is a self-guard.
+
+    Recognises ``with self.<lock>:`` and the gate form
+    ``with self.<gate>():``.
+    """
+    expr = item.context_expr
+    if isinstance(expr, ast.Call) and not expr.args and not expr.keywords:
+        expr = expr.func
+    return _self_attr(expr)
+
+
+@register_rule
+class LockDisciplineRule(Rule):
+    id = "RPL001"
+    title = "guarded attributes only read/written under their declared lock"
+
+    def check(self, source: SourceFile, project: Project) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(source, node)
+
+    # -- per class -----------------------------------------------------
+    def _check_class(
+        self, source: SourceFile, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        guarded = self._declarations(source, cls)
+        if not guarded:
+            return
+        for item in cls.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if item.name == "__init__":
+                continue
+            held = frozenset(
+                lock
+                for lock in [source.guard_comment(item.lineno)]
+                if lock is not None
+            )
+            yield from self._check_body(source, item.body, guarded, held)
+
+    def _declarations(
+        self, source: SourceFile, cls: ast.ClassDef
+    ) -> Dict[str, Tuple[str, int]]:
+        """attr -> (lock, declaring line) from ``__init__`` comments."""
+        guarded: Dict[str, Tuple[str, int]] = {}
+        for item in cls.body:
+            if not isinstance(item, ast.FunctionDef) or item.name != "__init__":
+                continue
+            for stmt in ast.walk(item):
+                if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                    continue
+                lock = source.guard_comment(stmt.lineno)
+                if lock is None:
+                    continue
+                targets = (
+                    stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+                )
+                for target in targets:
+                    attr = _self_attr(target)
+                    if attr is not None:
+                        guarded[attr] = (lock, stmt.lineno)
+        return guarded
+
+    # -- per method ----------------------------------------------------
+    def _check_body(
+        self,
+        source: SourceFile,
+        body: List[ast.stmt],
+        guarded: Dict[str, Tuple[str, int]],
+        held: FrozenSet[str],
+    ) -> Iterator[Finding]:
+        for stmt in body:
+            yield from self._check_node(source, stmt, guarded, held)
+
+    def _check_node(
+        self,
+        source: SourceFile,
+        node: ast.AST,
+        guarded: Dict[str, Tuple[str, int]],
+        held: FrozenSet[str],
+    ) -> Iterator[Finding]:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired = set()
+            for item in node.items:
+                yield from self._check_node(
+                    source, item.context_expr, guarded, held
+                )
+                if item.optional_vars is not None:
+                    yield from self._check_node(
+                        source, item.optional_vars, guarded, held
+                    )
+                lock = _held_by_item(item)
+                if lock is not None:
+                    acquired.add(lock)
+            inner = held | acquired
+            for stmt in node.body:
+                yield from self._check_node(source, stmt, guarded, inner)
+            return
+        if isinstance(node, ast.Attribute):
+            attr = _self_attr(node)
+            if attr is not None and attr in guarded:
+                lock, decl_line = guarded[attr]
+                if lock not in held:
+                    verb = "written" if isinstance(node.ctx, (ast.Store, ast.Del)) else "read"
+                    yield Finding(
+                        self.id,
+                        source.rel,
+                        node.lineno,
+                        node.col_offset,
+                        f"'self.{attr}' is guarded by 'self.{lock}' "
+                        f"(declared line {decl_line}) but {verb} outside a "
+                        f"'with self.{lock}:' block",
+                    )
+                # Fall through: self.X.Y nests an Attribute under an
+                # Attribute; the generic recursion below covers it.
+        for child in ast.iter_child_nodes(node):
+            yield from self._check_node(source, child, guarded, held)

@@ -1,0 +1,125 @@
+"""RPL002: durable writes only through ``core/atomicio``.
+
+The crash-safety claims (bitwise-identical answers after ``kill -9``,
+DESIGN.md §8.4) hold because every durable artefact -- session
+bundles, CSV checkpoints -- reaches disk via
+:func:`repro.core.atomicio.replace_atomically` (temp + fsync + rename
++ directory fsync), and the only other file ever written is the WAL,
+whose append path owns its own fsync discipline.  A stray
+``open(path, "w")`` anywhere else silently re-introduces torn writes.
+
+Flagged anywhere else inside the ``repro`` package: builtin ``open``
+/ ``os.fdopen`` with a writing mode, ``os.replace`` / ``os.rename``,
+``np.save`` / ``np.savez`` / ``np.savez_compressed``,
+``Path.write_text`` / ``write_bytes``, and ``ndarray.tofile``.
+
+Allowed: :mod:`repro.core.atomicio` itself, the WAL append path
+(:mod:`repro.engine.wal` -- its raw ``open(self.path, "ab")`` *is*
+the sanctioned append), and any call lexically inside an argument to
+``replace_atomically`` (the writer-callback idiom, e.g.
+``replace_atomically(path, lambda fh: np.savez_compressed(fh, ...))``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from ..core import Finding, Project, Rule, SourceFile, register_rule
+
+#: Files exempt wholesale (posix path suffixes).
+ALLOWED_FILES = (
+    "repro/core/atomicio.py",
+    "repro/engine/wal.py",
+)
+
+_WRITE_MODE_CHARS = set("wax+")
+_NP_WRITERS = {"save", "savez", "savez_compressed"}
+_PATH_WRITERS = {"write_text", "write_bytes", "tofile"}
+
+
+def _mode_writes(call: ast.Call) -> bool:
+    """True when an ``open``-style call's mode argument writes.
+
+    A missing mode is a read; a non-literal mode cannot be vetted
+    statically and is flagged conservatively.
+    """
+    mode: ast.expr | None = None
+    if len(call.args) >= 2:
+        mode = call.args[1]
+    for kw in call.keywords:
+        if kw.arg == "mode":
+            mode = kw.value
+    if mode is None:
+        return False
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return bool(_WRITE_MODE_CHARS & set(mode.value))
+    return True
+
+
+@register_rule
+class AtomicWriteRule(Rule):
+    id = "RPL002"
+    title = "file writes only via core/atomicio or the WAL append path"
+
+    def applies(self, source: SourceFile) -> bool:
+        module = source.repro_module
+        if module is None or source.is_test:
+            return False
+        return not any(source.rel.endswith(suffix) for suffix in ALLOWED_FILES)
+
+    def check(self, source: SourceFile, project: Project) -> Iterator[Finding]:
+        sanctioned = self._sanctioned_calls(source.tree)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call) or id(node) in sanctioned:
+                continue
+            message = self._violation(node)
+            if message is not None:
+                yield Finding(
+                    self.id,
+                    source.rel,
+                    node.lineno,
+                    node.col_offset,
+                    message
+                    + " outside core/atomicio (route durable writes through "
+                    "replace_atomically)",
+                )
+
+    def _sanctioned_calls(self, tree: ast.AST) -> Set[int]:
+        """ids of Call nodes inside ``replace_atomically(...)`` args."""
+        sanctioned: Set[int] = set()
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else None
+            )
+            if name != "replace_atomically":
+                continue
+            for arg in [*node.args, *[kw.value for kw in node.keywords]]:
+                for sub in ast.walk(arg):
+                    if isinstance(sub, ast.Call):
+                        sanctioned.add(id(sub))
+        return sanctioned
+
+    def _violation(self, call: ast.Call) -> str | None:
+        func = call.func
+        if isinstance(func, ast.Name):
+            if func.id == "open" and _mode_writes(call):
+                return "raw open() for writing"
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        owner = func.value.id if isinstance(func.value, ast.Name) else None
+        if owner == "os" and func.attr in ("replace", "rename"):
+            return f"os.{func.attr}()"
+        if owner == "os" and func.attr == "fdopen" and _mode_writes(call):
+            return "os.fdopen() for writing"
+        if owner in ("np", "numpy") and func.attr in _NP_WRITERS:
+            return f"{owner}.{func.attr}()"
+        if func.attr in _PATH_WRITERS:
+            return f".{func.attr}()"
+        if func.attr == "open" and _mode_writes(call):
+            return ".open() for writing"
+        return None

@@ -1,0 +1,136 @@
+"""RPL003: every failpoint is registered and chaos-matrix covered.
+
+The chaos suite's totality test (``tests/chaos/test_matrix.py``)
+asserts at *runtime* that every registered failpoint has a matrix
+case -- but only once the multi-minute chaos job runs, and only for
+modules the test imports.  This rule closes the loop statically:
+
+* every ``faults.failpoint(X)`` call site must resolve to a name
+  that some ``faults.register("<literal>")`` site declares
+  (``X`` is a string literal or a module-level constant assigned
+  from ``faults.register(...)`` -- the ``FP_*`` idiom);
+* every registered name must appear as a string literal in
+  ``tests/chaos/test_matrix.py`` (deleting a matrix case fails lint
+  in seconds instead of minutes into the chaos job).
+
+Test files are exempt from the call-site check -- the registry's own
+unit tests deliberately exercise unregistered names.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Tuple
+
+from ..core import Finding, Project, Rule, SourceFile, register_rule
+
+_MATRIX_SUFFIX = "tests/chaos/test_matrix.py"
+
+
+def _is_faults_call(node: ast.Call, method: str) -> bool:
+    return (
+        isinstance(node.func, ast.Attribute)
+        and node.func.attr == method
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id == "faults"
+    )
+
+
+@register_rule
+class FailpointCoverageRule(Rule):
+    id = "RPL003"
+    title = "failpoint call sites registered and chaos-matrix covered"
+
+    def __init__(self) -> None:
+        #: rel -> [(name or None, line, detail)] failpoint call sites.
+        self._sites: Dict[str, List[Tuple[str | None, int, str]]] = {}
+        #: rel -> [(name, line)] register sites.
+        self._registrations: Dict[str, List[Tuple[str, int]]] = {}
+
+    def collect(self, source: SourceFile, project: Project) -> None:
+        if source.rel.endswith(_MATRIX_SUFFIX):
+            project.matrix_path = source.rel
+            for node in ast.walk(source.tree):
+                if isinstance(node, ast.Constant) and isinstance(node.value, str):
+                    project.matrix_names.add(node.value)
+            return
+        if source.is_test:
+            return
+        constants: Dict[str, str] = {}
+        registrations: List[Tuple[str, int]] = []
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            value = node.value
+            name: str | None = None
+            if (
+                isinstance(value, ast.Call)
+                and _is_faults_call(value, "register")
+                and value.args
+                and isinstance(value.args[0], ast.Constant)
+                and isinstance(value.args[0].value, str)
+            ):
+                name = value.args[0].value
+                registrations.append((name, node.lineno))
+                project.registered.setdefault(name, (source.rel, node.lineno))
+            elif isinstance(value, ast.Constant) and isinstance(value.value, str):
+                name = value.value
+            if name is not None:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        constants[target.id] = name
+        sites: List[Tuple[str | None, int, str]] = []
+        for node in ast.walk(source.tree):
+            if not (isinstance(node, ast.Call) and _is_faults_call(node, "failpoint")):
+                continue
+            if not node.args:
+                sites.append((None, node.lineno, "no name argument"))
+                continue
+            arg = node.args[0]
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                sites.append((arg.value, node.lineno, ""))
+            elif isinstance(arg, ast.Name) and arg.id in constants:
+                sites.append((constants[arg.id], node.lineno, ""))
+            else:
+                sites.append(
+                    (None, node.lineno, "name is not statically resolvable")
+                )
+        if sites:
+            self._sites[source.rel] = sites
+        if registrations:
+            self._registrations[source.rel] = registrations
+
+    def check(self, source: SourceFile, project: Project) -> Iterator[Finding]:
+        for name, line, detail in self._sites.get(source.rel, ()):
+            if name is None:
+                yield Finding(
+                    self.id,
+                    source.rel,
+                    line,
+                    0,
+                    "faults.failpoint() call site cannot be checked statically "
+                    f"({detail}); pass a string literal or an FP_* constant "
+                    "assigned from faults.register(...)",
+                )
+            elif name not in project.registered:
+                yield Finding(
+                    self.id,
+                    source.rel,
+                    line,
+                    0,
+                    f"failpoint {name!r} is not registered via "
+                    "faults.register(...) in any linted module",
+                )
+        if not project.matrix_names:
+            return
+        for name, line in self._registrations.get(source.rel, ()):
+            if name not in project.matrix_names:
+                yield Finding(
+                    self.id,
+                    source.rel,
+                    line,
+                    0,
+                    f"registered failpoint {name!r} has no case in "
+                    f"{project.matrix_path or _MATRIX_SUFFIX} (add one to "
+                    "CASES so the chaos matrix stays total)",
+                )

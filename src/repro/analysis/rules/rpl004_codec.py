@@ -1,0 +1,52 @@
+"""RPL004: strict JSON only via the ``service.types`` codec.
+
+The serving protocol round-trips non-finite floats as sentinel
+strings (``"NaN"``/``"Infinity"``/``"-Infinity"``, DESIGN.md §11.2);
+that contract lives in :mod:`repro.service.types` (``encode_float`` /
+``decode_float`` and the ``dumps`` wrapper).  A stray ``json.dumps``
+elsewhere either crashes on a NaN score (``allow_nan=False``) or --
+worse -- emits the non-interoperable bare ``NaN`` token.  So: no
+``json.dumps`` / ``json.dump`` inside the ``repro`` package outside
+``service/types.py``.  Internal binary formats that embed JSON
+metadata (the WAL frame header, the bundle ``meta`` member) carry
+reasoned suppressions at the call site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import Finding, Project, Rule, SourceFile, register_rule
+
+ALLOWED_FILE = "repro/service/types.py"
+
+
+@register_rule
+class CodecDisciplineRule(Rule):
+    id = "RPL004"
+    title = "json.dumps/json.dump only inside service/types.py"
+
+    def applies(self, source: SourceFile) -> bool:
+        if source.repro_module is None or source.is_test:
+            return False
+        return not source.rel.endswith(ALLOWED_FILE)
+
+    def check(self, source: SourceFile, project: Project) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("dump", "dumps")
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "json"
+            ):
+                yield Finding(
+                    self.id,
+                    source.rel,
+                    node.lineno,
+                    node.col_offset,
+                    f"json.{node.func.attr}() outside service/types.py; use "
+                    "repro.service.types.dumps (non-finite-float sentinels "
+                    "live there)",
+                )

@@ -1,0 +1,83 @@
+"""RPL005: no bare ``except:`` / swallowed broad excepts in the core.
+
+Degraded-mode serving (DESIGN.md §12) relies on failures *surfacing*:
+a WAL append fault must flip the dataset to ``degraded``, not vanish
+into a ``try/except: pass``.  In ``engine/``, ``service/`` and
+``core/`` this rule flags
+
+* bare ``except:`` handlers (they also swallow ``KeyboardInterrupt``
+  and ``SystemExit``), and
+* ``except Exception:`` / ``except BaseException:`` handlers whose
+  body does nothing (``pass`` / ``...``) -- a silently swallowed
+  failure.
+
+Broad handlers that *handle* (degrade, re-raise, translate to an
+HTTP status) are fine; typed narrow handlers with ``pass`` bodies
+are a deliberate idiom (best-effort cleanup) and are not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import Finding, Project, Rule, SourceFile, register_rule
+
+_SCOPED = ("engine/", "service/", "core/")
+_BROAD = ("Exception", "BaseException")
+
+
+def _names(annotation: ast.expr) -> Iterator[str]:
+    nodes = annotation.elts if isinstance(annotation, ast.Tuple) else [annotation]
+    for node in nodes:
+        if isinstance(node, ast.Name):
+            yield node.id
+
+
+def _body_is_noop(body: list[ast.stmt]) -> bool:
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring or bare ... literal
+        return False
+    return True
+
+
+@register_rule
+class ExceptionHygieneRule(Rule):
+    id = "RPL005"
+    title = "no bare or silently-swallowed broad excepts in the core"
+
+    def applies(self, source: SourceFile) -> bool:
+        module = source.repro_module
+        if module is None or source.is_test:
+            return False
+        return module.startswith(_SCOPED)
+
+    def check(self, source: SourceFile, project: Project) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield Finding(
+                    self.id,
+                    source.rel,
+                    node.lineno,
+                    node.col_offset,
+                    "bare 'except:' (also traps KeyboardInterrupt/SystemExit); "
+                    "name the exceptions, or 'except Exception' with real "
+                    "handling",
+                )
+            elif any(n in _BROAD for n in _names(node.type)) and _body_is_noop(
+                node.body
+            ):
+                yield Finding(
+                    self.id,
+                    source.rel,
+                    node.lineno,
+                    node.col_offset,
+                    "broad except with a no-op body silently swallows "
+                    "failures; handle (degrade/log/re-raise) or narrow the "
+                    "exception types",
+                )

@@ -93,10 +93,14 @@ import os
 import signal
 import sys
 import zipfile
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from .data.io import load_csv_infer, save_csv
+
+if TYPE_CHECKING:
+    from .core.objects import SpatialDataset
 
 
 def parse_term(spec: str):
@@ -498,6 +502,18 @@ def cmd_maxrs(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """Run the invariant-aware lint engine (repro.analysis)."""
+    from .analysis.__main__ import run
+
+    argv = list(args.paths)
+    if args.format != "text":
+        argv = ["--format", args.format] + argv
+    if args.list_rules:
+        argv = ["--list-rules"] + argv
+    return run(argv)
+
+
 def cmd_serve(args) -> int:
     """Serve the facade over HTTP (writer, or read-only WAL follower)."""
     from .service import DurabilityPolicy
@@ -740,6 +756,41 @@ def build_parser() -> argparse.ArgumentParser:
     maxrs = sub.add_parser("maxrs", help="find the densest region")
     add_data_args(maxrs)
     maxrs.set_defaults(func=cmd_maxrs)
+
+    lint = sub.add_parser(
+        "lint",
+        help="check repo invariants: lock discipline, atomic writes, "
+        "failpoint coverage, codec and exception hygiene",
+        description=(
+            "AST-based lint over the repro source tree (DESIGN.md §13). "
+            "Rules: RPL001 guarded attributes only touched under their "
+            "declared lock; RPL002 no raw file writes outside "
+            "core/atomicio.py and the WAL append path; RPL003 every "
+            "failpoint registered and covered by the chaos matrix; "
+            "RPL004 json.dumps only in service/types.py; RPL005 no "
+            "bare/swallowed broad excepts in engine/, service/, core/. "
+            "Suppress per line with '# repro: ignore[RPL00N] -- reason' "
+            "(the reason is mandatory). Exits 1 when findings remain."
+        ),
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="finding output format",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules and exit",
+    )
+    lint.set_defaults(func=cmd_lint)
 
     serve = sub.add_parser(
         "serve",

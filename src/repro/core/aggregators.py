@@ -22,7 +22,7 @@ via the channel compiler as long as they implement the channel protocol
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Sequence, Tuple
+from typing import Iterator, Sequence, Tuple
 
 import numpy as np
 
@@ -34,7 +34,9 @@ from .selection import SelectAll, SelectionFunction
 class AggregatorTerm(ABC):
     """One ``(f, A, gamma)`` triple of a composite aggregator."""
 
-    def __init__(self, attribute: str, selection: SelectionFunction | None = None):
+    def __init__(
+        self, attribute: str, selection: SelectionFunction | None = None
+    ) -> None:
         self._attribute = attribute
         self._selection = selection if selection is not None else SelectAll()
 
@@ -168,7 +170,7 @@ class CompositeAggregator:
         """``F`` of a region containing no objects (all-zero by convention)."""
         return self.apply_mask(dataset, np.zeros(dataset.n, dtype=bool))
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[AggregatorTerm]:
         return iter(self._terms)
 
     def __len__(self) -> int:

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import os
 import tempfile
-from typing import Callable
+from typing import IO, Any, Callable
 
 from .. import faults
 
@@ -50,8 +50,8 @@ def fsync_dir(path: str) -> None:
 
 
 def replace_atomically(
-    path,
-    writer: Callable,
+    path: "str | os.PathLike[str]",
+    writer: "Callable[[IO[Any]], object]",
     *,
     text: bool = False,
     newline: str | None = None,

@@ -16,7 +16,7 @@ so the hot paths can stay inside numpy.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, Mapping, Sequence, Tuple, Union
+from typing import Dict, Hashable, Iterable, Iterator, Mapping, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -27,6 +27,10 @@ class CategoricalAttribute:
 
     name: str
     domain: Tuple[Hashable, ...]
+    #: Lazily-built value -> code table (set on first :meth:`code_of`).
+    _index: Dict[Hashable, int] = field(
+        init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not self.domain:
@@ -54,6 +58,14 @@ class CategoricalAttribute:
     def decode(self, codes: Iterable[int]) -> list:
         """Map integer codes back to domain values."""
         return [self.domain[int(c)] for c in codes]
+
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickle without the lazy ``_index`` (it may be unset)."""
+        return {"name": self.name, "domain": self.domain}
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        for key, value in state.items():
+            object.__setattr__(self, key, value)
 
 
 @dataclass(frozen=True)
@@ -108,7 +120,7 @@ class Schema:
                 f"unknown attribute {name!r}; schema has {sorted(self._by_name)}"
             ) from None
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Attribute]:
         return iter(self.attributes)
 
     def __len__(self) -> int:

@@ -72,14 +72,16 @@ class BoundContext:
             return NotImplemented
         return self._extremes == other._extremes
 
-    def __hash__(self):
+    def __hash__(self) -> int:
         return hash(tuple(sorted(self._extremes.items())))
 
 
 class CompiledTerm(ABC):
     """A term lowered to channels; knows its slice of both layouts."""
 
-    def __init__(self, term: AggregatorTerm, rep_slice: slice, chan_slice: slice):
+    def __init__(
+        self, term: AggregatorTerm, rep_slice: slice, chan_slice: slice
+    ) -> None:
         self.term = term
         self.rep_slice = rep_slice
         self.chan_slice = chan_slice
@@ -99,7 +101,9 @@ class _CompiledDistribution(CompiledTerm):
     def clean(self, sums: np.ndarray) -> np.ndarray:
         return sums
 
-    def bounds(self, full, over, ctx, index):
+    def bounds(
+        self, full: np.ndarray, over: np.ndarray, ctx: BoundContext, index: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
         return full, np.maximum(over, full)
 
 
@@ -108,7 +112,9 @@ class _CompiledSum(CompiledTerm):
     def clean(self, sums: np.ndarray) -> np.ndarray:
         return sums[..., 0:1]
 
-    def bounds(self, full, over, ctx, index):
+    def bounds(
+        self, full: np.ndarray, over: np.ndarray, ctx: BoundContext, index: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
         partial_pos = np.maximum(over[..., 1] - full[..., 1], 0.0)
         partial_neg = np.minimum(over[..., 2] - full[..., 2], 0.0)
         lo = full[..., 0] + partial_neg
@@ -124,7 +130,9 @@ class _CompiledAverage(CompiledTerm):
             avg = np.where(cnt > 0, sums[..., 0] / np.maximum(cnt, 1.0), 0.0)
         return avg[..., np.newaxis]
 
-    def bounds(self, full, over, ctx, index):
+    def bounds(
+        self, full: np.ndarray, over: np.ndarray, ctx: BoundContext, index: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
         vmin, vmax = ctx.extremes(index)
         full_sum = full[..., 0]
         full_cnt = full[..., 1]
@@ -168,7 +176,9 @@ class ChannelCompiler:
     ASP reduction, with the generated rectangles).
     """
 
-    def __init__(self, dataset: SpatialDataset, aggregator: CompositeAggregator):
+    def __init__(
+        self, dataset: SpatialDataset, aggregator: CompositeAggregator
+    ) -> None:
         self._dataset = dataset
         self._aggregator = aggregator
         terms: list[CompiledTerm] = []
@@ -288,7 +298,8 @@ class ChannelCompiler:
         self, full: np.ndarray, over: np.ndarray, ctx: BoundContext
     ) -> Tuple[np.ndarray, np.ndarray]:
         """(lo, hi) representation bounds; ``full``/``over`` shaped (..., C)."""
-        los, his = [], []
+        los: list[np.ndarray] = []
+        his: list[np.ndarray] = []
         for index, t in enumerate(self._terms):
             lo, hi = t.bounds(
                 full[..., t.chan_slice], over[..., t.chan_slice], ctx, index

@@ -14,6 +14,8 @@ metric, which covers both weighted Lp variants here.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 
@@ -25,7 +27,9 @@ class WeightedLpDistance:
     the same representation dimensionality.
     """
 
-    def __init__(self, weights, p: int = 1) -> None:
+    def __init__(
+        self, weights: "np.ndarray | Sequence[float]", p: int = 1
+    ) -> None:
         w = np.asarray(weights, dtype=np.float64)
         if w.ndim != 1:
             raise ValueError("weights must be a 1-D vector")

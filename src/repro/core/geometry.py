@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, NamedTuple
+from typing import Iterable, Iterator, NamedTuple
 
 
 class Point(NamedTuple):
@@ -160,7 +160,7 @@ class Rect:
         """Grow every side outward by ``dx`` horizontally and ``dy`` vertically."""
         return Rect(self.x_min - dx, self.y_min - dy, self.x_max + dx, self.y_max + dy)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[float]:
         yield self.x_min
         yield self.y_min
         yield self.x_max
@@ -178,7 +178,7 @@ def subtract(outer: Rect, hole: Rect) -> list[Rect]:
     inter = outer.intersection(hole)
     if inter is None or inter.area == 0.0:
         return [outer]
-    pieces = []
+    pieces: list[Rect] = []
     if outer.x_min < inter.x_min:
         pieces.append(Rect(outer.x_min, outer.y_min, inter.x_min, outer.y_max))
     if inter.x_max < outer.x_max:

@@ -166,7 +166,9 @@ class SpatialDataset:
     def count_in_region(self, region: Rect) -> int:
         return int(self.mask_in_region(region).sum())
 
-    def subset(self, mask_or_indices) -> "SpatialDataset":
+    def subset(
+        self, mask_or_indices: "np.ndarray | Sequence[int]"
+    ) -> "SpatialDataset":
         """A new dataset restricted to the selected rows."""
         idx = np.asarray(mask_or_indices)
         return SpatialDataset(
@@ -209,7 +211,9 @@ class SpatialDataset:
         """:meth:`append` from raw ``(x, y, {attr: value})`` records."""
         return self.append(SpatialDataset.from_records(list(records), self._schema))
 
-    def delete(self, mask_or_indices) -> "SpatialDataset":
+    def delete(
+        self, mask_or_indices: "np.ndarray | Sequence[int]"
+    ) -> "SpatialDataset":
         """A new dataset without the selected rows (order preserved).
 
         Accepts a boolean mask over the current rows or an array of row
@@ -219,7 +223,9 @@ class SpatialDataset:
         """
         return self.subset(self.delete_mask(mask_or_indices))
 
-    def delete_mask(self, mask_or_indices) -> np.ndarray:
+    def delete_mask(
+        self, mask_or_indices: "np.ndarray | Sequence[int]"
+    ) -> np.ndarray:
         """Boolean *keep*-mask corresponding to a delete selection."""
         sel = np.asarray(mask_or_indices)
         keep = np.ones(self.n, dtype=bool)
@@ -241,7 +247,7 @@ class SpatialDataset:
     # Row views
     # ------------------------------------------------------------------
     def object_at(self, i: int) -> SpatialObject:
-        attrs = {}
+        attrs: Dict[str, Hashable] = {}
         for attr in self._schema:
             raw = self._columns[attr.name][i]
             if isinstance(attr, CategoricalAttribute):

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -56,7 +57,7 @@ class ASRSQuery:
         dataset: SpatialDataset,
         region: Rect,
         aggregator: CompositeAggregator,
-        weights=None,
+        weights: "np.ndarray | Sequence[float] | None" = None,
         p: int = 1,
     ) -> "ASRSQuery":
         """Query-by-example: use a real region's representation as target."""
@@ -72,8 +73,8 @@ class ASRSQuery:
         width: float,
         height: float,
         aggregator: CompositeAggregator,
-        query_rep,
-        weights=None,
+        query_rep: "np.ndarray | Sequence[float]",
+        weights: "np.ndarray | Sequence[float] | None" = None,
         p: int = 1,
     ) -> "ASRSQuery":
         """Handcrafted target: describe the ideal region directly."""
@@ -100,7 +101,7 @@ class RegionResult:
 
     region: Rect
     distance: float
-    representation: np.ndarray = field(default=None)
+    representation: "np.ndarray | None" = None
 
     def __post_init__(self) -> None:
         if self.representation is not None:

@@ -114,11 +114,11 @@ class BufferPool:
     """
 
     def __init__(self) -> None:
-        self._free: dict[int, list] = {}
+        self._free: dict[int, list] = {}  # guarded-by: _lock
         # ids of arrays currently sitting in the pool: a pooled array is
         # referenced by `_free`, so its id cannot be recycled by the
         # allocator while tracked -- the membership test is exact.
-        self._pooled_ids: set[int] = set()
+        self._pooled_ids: set[int] = set()  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def take(self, n: int) -> np.ndarray:

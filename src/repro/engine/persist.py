@@ -232,6 +232,8 @@ def save_session(session: QuerySession, path, *, checkpoint_wal: bool = True) ->
         if sums is not None:
             arrays[f"lat_{j}_full"], arrays[f"lat_{j}_over"] = sums
 
+    # repro: ignore[RPL004] -- bundle 'meta' member inside the .npz binary
+    # format; floats in it are never non-finite (sizes, epochs, accuracies)
     arrays["meta"] = np.array(json.dumps(meta))
     # Atomic + fsynced write-then-rename: a crash mid-save must not
     # destroy the previous good bundle a server's restart path depends

@@ -61,14 +61,14 @@ class SessionPool:
         self.max_sessions = max_sessions
         self._granularity = granularity
         self._settings = settings
-        self._sessions: OrderedDict[Hashable, QuerySession] = OrderedDict()
+        self._sessions: OrderedDict[Hashable, QuerySession] = OrderedDict()  # guarded-by: _lock
         # Cached cache_nbytes() per key: a full sweep of every resident
         # session's artefacts per solve would put O(total warm state)
         # on the hot path, so only the just-touched session is
         # re-measured and the rest reuse their last measurement.
-        self._nbytes_cache: dict = {}
+        self._nbytes_cache: dict = {}  # guarded-by: _lock
         self._lock = threading.RLock()
-        self._evictions = 0
+        self._evictions = 0  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     def session(
@@ -307,7 +307,7 @@ class SessionPool:
         return save_session(session, path, checkpoint_wal=checkpoint_wal)
 
     # ------------------------------------------------------------------
-    def _enforce_budget(self, touched: Hashable | None = None) -> None:
+    def _enforce_budget(self, touched: Hashable | None = None) -> None:  # guarded-by: _lock
         """Evict LRU sessions past the caps (callers hold ``_lock``).
 
         ``touched`` names the session whose caches may just have grown;
@@ -333,7 +333,7 @@ class SessionPool:
         while len(self._sessions) > 1 and total > self.max_bytes:
             total -= self._evict_lru()
 
-    def _evict_lru(self) -> int:
+    def _evict_lru(self) -> int:  # guarded-by: _lock
         """Evict the LRU session; returns its last measured byte count."""
         key, session = self._sessions.popitem(last=False)
         freed = self._nbytes_cache.pop(key, 0)
@@ -357,10 +357,11 @@ class SessionPool:
         with self._lock:
             session = self._sessions.pop(key, None)
             self._nbytes_cache.pop(key, None)
+            if session is not None:
+                self._evictions += 1
         if session is None:
             return False
         session.clear_caches()
-        self._evictions += 1
         self._remeasure_if_resident(key, session)
         return True
 
@@ -370,9 +371,9 @@ class SessionPool:
             evicted = list(self._sessions.items())
             self._sessions.clear()
             self._nbytes_cache.clear()
+            self._evictions += len(evicted)
         for key, session in evicted:
             session.clear_caches()
-            self._evictions += 1
             self._remeasure_if_resident(key, session)
 
     def _remeasure_if_resident(self, key: Hashable, session: QuerySession) -> None:

@@ -47,7 +47,7 @@ from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
-from typing import Callable, Dict, Iterable, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, Sequence, Tuple
 
 import numpy as np
 
@@ -73,6 +73,10 @@ from ..index.gids import (
     gi_ds_search,
 )
 from ..index.grid_index import GridIndex
+
+if TYPE_CHECKING:  # circular at runtime: updates.py/wal.py import sessions
+    from .updates import UpdateStats
+    from .wal import WriteAheadLog
 
 _TERM_TAGS = {
     DistributionAggregator: "fD",
@@ -257,7 +261,7 @@ class QuerySession:
         # CPython id reuse could hand a *different* aggregator a stale
         # artefact -- including entries repopulated by an in-flight
         # solve after a mid-solve clear_caches.
-        self._pins: Dict[int, object] = {}
+        self._pins: Dict[int, object] = {}  # guarded-by: _memo_lock
         self._compilers: Dict[int, ChannelCompiler] = {}
         self._tables: Dict[int, np.ndarray] = {}
         # Pre-suffix per-cell channel sums, kept next to each suffix
@@ -302,14 +306,14 @@ class QuerySession:
         # other cache goes through the in-flight-deduplicated _memo.
         self._index_lock = threading.Lock()
         self._memo_lock = threading.Lock()
-        self._inflight: Dict[tuple, threading.Event] = {}
+        self._inflight: Dict[tuple, threading.Event] = {}  # guarded-by: _memo_lock
         # Update gate (DESIGN.md §9): solves/warms hold a shared token;
         # apply/append/delete take the gate exclusively -- they wait for
         # in-flight solves to drain and block new ones, so a solve sees
         # either the pre- or the post-update session, never a mix.
         self._update_cv = threading.Condition()
-        self._active_solves = 0
-        self._updating = False
+        self._active_solves = 0  # guarded-by: _update_cv
+        self._updating = False  # guarded-by: _update_cv
 
     @contextmanager
     def _solve_gate(self):

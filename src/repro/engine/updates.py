@@ -50,7 +50,6 @@ untouched (the swap happens under the memo lock, with no solves live).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
 
 import numpy as np
 

@@ -42,12 +42,18 @@ import struct
 import threading
 import zlib
 from dataclasses import dataclass
+from typing import IO, TYPE_CHECKING, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .. import faults
 from ..core.atomicio import fsync_dir, replace_atomically
+from ..core.attributes import Schema
 from ..core.objects import SpatialDataset
+
+if TYPE_CHECKING:  # circular at runtime: updates.py imports this module
+    from .session import QuerySession
+    from .updates import UpdateBatch
 
 #: Failpoints at the WAL's own commit boundaries (DESIGN.md §12).
 #: ``frame-write`` sits where a torn frame lands on real storage;
@@ -130,7 +136,7 @@ def _frame_crc(epoch: int, pre_n: int, payload: bytes) -> int:
     return zlib.crc32(payload, zlib.crc32(struct.pack("<qq", epoch, pre_n)))
 
 
-def _encode_record(batch, schema, span: int = 1) -> bytes:
+def _encode_record(batch: "UpdateBatch", schema: Schema, span: int = 1) -> bytes:
     """The ``.npz`` payload of one update batch (arrays round-trip bitwise).
 
     ``span`` > 1 marks a record produced by :meth:`WriteAheadLog.compact`
@@ -149,6 +155,8 @@ def _encode_record(batch, schema, span: int = 1) -> bytes:
     }
     if span != 1:
         meta["span"] = int(span)
+    # repro: ignore[RPL004] -- npz member metadata (ints/strings only),
+    # part of the WAL's binary frame format, not the serving codec
     arrays: dict = {"meta": np.array(json.dumps(meta))}
     if batch.delete is not None:
         arrays["delete"] = np.asarray(batch.delete)
@@ -177,7 +185,9 @@ def _payload_span(payload: bytes) -> int:
     return int(meta.get("span", 1))
 
 
-def _keep_mask(n: int, mask_or_indices) -> np.ndarray:
+def _keep_mask(
+    n: int, mask_or_indices: "np.ndarray | Sequence[int]"
+) -> np.ndarray:
     """Boolean keep-mask over ``n`` rows for a delete selection.
 
     Mirrors :meth:`SpatialDataset.delete_mask` so compaction can compose
@@ -196,7 +206,7 @@ def _keep_mask(n: int, mask_or_indices) -> np.ndarray:
     return keep
 
 
-def _decode_record(payload: bytes, schema):
+def _decode_record(payload: bytes, schema: Schema) -> "UpdateBatch":
     """Invert :func:`_encode_record` against the replaying session's schema."""
     from .updates import UpdateBatch
 
@@ -228,13 +238,15 @@ def _header_bytes(checkpoint_epoch: int = 0) -> bytes:
     freshly checkpointed (empty) log would silently replay nothing and
     serve pre-update state.
     """
+    # repro: ignore[RPL004] -- file-header metadata (a string and an int),
+    # part of the WAL's binary frame format, not the serving codec
     meta = json.dumps(
         {"log": "repro-session-updates", "checkpoint_epoch": int(checkpoint_epoch)}
     ).encode("utf-8")
     return WAL_MAGIC + _HEAD.pack(WAL_VERSION, len(meta)) + meta
 
 
-def _read_header(blob: bytes, path) -> tuple:
+def _read_header(blob: bytes, path: str) -> Tuple[int, dict]:
     """Validate the file header; ``(first record offset, header meta)``."""
     if len(blob) < len(WAL_MAGIC) + _HEAD.size or blob[: len(WAL_MAGIC)] != WAL_MAGIC:
         raise ValueError(f"{path!s} is not a repro write-ahead log (bad magic)")
@@ -255,7 +267,7 @@ def _read_header(blob: bytes, path) -> tuple:
     return start, meta
 
 
-def _scan(path):
+def _scan(path: str) -> Tuple[list, int, bool, dict]:
     """``(frames, good_end, torn, header)``: every intact record of the log.
 
     ``frames`` are ``(epoch, pre_n, payload)`` tuples; ``good_end`` is
@@ -268,7 +280,7 @@ def _scan(path):
     with open(path, "rb") as fh:
         blob = fh.read()
     offset, header = _read_header(blob, path)
-    frames = []
+    frames: "list[tuple[int, int, bytes]]" = []
     torn = False
     while offset < len(blob):
         if offset + _FRAME.size > len(blob):
@@ -303,31 +315,33 @@ class WriteAheadLog:
     session's exclusive update gate.
     """
 
-    def __init__(self, path, fsync_batch: int = 1) -> None:
+    def __init__(
+        self, path: "str | os.PathLike[str]", fsync_batch: int = 1
+    ) -> None:
         if fsync_batch < 1:
             raise ValueError("fsync_batch must be >= 1")
         self.path = os.fspath(path)
         self.fsync_batch = int(fsync_batch)
         self._lock = threading.Lock()
-        self._fh = None
-        self._unsynced = 0
+        self._fh: Optional[IO[bytes]] = None  # guarded-by: _lock
+        self._unsynced = 0  # guarded-by: _lock
         # The epoch the next appended record must carry: last record's
         # pre-epoch + 1, or the checkpoint marker of an empty log.
         # Computed from the open-time scan; None until first use.
-        self._head_epoch: int | None = None
+        self._head_epoch: int | None = None  # guarded-by: _lock
         # Intact record count and header checkpoint marker, kept in step
         # with every append/rollback/checkpoint/reset/compact so
         # :meth:`state` (the durability signal policy checkpoints key
         # off, called after every update) never re-reads the file on
         # the hot path.  None until the first open-time scan.
-        self._records: int | None = None
-        self._checkpoint_epoch: int | None = None
+        self._records: int | None = None  # guarded-by: _lock
+        self._checkpoint_epoch: int | None = None  # guarded-by: _lock
         # True only for a log file this object just created: its first
         # append adopts the session's epoch as the baseline.
-        self._adopt_head = False
+        self._adopt_head = False  # guarded-by: _lock
 
     # ------------------------------------------------------------------
-    def _drop_handle(self) -> None:
+    def _drop_handle(self) -> None:  # guarded-by: _lock
         """Close the append handle (callers hold the lock).
 
         Any code path that changes the file through a *different*
@@ -343,7 +357,7 @@ class WriteAheadLog:
             self._fh = None
             self._unsynced = 0
 
-    def _open(self):
+    def _open(self) -> IO[bytes]:  # guarded-by: _lock
         """The append handle, creating file + header on first use.
 
         An existing log is scanned first: any torn tail (a previous
@@ -391,7 +405,14 @@ class WriteAheadLog:
                 fsync_dir(os.path.dirname(os.path.abspath(self.path)) or ".")
         return self._fh
 
-    def append(self, batch, *, epoch: int, pre_n: int, schema) -> "_AppendToken":
+    def append(
+        self,
+        batch: "UpdateBatch",
+        *,
+        epoch: int,
+        pre_n: int,
+        schema: Schema,
+    ) -> "_AppendToken":
         """Durably log one batch about to be applied at ``epoch``.
 
         Called by the update path *before* any session state mutates
@@ -516,11 +537,11 @@ class WriteAheadLog:
     def __enter__(self) -> "WriteAheadLog":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------
-    def records(self, schema) -> list:
+    def records(self, schema: Schema) -> list:
         """``(epoch, pre_n, UpdateBatch)`` for every intact record.
 
         A read-only scan (tests, diagnostics); the torn tail, if any,
@@ -563,7 +584,7 @@ class WriteAheadLog:
             ):
                 return 0
 
-            def write(fh) -> None:
+            def write(fh: IO[bytes]) -> None:
                 fh.write(_header_bytes(marker))
                 for rec_epoch, pre_n, payload in kept:
                     fh.write(
@@ -649,7 +670,7 @@ class WriteAheadLog:
                 "bytes": os.path.getsize(self.path) if exists else 0,
             }
 
-    def compact(self, schema) -> CompactStats:
+    def compact(self, schema: Schema) -> CompactStats:
         """Merge every logged record into one equivalent batch.
 
         Composes the log's delete/append sequence into a single
@@ -756,7 +777,7 @@ class WriteAheadLog:
             )
             payload = _encode_record(merged, schema, span=span)
 
-            def write(fh) -> None:
+            def write(fh: IO[bytes]) -> None:
                 fh.write(_header_bytes(marker))
                 fh.write(
                     _FRAME.pack(
@@ -784,7 +805,12 @@ class WriteAheadLog:
         return f"WriteAheadLog({self.path!r}, bytes={size})"
 
 
-def replay(session, wal, *, repair: bool = True) -> ReplayStats:
+def replay(
+    session: "QuerySession",
+    wal: "WriteAheadLog | str | os.PathLike[str]",
+    *,
+    repair: bool = True,
+) -> ReplayStats:
     """Fast-forward a restored session from its saved epoch to the log head.
 
     ``session`` is typically fresh from
@@ -855,7 +881,7 @@ def replay(session, wal, *, repair: bool = True) -> ReplayStats:
                 "`repro index-build`)"
             )
 
-    last_skipped: tuple | None = None
+    last_skipped: "tuple[int, bytes] | None" = None
     for epoch, pre_n, payload in frames:
         if epoch < session.epoch:
             last_skipped = (epoch, payload)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import argparse
 
-from . import fig8, fig9, fig10, fig11, fig12, fig13, fig14, table1, table2
+from . import fig10, fig11, fig12, fig13, fig14, fig8, fig9, table1, table2
 
 
 def main() -> None:

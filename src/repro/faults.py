@@ -41,7 +41,7 @@ import os
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Optional
+from typing import BinaryIO, Dict, FrozenSet, Mapping, Optional, Set
 
 __all__ = [
     "CRASH_EXIT_CODE",
@@ -99,7 +99,7 @@ class _Spec:
 
 
 _lock = threading.Lock()
-_names: set = set()
+_names: Set[str] = set()
 _specs: Dict[str, _Spec] = {}
 #: The fast-path flag -- ``failpoint()`` returns after one read of this
 #: when nothing is armed.  Only mutated under ``_lock``.
@@ -212,9 +212,10 @@ def active() -> Dict[str, str]:
         return {name: spec.action for name, spec in _specs.items()}
 
 
-def load_env(environ: Optional[Dict[str, str]] = None) -> Dict[str, str]:
+def load_env(environ: Optional[Mapping[str, str]] = None) -> Dict[str, str]:
     """Arm every failpoint named in ``REPRO_FAILPOINTS``; returns them."""
-    text = (environ if environ is not None else os.environ).get(ENV_VAR, "")
+    source: Mapping[str, str] = environ if environ is not None else os.environ
+    text = source.get(ENV_VAR, "")
     if not text:
         return {}
     global _armed
@@ -227,7 +228,9 @@ def load_env(environ: Optional[Dict[str, str]] = None) -> Dict[str, str]:
     return {name: spec.action for name, spec in specs.items()}
 
 
-def failpoint(name: str, *, fh=None, data: Optional[bytes] = None) -> None:
+def failpoint(
+    name: str, *, fh: Optional[BinaryIO] = None, data: Optional[bytes] = None
+) -> None:
     """The checkpoint.  Near-free when nothing is armed.
 
     ``fh``/``data`` give ``torn-write`` a file handle and the bytes the

@@ -45,6 +45,7 @@ from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
+from .. import faults
 from ..core.aggregators import (
     AverageAggregator,
     CompositeAggregator,
@@ -54,7 +55,6 @@ from ..core.aggregators import (
 from ..core.objects import SpatialDataset
 from ..core.query import ASRSQuery
 from ..core.selection import SelectAll, SelectByValue
-from .. import faults
 from ..dssearch.search import SearchSettings
 from ..engine import SessionPool
 from ..engine.wal import ReplayStats, WalRollbackError, WalWriteError, replay
@@ -211,36 +211,36 @@ class RegionService:
         self._settings = settings
         self.read_only = bool(read_only)
         self._lock = threading.Lock()
-        self._specs: Dict[str, DatasetSpec] = {}
+        self._specs: Dict[str, DatasetSpec] = {}  # guarded-by: _lock
         # The facade holds its own strong reference to every open
         # session: pool eviction under a byte/session budget clears a
         # session's *caches* but must never lose the session object
         # itself (it may hold mutations no log or bundle covers yet) --
         # session() re-admits on access.
-        self._sessions: Dict[str, object] = {}
+        self._sessions: Dict[str, object] = {}  # guarded-by: _lock
         # The dataset object loaded at open time, *before* any replay:
         # persist() needs to know whether the on-disk baseline still
         # reflects the session (see PersistResult.wal_action).
-        self._baselines: Dict[str, SpatialDataset] = {}
+        self._baselines: Dict[str, SpatialDataset] = {}  # guarded-by: _lock
         # Interned aggregators, LRU-bounded: term tuples arrive from
         # clients, so an unbounded table would let request variety (or
         # an adversarial client) grow the server without limit.
         self._aggregator_cache_size = max(1, int(aggregator_cache_size))
-        self._aggregators: "OrderedDict[Tuple[str, Tuple[str, ...]], CompositeAggregator]" = (
-            OrderedDict()
-        )
-        self._counters: Dict[str, Dict[str, int]] = {}
+        self._aggregators: (  # guarded-by: _lock
+            "OrderedDict[Tuple[str, Tuple[str, ...]], CompositeAggregator]"
+        ) = OrderedDict()
+        self._counters: Dict[str, Dict[str, int]] = {}  # guarded-by: _lock
         # Per-dataset health (DESIGN.md §12): "ok" | "degraded" |
         # "failed".  Degraded = a durability write failed but log and
         # session still agree (mutations refused, queries serve,
         # checkpoint repairs).  Failed = a WAL rollback failure left an
         # unapplied record in the log (checkpoint/compact also refused
         # -- they would enshrine the orphan -- only recover() repairs).
-        self._health: Dict[str, Dict[str, object]] = {}
+        self._health: Dict[str, Dict[str, object]] = {}  # guarded-by: _lock
         # (wal size, mtime_ns, session epoch) at the last successful
         # refresh(), per key: unchanged marks make replica idle ticks
         # O(1) instead of a full log re-scan.
-        self._wal_marks: Dict[str, tuple] = {}
+        self._wal_marks: Dict[str, tuple] = {}  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     # Dataset lifecycle

@@ -47,7 +47,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from .. import faults
 from .facade import DatasetUnavailable, RegionService
-from .types import QueryRequest, UpdateRequest
+from .types import QueryRequest, UpdateRequest, dumps
 
 #: Fires at the top of every POST dispatch -- the outermost place a
 #: request can die; the generic handler must turn it into a named 500,
@@ -175,7 +175,7 @@ class _Handler(BaseHTTPRequestHandler):
             super().log_message(fmt, *args)
 
     def _send(self, status: int, payload: dict, *, close: bool = False) -> None:
-        body = json.dumps(payload, allow_nan=False).encode("utf-8")
+        body = dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))

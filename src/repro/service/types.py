@@ -28,9 +28,10 @@ a result bit-for-bit.
 
 from __future__ import annotations
 
+import json
 import math
 from dataclasses import dataclass, field, fields
-from typing import Mapping, Tuple
+from typing import Any, Iterable, Mapping, Tuple
 
 import numpy as np
 
@@ -49,7 +50,7 @@ def encode_float(value: float) -> float | str:
     return value
 
 
-def decode_float(value) -> float:
+def decode_float(value: "float | int | str") -> float:
     """Invert :func:`encode_float` (plain numbers pass through)."""
     if isinstance(value, str):
         if value == "NaN":
@@ -62,12 +63,29 @@ def decode_float(value) -> float:
     return float(value)
 
 
-def _encode_floats(values) -> list:
+def _encode_floats(values: Iterable[float]) -> "list[float | str]":
     return [encode_float(v) for v in values]
 
 
-def _decode_floats(values) -> Tuple[float, ...]:
+def _decode_floats(values: "Iterable[float | int | str]") -> Tuple[float, ...]:
     return tuple(decode_float(v) for v in values)
+
+
+def dumps(document: object) -> str:
+    """Serialize an already-encoded document to strict JSON.
+
+    The single sanctioned ``json.dumps`` of the serving surface
+    (lint rule RPL004): ``allow_nan=False`` guarantees a document
+    that skipped the :func:`encode_float` sentinels fails loudly
+    here instead of emitting the non-interoperable bare ``NaN``
+    token to a client.
+    """
+    return json.dumps(document, allow_nan=False)
+
+
+def loads(text: str | bytes) -> object:
+    """Parse strict JSON (inverse of :func:`dumps`)."""
+    return json.loads(text)
 
 
 # ----------------------------------------------------------------------
@@ -191,7 +209,7 @@ class DatasetSpec:
     numeric: Tuple[str, ...] = ()
     index: str | None = None
     wal: str | None = None
-    granularity: object = "auto"
+    granularity: Any = "auto"
     durability: DurabilityPolicy = field(default_factory=DurabilityPolicy)
 
     def __post_init__(self) -> None:
@@ -375,7 +393,7 @@ class RegionResult:
     facade-measured wall clock of the solve.
     """
 
-    region: Tuple[float, float, float, float]
+    region: Tuple[float, ...]
     score: float
     representation: Tuple[float, ...] | None = None
     stats: dict | None = None
@@ -397,11 +415,11 @@ class RegionResult:
     @classmethod
     def from_engine(
         cls,
-        result,
+        result: Any,
         *,
         epoch: int,
         elapsed_s: float,
-        stats=None,
+        stats: Any = None,
     ) -> "RegionResult":
         """Wrap a :class:`repro.core.query.RegionResult` (or MaxRS result)."""
         region = result.region
@@ -449,11 +467,11 @@ class RegionResult:
         )
 
 
-def _stats_dict(stats) -> dict | None:
+def _stats_dict(stats: Any) -> dict | None:
     """Search stats as a JSON-safe dict (numpy scalars unwrapped)."""
     if stats is None:
         return None
-    out = {}
+    out: dict = {}
     source = stats if isinstance(stats, dict) else vars(stats)
     for name, value in source.items():
         if isinstance(value, (np.integer,)):

@@ -1,0 +1,10 @@
+"""Keep pytest out of the fixture corpus.
+
+The mini-projects under ``fixtures/`` contain deliberate rule
+violations and files named ``test_matrix.py`` that are lint *inputs*,
+not test modules; collecting them would fail imports (and defeat the
+point).  The lint walker skips the directory via its
+``.repro-lint-skip`` marker; this does the same for pytest.
+"""
+
+collect_ignore = ["fixtures"]

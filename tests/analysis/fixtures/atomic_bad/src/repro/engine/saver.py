@@ -1,0 +1,20 @@
+"""RPL002 flagging fixture: raw durable writes outside core/atomicio."""
+
+import os
+
+import numpy as np
+
+
+def save_csv(path, header, rows):
+    with open(path, "w", encoding="utf-8") as fh:  # raw open() for writing
+        fh.write(header + "\n")
+        for row in rows:
+            fh.write(",".join(map(str, row)) + "\n")
+
+
+def save_array(path, arr):
+    np.save(path, arr)  # numpy writer outside a replace_atomically callback
+
+
+def promote(tmp, final):
+    os.replace(tmp, final)  # hand-rolled rename: no fsync discipline

@@ -1,0 +1,20 @@
+"""RPL002 passing fixture: durable writes via the writer-callback idiom."""
+
+import numpy as np
+
+from repro.core.atomicio import replace_atomically
+
+
+def save_csv(path, text):
+    replace_atomically(path, lambda fh: fh.write(text), text=True)
+
+
+def save_array(path, arr):
+    # The nested np.savez_compressed call is sanctioned: it is lexically
+    # inside an argument to replace_atomically.
+    replace_atomically(path, lambda fh: np.savez_compressed(fh, arr=arr))
+
+
+def load_csv(path):
+    with open(path, "r", encoding="utf-8") as fh:  # reads are always fine
+        return fh.read()

@@ -1,0 +1,11 @@
+"""RPL004 flagging fixture: json.dumps outside service/types.py."""
+
+import json
+
+
+def render(payload):
+    return json.dumps(payload)  # crashes on NaN, or emits bare NaN tokens
+
+
+def write_report(fh, payload):
+    json.dump(payload, fh)  # same problem, streaming form

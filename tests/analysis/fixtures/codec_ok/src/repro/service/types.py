@@ -1,0 +1,7 @@
+"""RPL004 passing fixture: service/types.py is the sanctioned codec home."""
+
+import json
+
+
+def dumps(payload):
+    return json.dumps(payload, sort_keys=True, allow_nan=False)

@@ -1,0 +1,16 @@
+"""RPL005 flagging fixture: bare and silently-swallowed broad excepts."""
+
+
+def run_step(step):
+    try:
+        step()
+    except:  # bare: also traps KeyboardInterrupt/SystemExit
+        pass
+
+
+def run_all(steps):
+    for step in steps:
+        try:
+            step()
+        except Exception:  # broad with a no-op body: failure vanishes
+            pass

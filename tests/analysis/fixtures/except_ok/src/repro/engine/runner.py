@@ -1,0 +1,16 @@
+"""RPL005 passing fixture: broad excepts that handle, narrow that don't."""
+
+
+def run_step(step, errors):
+    try:
+        step()
+    except Exception as exc:  # broad but handled: recorded and re-raised
+        errors.append(exc)
+        raise
+
+
+def close_quietly(handle):
+    try:
+        handle.close()
+    except OSError:  # typed narrow handler with pass: best-effort cleanup
+        pass

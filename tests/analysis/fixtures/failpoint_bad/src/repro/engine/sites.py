@@ -1,0 +1,16 @@
+"""RPL003 flagging fixture: one unregistered call, one unmatrixed name."""
+
+from repro import faults
+
+FP_FLUSH = faults.register("fixture.flush")  # matrixed: fine
+FP_ORPHAN = faults.register("fixture.orphan")  # no chaos-matrix case: flagged
+
+
+def flush(buffer):
+    faults.failpoint(FP_FLUSH)
+    buffer.clear()
+
+
+def drain(buffer):
+    faults.failpoint("fixture.unregistered")  # never registered: flagged
+    buffer.clear()

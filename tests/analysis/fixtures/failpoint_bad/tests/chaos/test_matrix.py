@@ -1,0 +1,5 @@
+"""Fixture chaos matrix: covers fixture.flush but not fixture.orphan."""
+
+CASES = {
+    "fixture.flush": None,
+}

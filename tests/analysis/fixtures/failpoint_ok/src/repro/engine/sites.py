@@ -1,0 +1,16 @@
+"""RPL003 passing fixture: registered, matrixed, statically resolvable."""
+
+from repro import faults
+
+FP_FLUSH = faults.register("fixture.flush")
+FP_DRAIN = faults.register("fixture.drain")
+
+
+def flush(buffer):
+    faults.failpoint(FP_FLUSH)  # FP_* constant form
+    buffer.clear()
+
+
+def drain(buffer):
+    faults.failpoint("fixture.drain")  # string-literal form
+    buffer.clear()

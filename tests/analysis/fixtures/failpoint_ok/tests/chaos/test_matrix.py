@@ -1,0 +1,6 @@
+"""Fixture chaos matrix: one case per registered failpoint."""
+
+CASES = {
+    "fixture.flush": None,
+    "fixture.drain": None,
+}

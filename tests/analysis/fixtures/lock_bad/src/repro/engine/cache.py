@@ -1,0 +1,18 @@
+"""RPL001 flagging fixture: guarded attribute touched without its lock."""
+
+import threading
+
+
+class Cache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = {}  # guarded-by: _lock
+        self._hits = 0  # guarded-by: _lock
+
+    def put(self, key, value):
+        self._items[key] = value  # written with no lock held
+
+    def get(self, key):
+        self._hits += 1  # read+write with no lock held
+        with self._lock:
+            return self._items.get(key)

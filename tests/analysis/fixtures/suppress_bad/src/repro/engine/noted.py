@@ -1,0 +1,11 @@
+"""RPL000 flagging fixture: a suppression without its mandatory reason.
+
+The reason-less comment is itself flagged (RPL000) and does NOT
+suppress, so the underlying RPL004 finding surfaces too.
+"""
+
+import json
+
+
+def debug_render(payload):
+    return json.dumps(payload)  # repro: ignore[RPL004]

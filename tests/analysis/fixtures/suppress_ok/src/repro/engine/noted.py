@@ -1,0 +1,8 @@
+"""RPL000/RPL004 passing fixture: a well-formed reasoned suppression."""
+
+import json
+
+
+def debug_render(payload):
+    # repro: ignore[RPL004] -- debug-only repr, never crosses the wire
+    return json.dumps(payload)

@@ -1,0 +1,137 @@
+"""The live tree lints clean -- and stays honest under mutation.
+
+Three layers:
+
+* the meta-test: ``repro lint src tests`` over the real repository
+  exits 0 (every true positive fixed or carries a reasoned
+  suppression), while the fixture corpus is skipped via its
+  ``.repro-lint-skip`` marker;
+* the CLI: exit codes for clean trees, violating fixture projects
+  (passing the project directory directly bypasses the skip marker),
+  and ``--format json``;
+* mutation sweeps for the acceptance bar: deleting any one
+  ``with self._lock:`` in the facade, or any one chaos-matrix case,
+  makes lint exit non-zero.
+"""
+
+import ast
+import json
+from pathlib import Path
+
+from repro.analysis.__main__ import run
+from repro.analysis.core import Linter, SourceFile
+
+HERE = Path(__file__).resolve()
+REPO = HERE.parents[2]
+FIXTURES = HERE.parent / "fixtures"
+FACADE = "src/repro/service/facade.py"
+MATRIX = "tests/chaos/test_matrix.py"
+
+
+class TestLiveTree:
+    def test_src_and_tests_lint_clean(self, monkeypatch):
+        monkeypatch.chdir(REPO)
+        result = Linter().lint_paths(["src", "tests"])
+        assert result.ok, "\n".join(f.render() for f in result.findings)
+        # The walk really covered the tree (engine + service + core +
+        # chaos suite), not an empty directory.
+        assert result.files_checked > 40
+
+    def test_skip_marker_excludes_fixture_corpus(self, monkeypatch):
+        # The corpus is full of deliberate violations; the live walk
+        # must not see them...
+        monkeypatch.chdir(REPO)
+        walked = Linter().lint_paths(["tests"])
+        assert walked.ok
+        # ...but walking a fixture project directly bypasses the parent
+        # marker (markers are checked per walked directory), which is
+        # how the corpus stays usable at all.
+        monkeypatch.chdir(FIXTURES / "codec_bad")
+        direct = Linter().lint_paths(["src"])
+        assert not direct.ok
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self, monkeypatch):
+        monkeypatch.chdir(REPO)
+        assert run(["src", "tests"]) == 0
+
+    def test_violating_fixture_exits_nonzero(self, monkeypatch, capsys):
+        monkeypatch.chdir(FIXTURES / "failpoint_bad")
+        assert run(["src", "tests"]) == 1
+        out = capsys.readouterr().out
+        assert "RPL003" in out
+
+    def test_json_format(self, monkeypatch, capsys):
+        monkeypatch.chdir(FIXTURES / "except_bad")
+        assert run(["--format", "json", "src"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert {f["rule"] for f in payload} == {"RPL005"}
+        assert all({"path", "line", "message"} <= set(f) for f in payload)
+
+
+class TestMutationSweeps:
+    """The acceptance bar, exhaustively: every single deletion trips lint."""
+
+    def test_deleting_any_lock_block_fails_lint(self):
+        text = (REPO / FACADE).read_text(encoding="utf-8")
+        needle = "with self._lock:"
+        starts = []
+        idx = text.find(needle)
+        while idx != -1:
+            starts.append(idx)
+            idx = text.find(needle, idx + 1)
+        assert len(starts) >= 10, "facade lost its lock blocks?"
+        unprotected = []
+        for start in starts:
+            mutated = text[:start] + "if True:" + text[start + len(needle):]
+            result = Linter().lint_sources(
+                [SourceFile(REPO / FACADE, FACADE, mutated)]
+            )
+            if not any(f.rule == "RPL001" for f in result.findings):
+                line = text[:start].count("\n") + 1
+                unprotected.append(line)
+        assert not unprotected, (
+            f"removing 'with self._lock:' at facade.py lines {unprotected} "
+            "went unnoticed by RPL001"
+        )
+
+    def test_deleting_any_matrix_case_fails_lint(self):
+        matrix_text = (REPO / MATRIX).read_text(encoding="utf-8")
+        live = [
+            SourceFile(p, p.relative_to(REPO).as_posix(), p.read_text(encoding="utf-8"))
+            for p in sorted((REPO / "src").rglob("*.py"))
+            if "faults.register(" in p.read_text(encoding="utf-8")
+        ]
+        registered = {
+            node.value.args[0].value
+            for source in live
+            for node in ast.walk(source.tree)
+            if isinstance(node, ast.Assign)
+            and isinstance(node.value, ast.Call)
+            and getattr(node.value.func, "attr", None) == "register"
+            and node.value.args
+            and isinstance(node.value.args[0], ast.Constant)
+        }
+        assert len(registered) >= 15, "failpoint surface shrank unexpectedly?"
+
+        def lint_with(matrix):
+            sources = live + [SourceFile(REPO / MATRIX, MATRIX, matrix)]
+            return Linter().lint_sources(sources)
+
+        assert lint_with(matrix_text).ok  # baseline: total coverage
+        uncaught = []
+        for name in sorted(registered):
+            assert f'"{name}"' in matrix_text, f"{name} missing from matrix"
+            mutated = matrix_text.replace(f'"{name}"', f'"{name}-deleted"')
+            result = lint_with(mutated)
+            hits = [
+                f
+                for f in result.findings
+                if f.rule == "RPL003" and "has no case" in f.message
+            ]
+            if not hits:
+                uncaught.append(name)
+        assert not uncaught, (
+            f"deleting the chaos case(s) for {uncaught} went unnoticed by RPL003"
+        )

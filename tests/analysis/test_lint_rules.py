@@ -1,0 +1,100 @@
+"""Fixture-corpus tests: each rule flags its bad snippet, passes its good one.
+
+Fixture projects are linted through :meth:`Linter.lint_sources` with
+paths made relative to the fixture root, mirroring how the CLI sees a
+tree it is run from (``src/repro/...``, ``tests/chaos/...``).  The
+end-to-end path (``lint_paths`` + the ``.repro-lint-skip`` walker) is
+covered in ``test_lint_live.py``.
+"""
+
+from pathlib import Path
+
+from repro.analysis.core import META_RULE, Linter, SourceFile
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def lint_fixture(name):
+    project = FIXTURES / name
+    sources = [
+        SourceFile(p, p.relative_to(project).as_posix(), p.read_text(encoding="utf-8"))
+        for p in sorted(project.rglob("*.py"))
+    ]
+    assert sources, f"fixture {name!r} has no python files"
+    return Linter().lint_sources(sources)
+
+
+def rules_hit(result):
+    return {f.rule for f in result.findings}
+
+
+class TestLockDiscipline:
+    def test_bad_flags_rpl001(self):
+        result = lint_fixture("lock_bad")
+        assert not result.ok
+        assert rules_hit(result) == {"RPL001"}
+        # Both the bare write and the unlocked increment are caught.
+        assert len(result.findings) >= 2
+        assert all("_lock" in f.message for f in result.findings)
+
+    def test_ok_is_clean(self):
+        assert lint_fixture("lock_ok").ok
+
+
+class TestAtomicWrites:
+    def test_bad_flags_rpl002(self):
+        result = lint_fixture("atomic_bad")
+        assert rules_hit(result) == {"RPL002"}
+        messages = " / ".join(f.message for f in result.findings)
+        assert "open()" in messages
+        assert "np.save()" in messages
+        assert "os.replace()" in messages
+
+    def test_ok_is_clean(self):
+        assert lint_fixture("atomic_ok").ok
+
+
+class TestFailpointCoverage:
+    def test_bad_flags_both_gaps(self):
+        result = lint_fixture("failpoint_bad")
+        assert rules_hit(result) == {"RPL003"}
+        assert len(result.findings) == 2
+        messages = " / ".join(f.message for f in result.findings)
+        assert "'fixture.unregistered' is not registered" in messages
+        assert "'fixture.orphan' has no case" in messages
+
+    def test_ok_is_clean(self):
+        assert lint_fixture("failpoint_ok").ok
+
+
+class TestCodecDiscipline:
+    def test_bad_flags_rpl004(self):
+        result = lint_fixture("codec_bad")
+        assert rules_hit(result) == {"RPL004"}
+        assert len(result.findings) == 2  # dumps and dump
+
+    def test_types_py_is_sanctioned(self):
+        assert lint_fixture("codec_ok").ok
+
+
+class TestExceptionHygiene:
+    def test_bad_flags_rpl005(self):
+        result = lint_fixture("except_bad")
+        assert rules_hit(result) == {"RPL005"}
+        messages = " / ".join(f.message for f in result.findings)
+        assert "bare 'except:'" in messages
+        assert "no-op body" in messages
+
+    def test_ok_is_clean(self):
+        assert lint_fixture("except_ok").ok
+
+
+class TestSuppressions:
+    def test_missing_reason_flags_and_does_not_suppress(self):
+        result = lint_fixture("suppress_bad")
+        assert rules_hit(result) == {META_RULE, "RPL004"}
+        meta = next(f for f in result.findings if f.rule == META_RULE)
+        assert "mandatory reason" in meta.message
+
+    def test_reasoned_suppression_silences(self):
+        assert lint_fixture("suppress_ok").ok

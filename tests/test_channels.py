@@ -10,7 +10,6 @@ from repro.core import (
     AverageAggregator,
     ChannelCompiler,
     CompositeAggregator,
-    DistributionAggregator,
     SelectAll,
     SelectByValue,
     SumAggregator,

@@ -7,13 +7,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.baselines import brute_force_search
-from repro.core import (
-    ASRSQuery,
-    CompositeAggregator,
-    DistributionAggregator,
-    Rect,
-    SelectAll,
-)
+from repro.core import ASRSQuery, Rect
 from repro.dssearch import SearchSettings, SearchStats, ds_search
 from repro.dssearch.search import DSSearchEngine
 

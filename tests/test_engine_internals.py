@@ -1,15 +1,13 @@
 """Focused tests of DS-Search engine internals and settings."""
 
-import math
-
 import numpy as np
 import pytest
 
 from repro.core import ASRSQuery, Rect
 from repro.dssearch import SearchSettings, ds_search
 from repro.dssearch.search import DSSearchEngine
-from repro.dssearch.split import split_space
 from repro.dssearch.grid import DiscretizationGrid
+from repro.dssearch.split import split_space
 
 from .conftest import make_random_dataset, random_aggregator
 

@@ -5,7 +5,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.baselines import brute_force_search
 from repro.core import ASRSQuery, Rect
 from repro.core.geometry import subtract
 from repro.dssearch import SearchSettings, ds_search
@@ -98,7 +97,7 @@ class TestExclusionSearch:
         assert not result.region.intersects_open(exclude)
 
         # Oracle: brute force over the allowed mesh points only.
-        from repro.asp import reduce_to_asp, points_distances, region_for_point
+        from repro.asp import reduce_to_asp, points_distances
         from repro.baselines.bruteforce import _candidate_coords
         from repro.core import ChannelCompiler
 

@@ -1,10 +1,17 @@
 """Smoke tests: every experiment module must run at reduced scale and
 produce rows with the expected shape."""
 
-import pytest
-
-from repro.experiments import fig8, fig9, fig10, fig11, fig12, fig13, fig14
-from repro.experiments import table1, table2
+from repro.experiments import (
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig8,
+    fig9,
+    table1,
+    table2,
+)
 
 
 class TestExperimentRunners:

@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.baselines import brute_force_search
-from repro.core import ASRSQuery, ChannelCompiler, Rect
+from repro.core import ASRSQuery, ChannelCompiler
 from repro.dssearch import SearchSettings, ds_search
 from repro.index import (
     GridIndex,
