@@ -43,6 +43,14 @@ the Fig. 10 scalability workload (Tweet + POISyn, query size 10q):
   an identically warmed session.  Answers must be bitwise-identical
   and the facade overhead must stay within a few percent -- the typed
   surface is bookkeeping, not work.
+* **sanitizer_overhead** -- the concurrency sanitizer's disabled fast
+  path (DESIGN.md §14): the engine's locks come from
+  ``repro.analysis.sanitizer`` factories, which when disarmed must
+  return bare ``threading`` primitives.  The row type-checks that no
+  ``Tracked*`` wrapper leaked into the default build and times a
+  second identically warmed session against the direct baseline; the
+  overhead must stay ≤2% (identity-checked, same min-of-reps pattern
+  as service_overhead).  The bench never arms the sanitizer.
 * **delta_lattice** -- per-update lattice maintenance on a *localized*
   stream (each round mutates one small box, the POI-stream shape delta
   maintenance targets; the scattered stream above trips the
@@ -221,6 +229,46 @@ def bench_config(kind: str, n: int, n_queries: int, workers: int) -> dict:
     )
     service_overhead_pct = round((service_s / direct_s - 1.0) * 100.0, 2)
 
+    # Sanitizer overhead: the engine's locks are built through
+    # repro.analysis.sanitizer factories (make_lock & friends), which
+    # when disarmed must hand back bare threading primitives -- the
+    # same near-zero fast path the faults registry takes.  Two checks:
+    # the session's locks really are plain primitives (no Tracked*
+    # wrapper leaked into the default build), and a second identically
+    # warmed session times within noise of the direct baseline above
+    # (A/A by construction once the type check holds; a regression
+    # that makes the disabled factory pay per-acquisition cost shows
+    # up here).  The bench process never calls sanitizer.enable() --
+    # arming installs guard descriptors process-wide and would
+    # contaminate every other row.
+    import threading as _threading
+
+    from repro.analysis import sanitizer as _sanitizer
+
+    sanitizer_plain = not _sanitizer.enabled() and not any(
+        isinstance(lk, _sanitizer._TrackedBase)
+        for lk in (
+            direct_session._index_lock,
+            direct_session._memo_lock,
+            direct_session._update_cv,
+        )
+    ) and isinstance(direct_session._memo_lock, type(_threading.Lock()))
+    sani_session = QuerySession(dataset, granularity=granularity)
+    sani_session.solve(queries[0])
+    sani_times = []
+    for _ in range(service_reps):
+        t0 = time.perf_counter()
+        sani = [sani_session.solve(q) for q in queries]
+        sani_times.append(time.perf_counter() - t0)
+    sanitizer_s = min(sani_times)
+    sanitizer_ok = sanitizer_plain and all(
+        s.region == d.region
+        and s.distance == d.distance
+        and np.array_equal(s.representation, d.representation)
+        for s, d in zip(sani, direct)
+    )
+    sanitizer_overhead_pct = round((sanitizer_s / direct_s - 1.0) * 100.0, 2)
+
     # Incremental: a live update stream.  Each round mutates the data
     # (append ~0.5% rows resampled in-bounds, delete ~0.5% interior
     # rows -- avoiding the bounding-box corners keeps the index on the
@@ -393,6 +441,7 @@ def bench_config(kind: str, n: int, n_queries: int, workers: int) -> dict:
         and wal_ok
         and delta_ok
         and service_ok
+        and sanitizer_ok
     )
     return {
         "kind": kind,
@@ -410,6 +459,9 @@ def bench_config(kind: str, n: int, n_queries: int, workers: int) -> dict:
         "service_s": round(service_s, 4),
         "service_overhead_pct": service_overhead_pct,
         "service_identical": service_ok,
+        "sanitizer_s": round(sanitizer_s, 4),
+        "sanitizer_overhead_pct": sanitizer_overhead_pct,
+        "sanitizer_identical": sanitizer_ok,
         "incremental_s": round(incremental_s, 4),
         "rebuild_s": round(rebuild_s, 4),
         "update_rounds": rounds,
@@ -510,6 +562,7 @@ def main(argv=None) -> int:
     tot_full = sum(c["full_lattice_s"] for c in configs)
     tot_direct = sum(c["direct_s"] for c in configs)
     tot_service = sum(c["service_s"] for c in configs)
+    tot_sanitizer = sum(c["sanitizer_s"] for c in configs)
     report = {
         "benchmark": "engine",
         "workload": f"fig10 size={SIZE_FACTOR}q",
@@ -544,6 +597,10 @@ def main(argv=None) -> int:
             "service_overhead_pct": round(
                 (tot_service / tot_direct - 1.0) * 100.0, 2
             ),
+            "sanitizer_s": round(tot_sanitizer, 4),
+            "sanitizer_overhead_pct": round(
+                (tot_sanitizer / tot_direct - 1.0) * 100.0, 2
+            ),
         },
         "all_identical": all(c["identical"] for c in configs),
     }
@@ -558,7 +615,8 @@ def main(argv=None) -> int:
         f"incremental {report['aggregate']['speedup_incremental']}x vs rebuild, "
         f"wal-replay {report['aggregate']['speedup_wal_replay']}x vs cold restart, "
         f"delta-lattice {report['aggregate']['speedup_delta_lattice']}x vs full refresh, "
-        f"service overhead {report['aggregate']['service_overhead_pct']}% vs direct solves "
+        f"service overhead {report['aggregate']['service_overhead_pct']}% vs direct solves, "
+        f"sanitizer (disabled) overhead {report['aggregate']['sanitizer_overhead_pct']}% "
         f"-> {args.out}"
     )
     if not report["all_identical"]:

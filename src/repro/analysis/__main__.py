@@ -17,7 +17,8 @@ def build_parser() -> argparse.ArgumentParser:
             "Invariant-aware lint for the repro tree: lock discipline "
             "(RPL001), atomic-write discipline (RPL002), failpoint/chaos "
             "coverage (RPL003), codec discipline (RPL004), exception "
-            "hygiene (RPL005).  Exits 1 on any finding.  Suppress one "
+            "hygiene (RPL005), lock-order consistency (RPL006).  Exits 1 "
+            "on any finding.  Suppress one "
             "finding with '# repro: ignore[RULE] -- reason'."
         ),
     )
@@ -31,7 +32,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--format",
         choices=("text", "json"),
         default="text",
-        help="human-readable lines (default) or a JSON findings array",
+        help=(
+            "human-readable lines (default) or a JSON findings array; "
+            "each JSON record has the stable keys code, path, line, "
+            "message, suppressed (plus col), with reasoned suppressions "
+            "included as suppressed: true"
+        ),
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="write the report to FILE instead of stdout",
     )
     parser.add_argument(
         "--list-rules",
@@ -49,18 +61,29 @@ def run(argv: Sequence[str] | None = None) -> int:
         return 0
     result = Linter().lint_paths(args.paths)
     if args.format == "json":
-        payload = [f.to_dict() for f in result.findings]
+        payload = [f.to_dict() for f in result.findings] + [
+            f.to_dict(suppressed=True) for f in result.suppressed
+        ]
+        payload.sort(key=lambda d: (d["path"], d["line"], d["col"], d["code"]))
         # repro: ignore[RPL004] -- lint tool output, not the serving codec
-        print(json.dumps(payload, indent=2))
+        report = json.dumps(payload, indent=2)
     else:
-        for finding in result.findings:
-            print(finding.render())
+        lines = [finding.render() for finding in result.findings]
         if result.findings:
             print(
                 f"{len(result.findings)} finding(s) in "
                 f"{result.files_checked} file(s)",
                 file=sys.stderr,
             )
+        report = "\n".join(lines)
+    if args.output is not None:
+        # A lint report is regenerable tooling output, not durable
+        # engine state, so the atomic-write machinery would be noise.
+        # repro: ignore[RPL002] -- report file, not durable engine state
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(report + "\n")
+    elif report:
+        print(report)
     return 1 if result.findings else 0
 
 

@@ -68,13 +68,20 @@ class Finding:
     def render(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
 
-    def to_dict(self) -> Dict[str, object]:
+    def to_dict(self, suppressed: bool = False) -> Dict[str, object]:
+        """The stable ``--format json`` record (documented in README).
+
+        Keys ``code``, ``path``, ``line``, ``message`` and
+        ``suppressed`` are the guaranteed schema; ``col`` rides along.
+        Downstream tooling may rely on these names not changing.
+        """
         return {
-            "rule": self.rule,
+            "code": self.rule,
             "path": self.path,
             "line": self.line,
             "col": self.col,
             "message": self.message,
+            "suppressed": suppressed,
         }
 
 
@@ -211,6 +218,12 @@ class Project:
         #: every string literal in the chaos matrix file.
         self.matrix_names: Set[str] = set()
         self.matrix_path: Optional[str] = None
+        #: static lock acquisition edges: (outer, inner) qualified lock
+        #: names -> (rel, line) of the first nested-with site (RPL006).
+        self.lock_edges: Dict[Tuple[str, str], Tuple[str, int]] = {}
+        #: declared ranking: qualified lock name -> (rank, rel, line),
+        #: from ``# lock-order: N`` comments on string literals.
+        self.lock_ranks: Dict[str, Tuple[int, str, int]] = {}
 
 
 class Rule:
@@ -273,6 +286,10 @@ def _walk(directory: Path) -> Iterator[Path]:
 class LintResult:
     findings: List[Finding] = field(default_factory=list)
     files_checked: int = 0
+    #: Findings silenced by a reasoned ``# repro: ignore`` -- kept (not
+    #: dropped) so ``--format json`` can expose them with
+    #: ``suppressed: true``; they never affect :attr:`ok`.
+    suppressed: List[Finding] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -333,9 +350,13 @@ class Linter:
                 if not rule.applies(source):
                     continue
                 for finding in rule.check(source, project):
-                    if not source.is_suppressed(finding.rule, finding.line):
+                    if source.is_suppressed(finding.rule, finding.line):
+                        result.suppressed.append(finding)
+                    else:
                         result.findings.append(finding)
-        result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        sort_key = lambda f: (f.path, f.line, f.col, f.rule)  # noqa: E731
+        result.findings.sort(key=sort_key)
+        result.suppressed.sort(key=sort_key)
         return result
 
     def _adopt_matrix(

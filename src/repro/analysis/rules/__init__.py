@@ -13,6 +13,7 @@ from . import (  # noqa: F401 - imported for their registration side effect
     rpl003_failpoints,
     rpl004_codec,
     rpl005_excepts,
+    rpl006_lockorder,
 )
 
 __all__ = [
@@ -21,4 +22,5 @@ __all__ = [
     "rpl003_failpoints",
     "rpl004_codec",
     "rpl005_excepts",
+    "rpl006_lockorder",
 ]

@@ -10,6 +10,14 @@ every other read or write of it inside the class must sit lexically
 inside a ``with self.<lock>:`` (or ``with self.<lock>():`` gate)
 block.
 
+The declaration grammar itself is parsed by
+:mod:`repro.analysis.guards` -- shared with the runtime sanitizer
+(DESIGN.md §14), so one comment feeds both the lexical check here and
+the lock-set assertion installed under ``REPRO_SANITIZE=1``.  A
+declaration naming a lock the class never defines is *inert* (typo,
+renamed lock): it declares nothing and suppresses nothing, so it is
+reported as an RPL000 machinery finding rather than silently ignored.
+
 The analysis is intraprocedural with two deliberate allowances:
 
 * ``__init__`` itself is exempt -- construction is single-threaded;
@@ -29,30 +37,8 @@ from __future__ import annotations
 import ast
 from typing import Dict, FrozenSet, Iterator, List, Tuple
 
-from ..core import Finding, Project, Rule, SourceFile, register_rule
-
-
-def _self_attr(node: ast.expr) -> str | None:
-    """The ``X`` of a ``self.X`` expression, else None."""
-    if (
-        isinstance(node, ast.Attribute)
-        and isinstance(node.value, ast.Name)
-        and node.value.id == "self"
-    ):
-        return node.attr
-    return None
-
-
-def _held_by_item(item: ast.withitem) -> str | None:
-    """The lock name a ``with`` item acquires, if it is a self-guard.
-
-    Recognises ``with self.<lock>:`` and the gate form
-    ``with self.<gate>():``.
-    """
-    expr = item.context_expr
-    if isinstance(expr, ast.Call) and not expr.args and not expr.keywords:
-        expr = expr.func
-    return _self_attr(expr)
+from .. import guards
+from ..core import META_RULE, Finding, Project, Rule, SourceFile, register_rule
 
 
 @register_rule
@@ -69,7 +55,23 @@ class LockDisciplineRule(Rule):
     def _check_class(
         self, source: SourceFile, cls: ast.ClassDef
     ) -> Iterator[Finding]:
-        guarded = self._declarations(source, cls)
+        decls = guards.class_guards(source, cls)
+        for name, (lock, line) in sorted(
+            decls.inert().items(), key=lambda kv: kv[1][1]
+        ):
+            yield Finding(
+                META_RULE,
+                source.rel,
+                line,
+                0,
+                f"'# guarded-by: {lock}' on '{name}' names a lock that "
+                f"does not exist on class {cls.name} -- the declaration "
+                "is inert (typo or renamed lock?)",
+            )
+        # Inert declarations declare nothing: the RPL000 finding above
+        # is the report, not a spurious RPL001 against a missing lock.
+        inert = decls.inert()
+        guarded = {k: v for k, v in decls.attrs.items() if k not in inert}
         if not guarded:
             return
         for item in cls.body:
@@ -83,29 +85,6 @@ class LockDisciplineRule(Rule):
                 if lock is not None
             )
             yield from self._check_body(source, item.body, guarded, held)
-
-    def _declarations(
-        self, source: SourceFile, cls: ast.ClassDef
-    ) -> Dict[str, Tuple[str, int]]:
-        """attr -> (lock, declaring line) from ``__init__`` comments."""
-        guarded: Dict[str, Tuple[str, int]] = {}
-        for item in cls.body:
-            if not isinstance(item, ast.FunctionDef) or item.name != "__init__":
-                continue
-            for stmt in ast.walk(item):
-                if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
-                    continue
-                lock = source.guard_comment(stmt.lineno)
-                if lock is None:
-                    continue
-                targets = (
-                    stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
-                )
-                for target in targets:
-                    attr = _self_attr(target)
-                    if attr is not None:
-                        guarded[attr] = (lock, stmt.lineno)
-        return guarded
 
     # -- per method ----------------------------------------------------
     def _check_body(
@@ -135,7 +114,7 @@ class LockDisciplineRule(Rule):
                     yield from self._check_node(
                         source, item.optional_vars, guarded, held
                     )
-                lock = _held_by_item(item)
+                lock = guards.held_by_item(item)
                 if lock is not None:
                     acquired.add(lock)
             inner = held | acquired
@@ -143,7 +122,7 @@ class LockDisciplineRule(Rule):
                 yield from self._check_node(source, stmt, guarded, inner)
             return
         if isinstance(node, ast.Attribute):
-            attr = _self_attr(node)
+            attr = guards.self_attr(node)
             if attr is not None and attr in guarded:
                 lock, decl_line = guarded[attr]
                 if lock not in held:

@@ -1,0 +1,279 @@
+"""RPL006: the static lock acquisition graph is acyclic and ranked.
+
+The runtime sanitizer (DESIGN.md §14) learns the lock order from what
+actually executes; this rule learns it from what is *written*.  Pass
+one collects, per class, the attributes constructed as locks (via
+``threading.Lock/RLock/Condition`` or the sanitizer's
+``make_lock/make_rlock/make_condition`` seams) and every lexically
+nested ``with self.<lock>:`` pair -- each nesting is an edge
+``ClassName.outer -> ClassName.inner`` in a project-wide graph (a
+def-line ``# guarded-by: <lock>`` counts the lock as held throughout
+the body).  Pass two fails the lint if:
+
+* an edge closes a **cycle** in the full graph (two code paths that,
+  run concurrently, can deadlock without either being locally wrong);
+* an edge **contradicts the declared ranking**: a ``# lock-order: N``
+  comment on a string literal (the :data:`repro.analysis.guards
+  .LOCK_ORDER` table -- which this rule parses from source, so the
+  declaration checks itself) ranks locks outermost-first, and an edge
+  from a higher rank to a lower one is an inversion even before any
+  second path exists;
+* one lock name carries two **conflicting rank declarations**.
+
+Locks with no declared rank get cycle detection only.  Cross-method
+and cross-class acquisition chains are invisible lexically -- that is
+exactly the gap the runtime half of the sanitizer covers.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .. import guards
+from ..core import Finding, Project, Rule, SourceFile, register_rule
+
+_LOCK_ORDER_RE = re.compile(r"#\s*lock-order:\s*(\d+)\b")
+
+#: Call names that construct a lock (attribute or bare form).
+_LOCK_CTORS = {
+    "Lock",
+    "RLock",
+    "Condition",
+    "make_lock",
+    "make_rlock",
+    "make_condition",
+}
+
+
+def _is_lock_ctor(value: ast.expr) -> bool:
+    if not isinstance(value, ast.Call):
+        return False
+    func = value.func
+    if isinstance(func, ast.Attribute):
+        return func.attr in _LOCK_CTORS
+    return isinstance(func, ast.Name) and func.id in _LOCK_CTORS
+
+
+@register_rule
+class LockOrderRule(Rule):
+    id = "RPL006"
+    title = "static nested-with lock graph acyclic and rank-consistent"
+
+    def __init__(self) -> None:
+        #: edge -> every (rel, line) that contributes it (first is kept
+        #: in the project graph; all are reported on a violation).
+        self._sites: Dict[Tuple[str, str], List[Tuple[str, int]]] = {}
+
+    # -- pass one ------------------------------------------------------
+    def collect(self, source: SourceFile, project: Project) -> None:
+        self._collect_ranks(source, project)
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef):
+                self._collect_class(source, project, node)
+
+    def _collect_ranks(self, source: SourceFile, project: Project) -> None:
+        ranked_lines = {
+            line: int(m.group(1))
+            for line, comment in source.comments.items()
+            for m in [_LOCK_ORDER_RE.search(comment)]
+            if m is not None
+        }
+        if not ranked_lines:
+            return
+        for node in ast.walk(source.tree):
+            if (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                and node.lineno in ranked_lines
+            ):
+                rank = ranked_lines[node.lineno]
+                previous = project.lock_ranks.get(node.value)
+                if previous is None or previous[0] == rank:
+                    project.lock_ranks[node.value] = (
+                        rank,
+                        source.rel,
+                        node.lineno,
+                    )
+                # A conflicting re-declaration is reported in pass two
+                # from whichever file holds the later line; keep the
+                # first so the finding can cite it.
+
+    def _collect_class(
+        self, source: SourceFile, project: Project, cls: ast.ClassDef
+    ) -> None:
+        locks = self._lock_attrs(cls)
+        if not locks:
+            return
+        qual = {attr: f"{cls.name}.{attr}" for attr in locks}
+        for item in cls.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            held: List[str] = []
+            decl = source.guard_comment(item.lineno)
+            if decl is not None and decl in locks and item.name != "__init__":
+                held.append(decl)
+            self._walk(source, project, qual, item.body, held)
+
+    def _lock_attrs(self, cls: ast.ClassDef) -> Set[str]:
+        locks: Set[str] = set()
+        for node in ast.walk(cls):
+            if isinstance(node, ast.Assign) and _is_lock_ctor(node.value):
+                for target in node.targets:
+                    attr = guards.self_attr(target)
+                    if attr is not None:
+                        locks.add(attr)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if _is_lock_ctor(node.value):
+                    attr = guards.self_attr(node.target)
+                    if attr is not None:
+                        locks.add(attr)
+        return locks
+
+    def _walk(
+        self,
+        source: SourceFile,
+        project: Project,
+        qual: Dict[str, str],
+        body: List[ast.stmt],
+        held: List[str],
+    ) -> None:
+        for stmt in body:
+            for node in self._with_nodes(stmt):
+                acquired = [
+                    lock
+                    for item in node.items
+                    for lock in [guards.held_by_item(item)]
+                    if lock is not None and lock in qual
+                ]
+                for lock in acquired:
+                    for outer in held:
+                        if outer != lock:
+                            self._edge(
+                                source,
+                                project,
+                                qual[outer],
+                                qual[lock],
+                                node.lineno,
+                            )
+                self._walk(source, project, qual, node.body, held + acquired)
+
+    def _with_nodes(self, stmt: ast.stmt) -> Iterator[ast.With]:
+        """Every ``with`` in ``stmt``, excluding those nested in inner
+        ``with`` bodies (handled by :meth:`_walk`'s recursion, which
+        threads the held set through them)."""
+        stack: List[ast.AST] = [stmt]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                yield node  # type: ignore[misc]
+                for item in node.items:
+                    stack.extend(ast.iter_child_nodes(item))
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _edge(
+        self,
+        source: SourceFile,
+        project: Project,
+        outer: str,
+        inner: str,
+        line: int,
+    ) -> None:
+        edge = (outer, inner)
+        self._sites.setdefault(edge, []).append((source.rel, line))
+        project.lock_edges.setdefault(edge, (source.rel, line))
+
+    # -- pass two ------------------------------------------------------
+    def check(self, source: SourceFile, project: Project) -> Iterator[Finding]:
+        graph: Dict[str, Set[str]] = {}
+        for outer, inner in project.lock_edges:
+            graph.setdefault(outer, set()).add(inner)
+        for (outer, inner), sites in sorted(self._sites.items()):
+            for rel, line in sites:
+                if rel != source.rel:
+                    continue
+                cycle = self._path(graph, inner, outer)
+                if cycle is not None:
+                    chain = " -> ".join([outer] + cycle)
+                    other = self._first_site(project, cycle)
+                    yield Finding(
+                        self.id,
+                        rel,
+                        line,
+                        0,
+                        f"acquiring '{inner}' while holding '{outer}' "
+                        f"closes the lock cycle {chain}"
+                        + (f" (return edge first seen at {other})" if other else ""),
+                    )
+                    continue
+                ranks = project.lock_ranks
+                if outer in ranks and inner in ranks:
+                    r_out, decl_rel, decl_line = ranks[outer]
+                    r_in = ranks[inner][0]
+                    if r_out > r_in:
+                        yield Finding(
+                            self.id,
+                            rel,
+                            line,
+                            0,
+                            f"acquiring '{inner}' (rank {r_in}) while "
+                            f"holding '{outer}' (rank {r_out}) contradicts "
+                            "the declared '# lock-order:' ranking "
+                            f"({decl_rel}:{decl_line})",
+                        )
+        yield from self._rank_conflicts(source, project)
+
+    def _rank_conflicts(
+        self, source: SourceFile, project: Project
+    ) -> Iterator[Finding]:
+        ranked_lines = {
+            line: int(m.group(1))
+            for line, comment in source.comments.items()
+            for m in [_LOCK_ORDER_RE.search(comment)]
+            if m is not None
+        }
+        if not ranked_lines:
+            return
+        for node in ast.walk(source.tree):
+            if (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                and node.lineno in ranked_lines
+            ):
+                rank = ranked_lines[node.lineno]
+                kept = project.lock_ranks.get(node.value)
+                if kept is not None and kept[0] != rank:
+                    yield Finding(
+                        self.id,
+                        source.rel,
+                        node.lineno,
+                        0,
+                        f"'{node.value}' declared '# lock-order: {rank}' "
+                        f"here but '# lock-order: {kept[0]}' at "
+                        f"{kept[1]}:{kept[2]} -- one ranking per lock",
+                    )
+
+    def _path(
+        self, graph: Dict[str, Set[str]], start: str, goal: str
+    ) -> Optional[List[str]]:
+        stack = [(start, [start])]
+        seen = {start}
+        while stack:
+            node, path = stack.pop()
+            if node == goal:
+                return path
+            for nxt in sorted(graph.get(node, ())):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append((nxt, path + [nxt]))
+        return None
+
+    def _first_site(
+        self, project: Project, cycle: List[str]
+    ) -> Optional[str]:
+        if len(cycle) < 2:
+            return None
+        site = project.lock_edges.get((cycle[0], cycle[1]))
+        return f"{site[0]}:{site[1]}" if site else None

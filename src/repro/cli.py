@@ -509,9 +509,80 @@ def cmd_lint(args) -> int:
     argv = list(args.paths)
     if args.format != "text":
         argv = ["--format", args.format] + argv
+    if args.output is not None:
+        argv = ["--output", args.output] + argv
     if args.list_rules:
         argv = ["--list-rules"] + argv
     return run(argv)
+
+
+def cmd_sanitize_report(args) -> int:
+    """Exercise the serving stack under the runtime concurrency
+    sanitizer and dump the observed lock-acquisition-order graph."""
+    import tempfile
+
+    from .analysis import sanitizer
+
+    sanitizer.enable()
+    # Imports below construct their locks per-instance, so everything
+    # built from here on is tracked.
+    from .core import (
+        ASRSQuery,
+        AverageAggregator,
+        CompositeAggregator,
+        DistributionAggregator,
+        SelectAll,
+    )
+    from .data import generate_tweet_dataset
+    from .dssearch import SearchSettings
+    from .engine import SessionPool, UpdateBatch, WriteAheadLog
+
+    dataset = generate_tweet_dataset(args.n, seed=args.seed)
+    other = generate_tweet_dataset(max(args.n // 2, 50), seed=args.seed + 1)
+    aggregator = CompositeAggregator(
+        [
+            DistributionAggregator("day_of_week", SelectAll()),
+            AverageAggregator("length", SelectAll()),
+        ]
+    )
+    query = ASRSQuery.from_vector(
+        args.width,
+        args.height,
+        aggregator,
+        np.zeros(aggregator.dim(dataset)),
+    )
+    settings = SearchSettings(ncol=8, nrow=8, max_depth=12)
+    with tempfile.TemporaryDirectory() as tmp:
+        wal = WriteAheadLog(os.path.join(tmp, "report.wal"))
+        # The deepest lock chains the stack has: a WAL-logged update
+        # (update gate -> log), then eviction under a one-session cap
+        # (pool lock -> session caches) and pool info (pool -> WAL).
+        pool = SessionPool(max_sessions=1, settings=settings)
+        session = pool.session("a", dataset, wal=wal)
+        session.solve(query)
+        session.apply(UpdateBatch(delete=[0]))
+        pool.info()
+        pool.session("b", other)
+        pool.info()
+
+    graph = sanitizer.order_graph()
+    if args.format == "json":
+        if not args.stacks:
+            for edge in graph["edges"]:
+                edge.pop("first_seen", None)
+        # repro: ignore[RPL004] -- diagnostic tool output, not the serving codec
+        print(json.dumps(graph, indent=2))
+        return 0
+    print("declared lock order (outermost first, analysis/guards.py):")
+    for rank, name in enumerate(graph["declared_order"]):
+        print(f"  {rank}  {name}")
+    print(f"observed acquisition edges ({len(graph['edges'])}):")
+    for edge in graph["edges"]:
+        print(f"  {edge['outer']} -> {edge['inner']}")
+        if args.stacks:
+            for line in edge["first_seen"].rstrip().splitlines():
+                print(f"    {line}")
+    return 0
 
 
 def cmd_serve(args) -> int:
@@ -786,11 +857,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="finding output format",
     )
     lint.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="write the report to FILE instead of stdout",
+    )
+    lint.add_argument(
         "--list-rules",
         action="store_true",
         help="list the registered rules and exit",
     )
     lint.set_defaults(func=cmd_lint)
+
+    sanitize = sub.add_parser(
+        "sanitize-report",
+        help="run a micro-workload under the runtime concurrency "
+        "sanitizer and dump the observed lock-order graph",
+        description=(
+            "Arms the runtime concurrency sanitizer (DESIGN.md §14), "
+            "drives a small WAL-logged query/update/eviction workload "
+            "through the serving stack, and prints the lock-acquisition-"
+            "order graph it observed next to the declared ranking. Any "
+            "inversion raises LockOrderViolation instead of reporting."
+        ),
+    )
+    sanitize.add_argument(
+        "--n", type=int, default=400, help="synthetic dataset size"
+    )
+    sanitize.add_argument("--seed", type=int, default=0)
+    sanitize.add_argument(
+        "--width", type=float, default=5.0, help="query region width"
+    )
+    sanitize.add_argument(
+        "--height", type=float, default=3.0, help="query region height"
+    )
+    sanitize.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    sanitize.add_argument(
+        "--stacks",
+        action="store_true",
+        help="include the stack that first established each edge",
+    )
+    sanitize.set_defaults(func=cmd_sanitize_report)
 
     serve = sub.add_parser(
         "serve",

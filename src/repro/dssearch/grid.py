@@ -16,12 +16,12 @@ which is what makes the Python implementation practical.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
 from typing import Tuple
 
 import numpy as np
 
+from ..analysis.sanitizer import make_lock, sanitize_class
 from ..asp.rectset import RectSet
 from ..core.geometry import Rect
 
@@ -119,7 +119,7 @@ class BufferPool:
         # referenced by `_free`, so its id cannot be recycled by the
         # allocator while tracked -- the membership test is exact.
         self._pooled_ids: set[int] = set()  # guarded-by: _lock
-        self._lock = threading.Lock()
+        self._lock = make_lock("BufferPool._lock")
 
     def take(self, n: int) -> np.ndarray:
         with self._lock:
@@ -364,3 +364,8 @@ class DiscretizationGrid:
         # comparison below is safe up to 2^53 rectangles.
         dirty = (over[..., -1] - full[..., -1]) > 0.5
         return GridAccumulation(full=full[..., :-1], over=over[..., :-1], dirty=dirty)
+
+
+# Runtime sanitizer (DESIGN.md §14): enforce the guarded-by
+# declarations above when REPRO_SANITIZE=1.
+sanitize_class(BufferPool)

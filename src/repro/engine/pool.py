@@ -21,11 +21,11 @@ when one session alone exceeds the budget.
 from __future__ import annotations
 
 import os
-import threading
 import warnings
 from collections import OrderedDict
 from typing import Hashable, Tuple
 
+from ..analysis.sanitizer import make_rlock, sanitize_class
 from ..core.objects import SpatialDataset
 from ..dssearch.search import SearchSettings
 from .session import QuerySession
@@ -67,7 +67,7 @@ class SessionPool:
         # on the hot path, so only the just-touched session is
         # re-measured and the rest reuse their last measurement.
         self._nbytes_cache: dict = {}  # guarded-by: _lock
-        self._lock = threading.RLock()
+        self._lock = make_rlock("SessionPool._lock")
         self._evictions = 0  # guarded-by: _lock
 
     # ------------------------------------------------------------------
@@ -445,3 +445,8 @@ class SessionPool:
             f"SessionPool(sessions={info['sessions']}, "
             f"bytes={info['bytes']}, evictions={info['evictions']})"
         )
+
+
+# Runtime sanitizer (DESIGN.md §14): enforce the guarded-by
+# declarations above when REPRO_SANITIZE=1.
+sanitize_class(SessionPool)

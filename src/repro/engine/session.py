@@ -51,6 +51,7 @@ from typing import TYPE_CHECKING, Callable, Dict, Iterable, Sequence, Tuple
 
 import numpy as np
 
+from ..analysis.sanitizer import make_condition, make_lock, sanitize_class
 from ..asp.rectset import RectSet
 from ..asp.reduction import reduce_to_asp
 from ..core.aggregators import (
@@ -304,14 +305,14 @@ class QuerySession:
         # Concurrency (DESIGN.md §8.1): the index gets a dedicated lock
         # (its build is the one expensive single-shot artefact); every
         # other cache goes through the in-flight-deduplicated _memo.
-        self._index_lock = threading.Lock()
-        self._memo_lock = threading.Lock()
+        self._index_lock = make_lock("QuerySession._index_lock")
+        self._memo_lock = make_lock("QuerySession._memo_lock")
         self._inflight: Dict[tuple, threading.Event] = {}  # guarded-by: _memo_lock
         # Update gate (DESIGN.md §9): solves/warms hold a shared token;
         # apply/append/delete take the gate exclusively -- they wait for
         # in-flight solves to drain and block new ones, so a solve sees
         # either the pre- or the post-update session, never a mix.
-        self._update_cv = threading.Condition()
+        self._update_cv = make_condition("QuerySession._update_cv")
         self._active_solves = 0  # guarded-by: _update_cv
         self._updating = False  # guarded-by: _update_cv
 
@@ -885,3 +886,8 @@ class QuerySession:
             f"QuerySession(n={self.dataset.n}, granularity={self.granularity}, "
             f"caches={self.cache_info()})"
         )
+
+
+# Runtime sanitizer (DESIGN.md §14): enforce the guarded-by
+# declarations above when REPRO_SANITIZE=1.
+sanitize_class(QuerySession)

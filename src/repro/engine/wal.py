@@ -39,7 +39,6 @@ import io
 import json
 import os
 import struct
-import threading
 import zlib
 from dataclasses import dataclass
 from typing import IO, TYPE_CHECKING, Optional, Sequence, Tuple
@@ -47,6 +46,7 @@ from typing import IO, TYPE_CHECKING, Optional, Sequence, Tuple
 import numpy as np
 
 from .. import faults
+from ..analysis.sanitizer import make_lock, sanitize_class
 from ..core.atomicio import fsync_dir, replace_atomically
 from ..core.attributes import Schema
 from ..core.objects import SpatialDataset
@@ -322,7 +322,7 @@ class WriteAheadLog:
             raise ValueError("fsync_batch must be >= 1")
         self.path = os.fspath(path)
         self.fsync_batch = int(fsync_batch)
-        self._lock = threading.Lock()
+        self._lock = make_lock("WriteAheadLog._lock")
         self._fh: Optional[IO[bytes]] = None  # guarded-by: _lock
         self._unsynced = 0  # guarded-by: _lock
         # The epoch the next appended record must carry: last record's
@@ -931,3 +931,8 @@ def replay(
         check_span(*last_skipped)
     stats.final_epoch = session.epoch
     return stats
+
+
+# Runtime sanitizer (DESIGN.md §14): enforce the guarded-by
+# declarations above when REPRO_SANITIZE=1.
+sanitize_class(WriteAheadLog)

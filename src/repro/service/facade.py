@@ -37,7 +37,6 @@ the byte budget keeps tracking growth.
 from __future__ import annotations
 
 import os
-import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, fields
@@ -46,6 +45,7 @@ from typing import Dict, Sequence, Tuple
 import numpy as np
 
 from .. import faults
+from ..analysis.sanitizer import make_lock, sanitize_class
 from ..core.aggregators import (
     AverageAggregator,
     CompositeAggregator,
@@ -210,7 +210,7 @@ class RegionService:
         )
         self._settings = settings
         self.read_only = bool(read_only)
-        self._lock = threading.Lock()
+        self._lock = make_lock("RegionService._lock")
         self._specs: Dict[str, DatasetSpec] = {}  # guarded-by: _lock
         # The facade holds its own strong reference to every open
         # session: pool eviction under a byte/session budget clears a
@@ -1012,3 +1012,8 @@ class RegionService:
             f"RegionService(datasets={keys}, read_only={self.read_only}, "
             f"pool={self._pool!r})"
         )
+
+
+# Runtime sanitizer (DESIGN.md §14): enforce the guarded-by
+# declarations above when REPRO_SANITIZE=1.
+sanitize_class(RegionService)

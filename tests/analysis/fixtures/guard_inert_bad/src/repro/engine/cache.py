@@ -1,0 +1,28 @@
+"""RPL000 flagging fixture: a ``# guarded-by:`` naming a missing lock.
+
+``_lokc`` is a typo for ``_lock`` -- the declaration is inert (it
+guards nothing and RPL001 would silently skip the attribute), so the
+linter must surface it loudly instead.  The def-line form with a
+renamed lock is equally inert.
+"""
+
+import threading
+
+
+class Cache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = {}  # guarded-by: _lokc
+        self._hits = 0  # guarded-by: _lock
+
+    def put(self, key, value):
+        with self._lock:
+            self._items[key] = value
+
+    def get(self, key):
+        with self._lock:
+            self._hits += 1
+            return self._items.get(key)
+
+    def _evict_one(self):  # guarded-by: _old_lock
+        self._items.popitem()

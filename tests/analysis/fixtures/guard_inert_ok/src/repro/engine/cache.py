@@ -1,0 +1,32 @@
+"""RPL000 passing fixture: every ``# guarded-by:`` names a real lock.
+
+Identical to ``guard_inert_bad`` with the typos fixed -- both the
+``__init__``-assignment and def-line declaration forms resolve to
+attributes the class actually defines.
+"""
+
+import threading
+
+
+class Cache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = {}  # guarded-by: _lock
+        self._hits = 0  # guarded-by: _lock
+
+    def put(self, key, value):
+        with self._lock:
+            self._items[key] = value
+
+    def get(self, key):
+        with self._lock:
+            self._hits += 1
+            return self._items.get(key)
+
+    def _evict_one(self):  # guarded-by: _lock
+        self._items.popitem()
+
+    def trim(self, limit):
+        with self._lock:
+            while len(self._items) > limit:
+                self._evict_one()

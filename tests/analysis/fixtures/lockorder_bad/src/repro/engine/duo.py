@@ -1,0 +1,43 @@
+"""RPL006 flagging fixture: a lock cycle and a declared-rank inversion.
+
+``transfer`` takes ``_a`` then ``_b`` while ``refund`` takes ``_b``
+then ``_a`` -- neither is locally wrong, together they deadlock.
+``Audit.snapshot`` inverts the module's declared ``# lock-order:``
+ranking without needing a second path.
+"""
+
+import threading
+
+LOCKS = (
+    "Audit._outer",  # lock-order: 0
+    "Audit._inner",  # lock-order: 1
+)
+
+
+class Ledger:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+        self.balance = 0
+
+    def transfer(self, n):
+        with self._a:
+            with self._b:
+                self.balance += n
+
+    def refund(self, n):
+        with self._b:
+            with self._a:
+                self.balance -= n
+
+
+class Audit:
+    def __init__(self):
+        self._outer = threading.Lock()
+        self._inner = threading.Lock()
+        self.rows = []
+
+    def snapshot(self):
+        with self._inner:
+            with self._outer:
+                return list(self.rows)

@@ -1,0 +1,47 @@
+"""RPL006 passing fixture: consistent nesting, ranking respected.
+
+Same classes as ``lockorder_bad`` with ``refund`` and ``snapshot``
+acquiring in the one agreed order; the def-line ``# guarded-by:`` form
+also contributes its edge (``_helper`` runs under ``_a`` and takes
+``_b`` -- the same direction ``transfer`` uses).
+"""
+
+import threading
+
+LOCKS = (
+    "Audit._outer",  # lock-order: 0
+    "Audit._inner",  # lock-order: 1
+)
+
+
+class Ledger:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+        self.balance = 0
+
+    def transfer(self, n):
+        with self._a:
+            with self._b:
+                self.balance += n
+
+    def refund(self, n):
+        with self._a:
+            with self._b:
+                self.balance -= n
+
+    def _helper(self, n):  # guarded-by: _a
+        with self._b:
+            self.balance += n
+
+
+class Audit:
+    def __init__(self):
+        self._outer = threading.Lock()
+        self._inner = threading.Lock()
+        self.rows = []
+
+    def snapshot(self):
+        with self._outer:
+            with self._inner:
+                return list(self.rows)

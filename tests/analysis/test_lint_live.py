@@ -66,8 +66,39 @@ class TestCli:
         monkeypatch.chdir(FIXTURES / "except_bad")
         assert run(["--format", "json", "src"]) == 1
         payload = json.loads(capsys.readouterr().out)
-        assert {f["rule"] for f in payload} == {"RPL005"}
-        assert all({"path", "line", "message"} <= set(f) for f in payload)
+        assert {f["code"] for f in payload} == {"RPL005"}
+        # The documented stable schema, on every record.
+        assert all(
+            {"code", "path", "line", "message", "suppressed"} <= set(f)
+            for f in payload
+        )
+        assert all(f["suppressed"] is False for f in payload)
+
+    def test_json_includes_suppressed_findings(self, monkeypatch, capsys):
+        # suppress_ok silences its RPL004 with a reasoned ignore: exit 0,
+        # but the JSON report still carries the record, flagged.
+        monkeypatch.chdir(FIXTURES / "suppress_ok")
+        assert run(["--format", "json", "src"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        suppressed = [f for f in payload if f["suppressed"]]
+        assert suppressed and {f["code"] for f in suppressed} == {"RPL004"}
+
+    def test_output_file_round_trips(self, monkeypatch, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        monkeypatch.chdir(FIXTURES / "except_bad")
+        assert run(["--format", "json", "--output", str(out), "src"]) == 1
+        assert capsys.readouterr().out == ""  # report went to the file
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        assert payload and {f["code"] for f in payload} == {"RPL005"}
+        # Round-trip: the file's records match a fresh in-process run.
+        rerun = Linter().lint_paths(["src"])
+        assert payload == [f.to_dict() for f in rerun.findings]
+
+    def test_output_file_text_format(self, monkeypatch, tmp_path):
+        out = tmp_path / "report.txt"
+        monkeypatch.chdir(FIXTURES / "except_bad")
+        assert run(["--output", str(out), "src"]) == 1
+        assert "RPL005" in out.read_text(encoding="utf-8")
 
 
 class TestMutationSweeps:

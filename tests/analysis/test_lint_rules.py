@@ -41,6 +41,22 @@ class TestLockDiscipline:
         assert lint_fixture("lock_ok").ok
 
 
+class TestGuardInert:
+    def test_missing_lock_declaration_flags_rpl000(self):
+        result = lint_fixture("guard_inert_bad")
+        assert not result.ok
+        assert rules_hit(result) == {META_RULE}
+        # Both the __init__-assignment typo and the def-line rename.
+        assert len(result.findings) == 2
+        messages = " / ".join(f.message for f in result.findings)
+        assert "_lokc" in messages
+        assert "_old_lock" in messages
+        assert all("inert" in f.message for f in result.findings)
+
+    def test_ok_is_clean(self):
+        assert lint_fixture("guard_inert_ok").ok
+
+
 class TestAtomicWrites:
     def test_bad_flags_rpl002(self):
         result = lint_fixture("atomic_bad")
@@ -87,6 +103,23 @@ class TestExceptionHygiene:
 
     def test_ok_is_clean(self):
         assert lint_fixture("except_ok").ok
+
+
+class TestLockOrder:
+    def test_cycle_and_rank_inversion_flag_rpl006(self):
+        result = lint_fixture("lockorder_bad")
+        assert not result.ok
+        assert rules_hit(result) == {"RPL006"}
+        messages = " / ".join(f.message for f in result.findings)
+        # Both directions of the Ledger cycle are reported (each edge
+        # closes the cycle from its own side) plus the rank inversion.
+        assert "closes the lock cycle" in messages
+        assert "Ledger._a" in messages and "Ledger._b" in messages
+        assert "contradicts the declared '# lock-order:' ranking" in messages
+        assert "Audit._outer" in messages
+
+    def test_ok_is_clean(self):
+        assert lint_fixture("lockorder_ok").ok
 
 
 class TestSuppressions:

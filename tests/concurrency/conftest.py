@@ -1,0 +1,15 @@
+"""Every test in this suite runs with the sanitizer armed.
+
+The shared ``arm_sanitizer`` fixture (tests/conftest.py) enables the
+runtime checks, resets the observed lock-order graph around each test,
+and restores the prior state afterwards -- so the suite behaves the
+same whether invoked bare, with ``--sanitize``, or under
+``REPRO_SANITIZE=1`` (the CI concurrency job).
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _armed(arm_sanitizer):
+    yield arm_sanitizer

@@ -1,0 +1,72 @@
+"""Seeded-racy fixture classes: each hides one classic concurrency bug.
+
+The sanitizer-coverage tests (``test_sanitizer_catches.py``) run these
+under the deterministic interleaving harness with pinned schedules and
+assert each defect is *caught* -- the mutation-sweep bar applied to
+the sanitizer itself.  The directory carries a ``.repro-lint-skip``
+marker: RPL001 and RPL006 would (correctly) reject this code, which
+is the point.
+"""
+
+from repro.analysis.sanitizer import make_condition, make_lock, sanitize_class
+
+
+class RacyCounter:
+    """Bug: ``increment`` writes the guarded counter with no lock held."""
+
+    def __init__(self):
+        self._lock = make_lock("RacyCounter._lock")
+        self.count = 0  # guarded-by: _lock
+
+    def increment(self):
+        self.count += 1  # unguarded read-modify-write
+
+    def read(self):
+        with self._lock:
+            return self.count
+
+
+class InvertedPair:
+    """Bug: ``ab`` and ``ba`` acquire the same two locks in opposite
+    orders -- a latent deadlock no single call ever hits."""
+
+    def __init__(self):
+        self._a = make_lock("InvertedPair._a")
+        self._b = make_lock("InvertedPair._b")
+        self.events = []
+
+    def ab(self):
+        with self._a:
+            with self._b:
+                self.events.append("ab")
+
+    def ba(self):
+        with self._b:
+            with self._a:
+                self.events.append("ba")
+
+
+class MissedSignal:
+    """Bug: ``produce`` sets the flag but never notifies the condition,
+    so a consumer that got to ``wait`` first sleeps forever."""
+
+    def __init__(self):
+        self._cv = make_condition("MissedSignal._cv")
+        self.ready = False  # guarded-by: _cv
+        self.consumed = False
+
+    def produce(self):
+        with self._cv:
+            self.ready = True
+            # BUG: missing self._cv.notify_all()
+
+    def consume(self):
+        with self._cv:
+            while not self.ready:
+                self._cv.wait()
+            self.consumed = True
+
+
+sanitize_class(RacyCounter)
+sanitize_class(InvertedPair)
+sanitize_class(MissedSignal)

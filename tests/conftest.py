@@ -19,6 +19,26 @@ _hypothesis_settings.load_profile(
     os.environ.get("HYPOTHESIS_PROFILE", "default")
 )
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--sanitize",
+        action="store_true",
+        default=False,
+        help=(
+            "arm the runtime concurrency sanitizer (lock-order graph + "
+            "guarded-by lock-set checks) for the whole run; equivalent "
+            "to REPRO_SANITIZE=1"
+        ),
+    )
+
+
+def pytest_configure(config):
+    if config.getoption("--sanitize"):
+        from repro.analysis import sanitizer
+
+        sanitizer.enable()
+
+
 from repro.core import (
     AverageAggregator,
     CategoricalAttribute,
@@ -137,3 +157,24 @@ def SumAggregator_for_tests():
     from repro.core import SumAggregator
 
     return SumAggregator("score", SelectAll())
+
+
+@pytest.fixture
+def arm_sanitizer():
+    """Arm the runtime concurrency sanitizer for one test.
+
+    Construct the objects under test *inside* the test (after arming):
+    locks built while the sanitizer is disarmed stay plain and
+    untracked.  The observed lock-order graph is reset on both sides so
+    interleaving tests stay isolated, and the previous armed state is
+    restored on teardown.
+    """
+    from repro.analysis import sanitizer
+
+    was_enabled = sanitizer.enabled()
+    sanitizer.enable()
+    sanitizer.reset()
+    yield sanitizer
+    sanitizer.reset()
+    if not was_enabled:
+        sanitizer.disable()

@@ -329,3 +329,64 @@ class TestPoolMeasurementRace:
         # The pool must have re-measured after the clear: its cached
         # measurement matches the session's actual footprint.
         assert pool.info()["bytes"] == session.cache_nbytes()
+
+
+class TestDeterministicInterleavings:
+    """The same contracts, explored schedule-by-schedule (DESIGN.md §14).
+
+    The thread-pool tests above sample whatever interleavings the OS
+    happens to produce; these runs are *chosen*: the cooperative
+    harness replays seeded and systematically-enumerated schedules
+    through the sanitizer's yield points, so a regression that only
+    bites under one ordering fails the same way every time.
+    """
+
+    def test_clear_vs_solve_explored_systematically(self, arm_sanitizer):
+        from repro.analysis.interleave import explore
+
+        dataset, queries = _workload(53, 30, 1)
+        serial = QuerySession(dataset, settings=SMALL).solve(queries[0])
+
+        def make_tasks():
+            session = QuerySession(dataset, settings=SMALL)
+            results = []
+
+            def solver():
+                results.append(session.solve(queries[0]))
+                assert _same_result(results[0], serial)
+
+            return [solver, session.clear_caches]
+
+        # Exhaustive over the first decisions, seeded-random beyond.
+        assert explore(make_tasks, rounds=6, depth=2, seed=13) == 6
+
+    def test_pool_eviction_vs_solve_replayable(self, arm_sanitizer):
+        from repro.analysis.interleave import run_interleaved
+
+        dataset, queries = _workload(59, 30, 1)
+        other = make_random_dataset(np.random.default_rng(61), 20, extent=60.0)
+        serial = QuerySession(dataset, settings=SMALL).solve(queries[0])
+        for seed in (1, 2, 3):
+            pool = SessionPool(max_sessions=1, settings=SMALL)
+            session = pool.session("a", dataset)
+            results = []
+
+            def solver():
+                results.append(session.solve(queries[0]))
+
+            def evictor():
+                pool.session("b", other)
+
+            trace = run_interleaved([solver, evictor], seed=seed).trace
+            assert _same_result(results[0], serial)
+            # Replaying the seed replays the schedule exactly.
+            pool2 = SessionPool(max_sessions=1, settings=SMALL)
+            session2 = pool2.session("a", dataset)
+            results2 = []
+            trace2 = run_interleaved(
+                [lambda: results2.append(session2.solve(queries[0])),
+                 lambda: pool2.session("b", other)],
+                seed=seed,
+            ).trace
+            assert trace2 == trace
+            assert _same_result(results2[0], serial)
