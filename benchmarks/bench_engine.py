@@ -51,6 +51,14 @@ the Fig. 10 scalability workload (Tweet + POISyn, query size 10q):
   second identically warmed session against the direct baseline; the
   overhead must stay ≤2% (identity-checked, same min-of-reps pattern
   as service_overhead).  The bench never arms the sanitizer.
+* **shard_scaleout** -- the spatial shard router (DESIGN.md §15): the
+  same canonical queries answered by ``ShardRouter.query_batch`` over
+  ≥2 real worker *processes* (per-shard bundles, one scatter) versus a
+  sequential single-process ``solve_canonical`` loop on one warmed
+  session.  Routed answers must be bitwise-identical to the unsharded
+  canonical solves; the speedup is what process-level scatter-gather
+  buys over the GIL-bound single process (expect > 1.0 only on
+  multi-core runners -- the row records ``cpu_count`` so CI can gate).
 * **delta_lattice** -- per-update lattice maintenance on a *localized*
   stream (each round mutates one small box, the POI-stream shape delta
   maintenance targets; the scattered stream above trips the
@@ -500,6 +508,113 @@ def bench_config(kind: str, n: int, n_queries: int, workers: int) -> dict:
     }
 
 
+def bench_shard_scaleout(n: int, n_queries: int) -> dict:
+    """Routed scatter-gather vs a single-process canonical solve loop.
+
+    Both sides answer the identical Fig. 10 weekend-query traffic
+    canonically (the router's merge contract), so the comparison is
+    process-parallel scatter-gather against the exact same work done
+    sequentially in one process.  Worker startup and the one-off cache
+    warm-up are excluded on both sides -- this measures steady-state
+    serving throughput, which is what the router exists for.
+    """
+    import shutil
+
+    from repro.data.io import save_csv
+    from repro.service.facade import RegionService
+    from repro.service.types import DatasetSpec, QueryRequest
+    from repro.shard import ShardPlan, ShardRouter, split_dataset
+
+    dataset = generate_tweet_dataset(n, seed=SEED)
+    width, height = paper_query_size(dataset, SIZE_FACTOR)
+    base = weekend_query(dataset, width, height)
+    rng = np.random.default_rng(SEED)
+    weights = (1 / 5,) * 5 + (1 / 2,) * 2
+    requests = []
+    for i in range(n_queries):
+        target = base.query_rep
+        if i:
+            target = target * rng.uniform(0.9, 1.1, target.shape)
+        requests.append(
+            QueryRequest(
+                dataset="default",
+                terms=("fD:day_of_week",),
+                width=width,
+                height=height,
+                target=tuple(float(v) for v in target),
+                weights=weights,
+            )
+        )
+
+    # Single process: one warmed session, sequential canonical solves.
+    service = RegionService()
+    service.open(
+        DatasetSpec(
+            key="default", categorical=("day_of_week",), numeric=("length",)
+        ),
+        dataset=dataset,
+    )
+    session = service.session("default")
+    queries = [service._asrs_query(r) for r in requests]
+    session.solve_canonical(queries[0])  # warm the shared caches
+    t0 = time.perf_counter()
+    singles = [session.solve_canonical(q) for q in queries]
+    single_s = time.perf_counter() - t0
+    service.close()
+
+    # Routed: >= 2 worker processes, one scatter for the whole batch.
+    n_workers = max(2, min(4, os.cpu_count() or 1))
+    plan = ShardPlan.build(dataset, n_workers, 1, wmax=width, hmax=height)
+    tmp = tempfile.mkdtemp(prefix="bench-shard-")
+    try:
+        specs = split_dataset(
+            dataset,
+            plan,
+            tmp,
+            categorical=("day_of_week",),
+            numeric=("length",),
+        )
+        base_csv = os.path.join(tmp, "base.csv")
+        save_csv(dataset, base_csv)
+        router = ShardRouter(
+            plan,
+            specs,
+            dataset,
+            backend="process",
+            directory=tmp,
+            base_data=base_csv,
+        )
+        try:
+            router.query(requests[0])  # warm every worker's session
+            t0 = time.perf_counter()
+            routed = router.query_batch(requests)
+            routed_s = time.perf_counter() - t0
+        finally:
+            router.close()
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    ok = len(routed) == len(singles) and all(
+        r.region
+        == (s.region.x_min, s.region.y_min, s.region.x_max, s.region.y_max)
+        and r.score == s.distance
+        and np.array_equal(np.asarray(r.representation), s.representation)
+        for r, s in zip(routed, singles)
+    )
+    return {
+        "n": n,
+        "n_queries": n_queries,
+        "workers": n_workers,
+        "cpu_count": os.cpu_count(),
+        "single_s": round(single_s, 4),
+        "routed_s": round(routed_s, 4),
+        "single_qps": round(n_queries / single_s, 2),
+        "routed_qps": round(n_queries / routed_s, 2),
+        "speedup_routed": round(single_s / routed_s, 2),
+        "identical": ok,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", default="BENCH_engine.json")
@@ -549,6 +664,17 @@ def main(argv=None) -> int:
                 f"identical={cfg['identical']}"
             )
 
+    shard_n, shard_queries = (6000, 8) if args.smoke else (20000, 16)
+    shard_row = bench_shard_scaleout(shard_n, shard_queries)
+    print(
+        f"shard_scaleout n={shard_row['n']}: "
+        f"single {shard_row['single_s']}s ({shard_row['single_qps']} qps) "
+        f"routed {shard_row['routed_s']}s ({shard_row['routed_qps']} qps) "
+        f"with {shard_row['workers']} workers on {shard_row['cpu_count']} cpus "
+        f"-> {shard_row['speedup_routed']}x "
+        f"identical={shard_row['identical']}"
+    )
+
     tot_cold = sum(c["cold_s"] for c in configs)
     tot_warm = sum(c["warm_s"] for c in configs)
     tot_batch = sum(c["batch_s"] for c in configs)
@@ -572,6 +698,7 @@ def main(argv=None) -> int:
         "workers": workers,
         "smoke": args.smoke,
         "configs": configs,
+        "shard_scaleout": shard_row,
         "aggregate": {
             "cold_s": round(tot_cold, 4),
             "warm_s": round(tot_warm, 4),
@@ -602,7 +729,8 @@ def main(argv=None) -> int:
                 (tot_sanitizer / tot_direct - 1.0) * 100.0, 2
             ),
         },
-        "all_identical": all(c["identical"] for c in configs),
+        "all_identical": all(c["identical"] for c in configs)
+        and shard_row["identical"],
     }
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2)
@@ -614,6 +742,8 @@ def main(argv=None) -> int:
         f"warm-from-disk {report['aggregate']['speedup_warm_disk']}x, "
         f"incremental {report['aggregate']['speedup_incremental']}x vs rebuild, "
         f"wal-replay {report['aggregate']['speedup_wal_replay']}x vs cold restart, "
+        f"shard scale-out {shard_row['speedup_routed']}x "
+        f"({shard_row['workers']} workers), "
         f"delta-lattice {report['aggregate']['speedup_delta_lattice']}x vs full refresh, "
         f"service overhead {report['aggregate']['service_overhead_pct']}% vs direct solves, "
         f"sanitizer (disabled) overhead {report['aggregate']['sanitizer_overhead_pct']}% "

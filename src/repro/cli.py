@@ -147,6 +147,7 @@ def _open_service(
     granularity="auto",
     durability=None,
     read_only: bool = False,
+    key: str = "cli",
 ):
     """A RegionService bound to the args' dataset; ``(service, key)``.
 
@@ -164,7 +165,7 @@ def _open_service(
             replay_on_open=False, checkpoint_on_close=False
         )
     spec = DatasetSpec(
-        key="cli",
+        key=key,
         data=args.data,
         categorical=tuple(args.categorical),
         numeric=tuple(args.numeric),
@@ -585,32 +586,157 @@ def cmd_sanitize_report(args) -> int:
     return 0
 
 
+def cmd_shard_plan(args) -> int:
+    """Plan and split a dataset into per-shard CSV + bundle + WAL triples."""
+    from .shard import ShardPlan, split_dataset
+
+    dataset = _load(args)
+    if args.nx < 1 or args.ny < 1:
+        raise SystemExit("--nx and --ny must be >= 1")
+    try:
+        plan = ShardPlan.build(
+            dataset, args.nx, args.ny, wmax=args.wmax, hmax=args.hmax
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    os.makedirs(args.out, exist_ok=True)
+    specs = split_dataset(
+        dataset,
+        plan,
+        args.out,
+        categorical=tuple(args.categorical),
+        numeric=tuple(args.numeric),
+        granularity=_parse_granularity(args.granularity),
+    )
+    # The router's base CSV: `serve --shards DIR` reopens against it,
+    # and a clean router shutdown rewrites it in step with the shards.
+    save_csv(dataset, os.path.join(args.out, "base.csv"))
+    print(
+        f"planned {plan.nx}x{plan.ny} = {plan.n_shards} shard(s) over "
+        f"n={dataset.n} (query limit {plan.wmax}x{plan.hmax}, halo "
+        f"{2 * plan.wmax}x{2 * plan.hmax}); wrote {len(specs)} "
+        f"CSV+bundle+WAL triple(s) + base.csv + plan.json to {args.out}"
+    )
+    return 0
+
+
+def _serve_entries(args) -> list:
+    """``[(key, csv path), ...]`` from repeated ``--data [NAME=]PATH``."""
+    entries = []
+    for item in args.data:
+        name, sep, path = item.partition("=")
+        if sep and name:
+            entries.append((name, path))
+        else:
+            # An unnamed single dataset keeps the historical "cli" key
+            # (requests may omit "dataset"); unnamed extras get their
+            # file stem so multi-dataset bindings need no boilerplate.
+            stem = os.path.splitext(os.path.basename(item))[0]
+            entries.append((stem if len(args.data) > 1 else "cli", item))
+    names = [name for name, _ in entries]
+    if len(set(names)) != len(names):
+        args.parser.error(f"duplicate dataset names in --data: {names}")
+    return entries
+
+
+def _open_shard_router(args):
+    """A ShardRouter over a `repro shard-plan` directory; ``(router, keys)``."""
+    from .shard import PlanMismatchError, ShardRouter
+
+    if args.follow or args.index or args.wal:
+        args.parser.error(
+            "--shards routes to per-shard bundles and WALs; "
+            "--index/--wal/--follow do not apply"
+        )
+    if len(args.data) > 1:
+        args.parser.error("--shards serves exactly one (sharded) dataset")
+    name, base = ("default", os.path.join(args.shards, "base.csv"))
+    if args.data:
+        name, base = _serve_entries(args)[0]
+        if name == "cli":
+            name = "default"
+    try:
+        router = ShardRouter.open(args.shards, base_data=base, name=name)
+    except (ValueError, OSError, PlanMismatchError) as exc:
+        raise SystemExit(f"cannot open --shards {args.shards}: {exc}")
+    return router, [name]
+
+
 def cmd_serve(args) -> int:
-    """Serve the facade over HTTP (writer, or read-only WAL follower)."""
-    from .service import DurabilityPolicy
+    """Serve the facade over HTTP (writer, replica, or shard router)."""
+    from .service import DatasetSpec, DurabilityPolicy, RegionService
     from .service.httpd import WalFollower, make_server
 
     if args.follow and not args.wal:
         args.parser.error("--follow needs --wal (the writer's log to follow)")
-    durability = DurabilityPolicy(
-        checkpoint_every_records=args.checkpoint_every_records,
-        checkpoint_every_bytes=args.checkpoint_every_bytes,
-        compact_every_records=args.compact_every_records,
-        checkpoint_on_close=not args.no_checkpoint_on_close,
-        replay_on_open=True,
-    )
-    service, key = _open_service(
-        args,
-        index=args.index,
-        wal=args.wal,
-        granularity=_parse_granularity(args.granularity),
-        durability=durability,
-        read_only=args.follow,
-    )
-    session = service.session(key)
+    if not args.shards and not args.data:
+        args.parser.error("serve needs --data (or --shards DIR)")
     followers = []
-    if args.follow:
-        followers.append(WalFollower(service, key, interval=args.poll_interval))
+    if args.shards:
+        service, keys = _open_shard_router(args)
+        shards = service.stats()["shards"]
+        print(
+            f"routing dataset {keys[0]!r} across {len(shards)} shard "
+            f"worker(s)",
+            flush=True,
+        )
+    else:
+        durability = DurabilityPolicy(
+            checkpoint_every_records=args.checkpoint_every_records,
+            checkpoint_every_bytes=args.checkpoint_every_bytes,
+            compact_every_records=args.compact_every_records,
+            checkpoint_on_close=not args.no_checkpoint_on_close,
+            replay_on_open=True,
+        )
+        entries = _serve_entries(args)
+        if len(entries) == 1:
+            name, args.data = entries[0]
+            service, key = _open_service(
+                args,
+                index=args.index,
+                wal=args.wal,
+                granularity=_parse_granularity(args.granularity),
+                durability=durability,
+                read_only=args.follow,
+                key=name,
+            )
+            keys = [key]
+            if args.follow:
+                followers.append(
+                    WalFollower(service, key, interval=args.poll_interval)
+                )
+        else:
+            # Multi-dataset binding: one facade, one spec per NAME=PATH;
+            # HTTP requests route by their body's "dataset" name.
+            if args.index or args.wal or args.follow:
+                args.parser.error(
+                    "--index/--wal/--follow apply to a single --data; "
+                    "bind multiple datasets without them"
+                )
+            service = RegionService()
+            keys = []
+            for name, path in entries:
+                spec = DatasetSpec(
+                    key=name,
+                    data=path,
+                    categorical=tuple(args.categorical),
+                    numeric=tuple(args.numeric),
+                    granularity=_parse_granularity(args.granularity),
+                    durability=durability,
+                )
+                try:
+                    service.open(
+                        spec,
+                        dataset=load_csv_infer(
+                            path,
+                            categorical=args.categorical,
+                            numeric=args.numeric,
+                        ),
+                    )
+                except (ValueError, OSError) as exc:
+                    service.close()
+                    raise SystemExit(f"cannot open --data {path!r}: {exc}")
+                keys.append(name)
     server = make_server(
         service,
         host=args.host,
@@ -619,9 +745,14 @@ def cmd_serve(args) -> int:
         quiet=not args.verbose,
     )
     host, port = server.server_address[:2]
+    described = ", ".join(
+        f"{key} (n={service.session(key).dataset.n}, "
+        f"epoch={service.session(key).epoch})"
+        for key in keys
+    )
     print(
-        f"serving dataset (n={session.dataset.n}, epoch={session.epoch}"
-        f"{', read-only replica' if args.follow else ''}) "
+        f"serving {described}"
+        f"{' as read-only replica' if args.follow else ''} "
         f"on http://{host}:{port}",
         flush=True,
     )
@@ -901,15 +1032,68 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sanitize.set_defaults(func=cmd_sanitize_report)
 
+    shard_plan = sub.add_parser(
+        "shard-plan",
+        help="split a dataset into per-shard CSV+bundle+WAL triples "
+        "for `serve --shards`",
+    )
+    shard_plan.add_argument(
+        "--data", required=True, help="CSV with x,y,attr columns"
+    )
+    shard_plan.add_argument(
+        "--categorical", action="append", default=[], metavar="COLUMN"
+    )
+    shard_plan.add_argument(
+        "--numeric", action="append", default=[], metavar="COLUMN"
+    )
+    shard_plan.add_argument(
+        "--out", required=True, help="shard directory (created if absent)"
+    )
+    shard_plan.add_argument(
+        "--nx", type=int, required=True, help="tile columns"
+    )
+    shard_plan.add_argument("--ny", type=int, required=True, help="tile rows")
+    shard_plan.add_argument(
+        "--wmax",
+        type=float,
+        required=True,
+        help="largest query width the shards will serve",
+    )
+    shard_plan.add_argument(
+        "--hmax",
+        type=float,
+        required=True,
+        help="largest query height the shards will serve",
+    )
+    shard_plan.add_argument(
+        "--granularity",
+        default="auto",
+        help="per-shard grid granularity 'auto' (default) or 'SX,SY'",
+    )
+    shard_plan.set_defaults(func=cmd_shard_plan, parser=shard_plan)
+
     serve = sub.add_parser(
         "serve",
         help="serve queries/updates over HTTP via the RegionService facade",
     )
-    serve.add_argument("--data", required=True, help="CSV with x,y,attr columns")
+    serve.add_argument(
+        "--data",
+        action="append",
+        default=[],
+        metavar="[NAME=]PATH",
+        help="CSV with x,y,attr columns; repeat NAME=PATH to serve "
+        "several datasets (requests route by their 'dataset' name)",
+    )
     serve.add_argument(
         "--categorical", action="append", default=[], metavar="COLUMN"
     )
     serve.add_argument("--numeric", action="append", default=[], metavar="COLUMN")
+    serve.add_argument(
+        "--shards",
+        metavar="DIR",
+        help="serve a `repro shard-plan` directory through the "
+        "multi-process scatter-gather router",
+    )
     serve.add_argument(
         "--index",
         help="session bundle: restored on start, rewritten by checkpoints",

@@ -61,9 +61,11 @@ from ..core.aggregators import (
     SumAggregator,
 )
 from ..core.channels import BoundContext, ChannelCompiler
+from ..core.geometry import Rect
 from ..core.objects import SpatialDataset
 from ..core.query import ASRSQuery, RegionResult
 from ..core.selection import SelectAll, SelectByValue
+from ..dssearch import canonical
 from ..dssearch.drop import gps_accuracy
 from ..dssearch.grid import BufferPool
 from ..dssearch.search import DSSearchEngine, SearchSettings
@@ -564,14 +566,19 @@ class QuerySession:
     # ------------------------------------------------------------------
     # Solving
     # ------------------------------------------------------------------
-    def _engine(self, query: ASRSQuery, delta: float) -> DSSearchEngine:
+    def _engine(
+        self,
+        query: ASRSQuery,
+        delta: float,
+        factory: type[DSSearchEngine] = DSSearchEngine,
+    ) -> DSSearchEngine:
         """A search engine assembled entirely from cached artefacts."""
         compiler = self.compiler_for(query.aggregator)
         if self.dataset.n:
             rects, accuracy = self.reduction_for(query.width, query.height)
         else:
             rects, accuracy = None, None
-        return DSSearchEngine(
+        return factory(
             self.dataset,
             query,
             self.settings,
@@ -706,6 +713,87 @@ class QuerySession:
 
         with ThreadPoolExecutor(max_workers=min(workers, len(queries))) as ex:
             return list(ex.map(one, queries))
+
+    # ------------------------------------------------------------------
+    # Canonical solving (dssearch/canonical.py, DESIGN.md §15)
+    # ------------------------------------------------------------------
+    def solve_canonical(
+        self,
+        query: ASRSQuery,
+        *,
+        domain: "Rect | None" = None,
+        holes: Sequence["Rect"] = (),
+        seed_point: tuple | None = None,
+    ) -> RegionResult:
+        """Solve with the decomposition-independent canonical answer.
+
+        Same optimal distance as :meth:`solve`, but on tie plateaus the
+        returned region is a pure function of the problem (DESIGN.md
+        §15) instead of the search schedule -- which is what lets a
+        shard router (:mod:`repro.shard`) merge per-shard answers into
+        the bitwise-identical result this unsharded call returns.
+        ``domain`` restricts anchor points (a shard passes its tile),
+        ``holes`` excludes anchor rectangles (top-k rounds), and
+        ``seed_point`` overrides the empty-region seed (a shard passes
+        the router-computed global seed).
+        """
+        with self._solve_gate():
+            return canonical.solve_canonical(
+                lambda: self._engine(query, 0.0),
+                lambda: self._engine(
+                    query, 0.0, factory=canonical.TieCollectingEngine
+                ),
+                query,
+                domain=domain,
+                holes=holes,
+                seed_point=seed_point,
+            )
+
+    def solve_canonical_with_epoch(
+        self,
+        query: ASRSQuery,
+        *,
+        domain: "Rect | None" = None,
+        holes: Sequence["Rect"] = (),
+        seed_point: tuple | None = None,
+    ) -> tuple:
+        """:meth:`solve_canonical` plus the epoch it was computed at."""
+        with self._solve_gate():
+            return (
+                canonical.solve_canonical(
+                    lambda: self._engine(query, 0.0),
+                    lambda: self._engine(
+                        query, 0.0, factory=canonical.TieCollectingEngine
+                    ),
+                    query,
+                    domain=domain,
+                    holes=holes,
+                    seed_point=seed_point,
+                ),
+                self.epoch,
+            )
+
+    def solve_canonical_topk(
+        self,
+        query: ASRSQuery,
+        k: int,
+        *,
+        exclude: "Rect | None" = None,
+    ) -> list:
+        """Canonical top-k: every round answered canonically, so the
+        whole result list is decomposition-independent (the per-round
+        exclusion holes derive from canonical answers)."""
+        with self._solve_gate():
+            return canonical.solve_canonical_topk(
+                lambda: self._engine(query, 0.0),
+                lambda: self._engine(
+                    query, 0.0, factory=canonical.TieCollectingEngine
+                ),
+                query,
+                k,
+                dataset_n=self.dataset.n,
+                exclude=exclude,
+            )
 
     # ------------------------------------------------------------------
     # Incremental mutation (engine/updates.py, DESIGN.md §9)

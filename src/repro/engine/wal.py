@@ -19,9 +19,11 @@ update gate, so the log order is the mutation order.
 
 :func:`replay` fast-forwards a :func:`~repro.engine.persist.load_session`
 -restored session from its saved epoch to the log head: records older
-than the bundle are skipped, the rest are re-applied through the normal
-(bitwise-faithful) update path, so the recovered session answers
-bitwise-identically to a cold session on the final dataset.  A gap --
+than the bundle are skipped, the rest are composed into one equivalent
+batch and re-applied through the normal (bitwise-faithful) update path
+in a single index patch, so the recovered session answers
+bitwise-identically to a cold session on the final dataset at the cost
+of one update.  A gap --
 the log's oldest record is newer than the bundle -- raises instead of
 silently serving a stale index.
 
@@ -107,7 +109,14 @@ class _AppendToken:
 
 @dataclass
 class ReplayStats:
-    """What one :func:`replay` call did."""
+    """What one :func:`replay` call did.
+
+    ``applied`` counts **source records** the replay covered, even
+    though the pending tail is coalesced and applied through one index
+    patch; ``appended``/``deleted`` are the *net* row counts of the
+    coalesced batch (a row appended then deleted within the tail
+    contributes to neither).
+    """
 
     applied: int = 0
     skipped: int = 0
@@ -204,6 +213,82 @@ def _keep_mask(
             raise IndexError(f"delete index out of range for dataset of {n} rows")
         keep[sel] = False
     return keep
+
+
+def _compose_frames(
+    frames: "Sequence[Tuple[int, int, bytes]]",
+    schema: Schema,
+    path: str,
+) -> "Tuple[UpdateBatch, int]":
+    """Compose contiguous record frames into one equivalent batch.
+
+    The returned batch, applied to the dataset at the first frame's
+    epoch, yields the bitwise-identical final dataset: deletes preserve
+    row order and appends land at the end, so surviving original rows
+    and surviving appended rows each keep their relative order -- the
+    merged batch deletes the originals that did not survive and appends
+    the appended rows that did, in order.  The returned span sums the
+    input spans (inputs may themselves be prior compactions' merges),
+    so applying the batch stands for advancing through every input
+    epoch.  Shared by :meth:`WriteAheadLog.compact` (rewrite the log as
+    one record) and :func:`replay` (apply the whole pending tail
+    through one index patch).
+    """
+    from .updates import UpdateBatch
+
+    base_epoch, base_n = frames[0][0], frames[0][1]
+    # Compose the record sequence over a row-provenance array:
+    # entries < base_n are original rows, entries >= base_n
+    # index into the concatenation of all appended datasets.
+    src = np.arange(base_n, dtype=np.int64)
+    appends: "list[SpatialDataset]" = []
+    app_total = 0
+    expected_epoch = base_epoch
+    for epoch, pre_n, payload in frames:
+        if epoch != expected_epoch:
+            raise ValueError(
+                f"cannot compose records of {path!s}: record epochs are "
+                f"not contiguous (expected {expected_epoch}, got {epoch})"
+            )
+        if pre_n != src.size:
+            raise ValueError(
+                f"cannot compose records of {path!s}: record at epoch "
+                f"{epoch} expects {pre_n} rows but the composed "
+                f"state has {src.size} -- the log is internally "
+                "inconsistent"
+            )
+        batch = _decode_record(payload, schema)
+        # A record may itself be a prior compaction's merge: its
+        # span counts toward the new total, or a bundle inside
+        # the *old* span would slip past the straddle check.
+        expected_epoch = epoch + _payload_span(payload)
+        if batch.delete is not None:
+            src = src[_keep_mask(src.size, batch.delete)]
+        app_ds = batch.append_dataset(schema)
+        if app_ds is not None and app_ds.n:
+            appends.append(app_ds)
+            src = np.concatenate(
+                [
+                    src,
+                    base_n + app_total + np.arange(app_ds.n, dtype=np.int64),
+                ]
+            )
+            app_total += app_ds.n
+
+    kept_originals = src[src < base_n]
+    delete_idx = np.setdiff1d(np.arange(base_n, dtype=np.int64), kept_originals)
+    surviving_app = src[src >= base_n] - base_n
+    merged_append = None
+    if surviving_app.size:
+        app_concat = appends[0]
+        for extra in appends[1:]:
+            app_concat = app_concat.append(extra)
+        merged_append = app_concat.subset(surviving_app)
+    merged = UpdateBatch(
+        append=merged_append,
+        delete=delete_idx if delete_idx.size else None,
+    )
+    return merged, expected_epoch - base_epoch
 
 
 def _decode_record(payload: bytes, schema: Schema) -> "UpdateBatch":
@@ -716,65 +801,7 @@ class WriteAheadLog:
             if len(frames) <= 1:
                 return stats
             base_epoch, base_n = frames[0][0], frames[0][1]
-
-            # Compose the record sequence over a row-provenance array:
-            # entries < base_n are original rows, entries >= base_n
-            # index into the concatenation of all appended datasets.
-            src = np.arange(base_n, dtype=np.int64)
-            appends: list = []
-            app_total = 0
-            expected_epoch = base_epoch
-            for epoch, pre_n, payload in frames:
-                if epoch != expected_epoch:
-                    raise ValueError(
-                        f"cannot compact {self.path!s}: record epochs are not "
-                        f"contiguous (expected {expected_epoch}, got {epoch})"
-                    )
-                if pre_n != src.size:
-                    raise ValueError(
-                        f"cannot compact {self.path!s}: record at epoch "
-                        f"{epoch} expects {pre_n} rows but the composed "
-                        f"state has {src.size} -- the log is internally "
-                        "inconsistent"
-                    )
-                batch = _decode_record(payload, schema)
-                # A record may itself be a prior compaction's merge: its
-                # span counts toward the new total, or a bundle inside
-                # the *old* span would slip past the straddle check.
-                expected_epoch = epoch + _payload_span(payload)
-                if batch.delete is not None:
-                    src = src[_keep_mask(src.size, batch.delete)]
-                app_ds = batch.append_dataset(schema)
-                if app_ds is not None and app_ds.n:
-                    appends.append(app_ds)
-                    src = np.concatenate(
-                        [
-                            src,
-                            base_n
-                            + app_total
-                            + np.arange(app_ds.n, dtype=np.int64),
-                        ]
-                    )
-                    app_total += app_ds.n
-
-            kept_originals = src[src < base_n]
-            delete_idx = np.setdiff1d(
-                np.arange(base_n, dtype=np.int64), kept_originals
-            )
-            surviving_app = src[src >= base_n] - base_n
-            merged_append = None
-            if surviving_app.size:
-                app_concat = appends[0]
-                for extra in appends[1:]:
-                    app_concat = app_concat.append(extra)
-                merged_append = app_concat.subset(surviving_app)
-            from .updates import UpdateBatch
-
-            span = expected_epoch - base_epoch
-            merged = UpdateBatch(
-                append=merged_append,
-                delete=delete_idx if delete_idx.size else None,
-            )
+            merged, span = _compose_frames(frames, schema, self.path)
             payload = _encode_record(merged, schema, span=span)
 
             def write(fh: IO[bytes]) -> None:
@@ -817,10 +844,13 @@ def replay(
     :func:`~repro.engine.persist.load_session`; ``wal`` is a
     :class:`WriteAheadLog` or a path.  Records the bundle already covers
     (pre-update epoch below the session's) are skipped; the rest are
-    re-applied through the normal update path, so the recovered session
-    is bitwise-identical to a cold session on the final dataset -- and,
-    for a format-v3 bundle, no cold channel-table rebuild happens along
-    the way (pending per-compiler cell sums are patched in place).
+    **composed into one equivalent batch** (the same row-provenance
+    merge :meth:`WriteAheadLog.compact` uses) and re-applied through
+    the normal update path in a single index patch, so the recovered
+    session is bitwise-identical to a cold session on the final dataset
+    while paying one patch pass regardless of log length -- and, for a
+    format-v3 bundle, no cold channel-table rebuild happens along the
+    way (pending per-compiler cell sums are patched in place).
 
     A torn tail (crash mid-append) is truncated off the file when
     ``repair`` is True (the default) and never raises.  A *gap* -- the
@@ -882,6 +912,7 @@ def replay(
             )
 
     last_skipped: "tuple[int, bytes] | None" = None
+    pending: "list[Tuple[int, int, bytes]]" = []
     for epoch, pre_n, payload in frames:
         if epoch < session.epoch:
             last_skipped = (epoch, payload)
@@ -890,45 +921,61 @@ def replay(
         if last_skipped is not None:
             check_span(*last_skipped)
             last_skipped = None
-        if epoch > session.epoch:
-            raise ValueError(
-                f"write-ahead log {path!s} starts at epoch {epoch} but the "
-                f"session is at epoch {session.epoch}: the log was "
-                "checkpointed past this bundle.  Restore from the bundle "
-                "saved at that checkpoint (or rebuild with `repro index-build`)"
-            )
-        if pre_n != session.dataset.n:
-            raise ValueError(
-                f"write-ahead log {path!s} record at epoch {epoch} expects "
-                f"{pre_n} rows but the session dataset has "
-                f"{session.dataset.n}: bundle and log are from different "
-                "dataset lineages.  If the dataset file was re-saved after "
-                "these records were applied (e.g. a crash between "
-                "--save-data and the WAL checkpoint), the records are "
-                "already reflected in it and the log can safely be deleted"
-            )
-        batch = _decode_record(payload, schema)
-        ustats = apply_update(session, batch, log=False)
-        stats.applied += 1
+        if not pending:
+            if epoch > session.epoch:
+                raise ValueError(
+                    f"write-ahead log {path!s} starts at epoch {epoch} but "
+                    f"the session is at epoch {session.epoch}: the log was "
+                    "checkpointed past this bundle.  Restore from the bundle "
+                    "saved at that checkpoint (or rebuild with "
+                    "`repro index-build`)"
+                )
+            if pre_n != session.dataset.n:
+                raise ValueError(
+                    f"write-ahead log {path!s} record at epoch {epoch} "
+                    f"expects {pre_n} rows but the session dataset has "
+                    f"{session.dataset.n}: bundle and log are from different "
+                    "dataset lineages.  If the dataset file was re-saved "
+                    "after these records were applied (e.g. a crash between "
+                    "--save-data and the WAL checkpoint), the records are "
+                    "already reflected in it and the log can safely be "
+                    "deleted"
+                )
+        pending.append((epoch, pre_n, payload))
+    if last_skipped is not None:
+        check_span(*last_skipped)
+
+    if pending:
+        # Coalesce the whole pending tail into ONE equivalent batch and
+        # apply it through a single index patch: replay cost is one
+        # update regardless of log length, which is what lets recovery
+        # beat a cold rebuild (`speedup_wal_replay`).  Contiguity and
+        # row-count consistency of the later records are enforced by
+        # the composition itself; the first record was validated against
+        # the session above.  ``applied`` still counts source records.
+        base_epoch = pending[0][0]
+        if len(pending) == 1:
+            merged = _decode_record(pending[0][2], schema)
+            span = _payload_span(pending[0][2])
+        else:
+            merged, span = _compose_frames(pending, schema, path)
+        ustats = apply_update(session, merged, log=False)
+        stats.applied = len(pending)
         stats.appended += ustats.appended
         stats.deleted += ustats.deleted
         stats.pending_tables_patched += ustats.pending_tables_patched
         stats.lattices_patched += (
             ustats.lattices_patched + ustats.pending_lattices_patched
         )
-        span = _payload_span(payload)
-        if span > 1:
-            # A compacted record stands for `span` original updates:
-            # fast-forward to the epoch past the merged range so the
-            # following record (logged at base + span) lines up.  Also
-            # covers the net-no-op merge, whose apply bumps nothing.
+        if session.epoch != base_epoch + span:
+            # The merged batch stands for `span` original updates (the
+            # apply bumped the epoch once, or -- for a net-no-op merge
+            # -- not at all): fast-forward past the covered range.
             # Under the exclusive gate: a replica may be serving while
             # it replays, and an in-flight solve_with_epoch must never
             # observe the post-merge dataset with the pre-merge label.
             with session._exclusive_gate():
-                session.epoch = epoch + span
-    if last_skipped is not None:
-        check_span(*last_skipped)
+                session.epoch = base_epoch + span
     stats.final_epoch = session.epoch
     return stats
 

@@ -16,6 +16,8 @@ path       method  body -> response
                    503 on a degraded/failed dataset)
 /checkpoint POST   {"dataset": key?} -> CheckpointResult
 /compact   POST    {"dataset": key?} -> CompactResult
+/recover   POST    {"dataset": key?} -> replay / restart report (WAL
+                   replay stats, or the shard router's restart summary)
 /healthz   GET     {"status": "ok"|"degraded", ...} -- HTTP 200 when
                    every dataset is healthy and the follower (if any)
                    is keeping up, 503 otherwise
@@ -40,6 +42,7 @@ the per-process GIL pushes toward.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import socket
 import threading
@@ -286,6 +289,13 @@ class _Handler(BaseHTTPRequestHandler):
                 )
             elif self.path == "/compact":
                 self._send(200, self.service.compact(body["dataset"]).to_dict())
+            elif self.path == "/recover":
+                # Facade: WAL replay ReplayStats; shard router: restart
+                # report dict.  Both serialize as plain JSON objects.
+                out = self.service.recover(body["dataset"])
+                if dataclasses.is_dataclass(out):
+                    out = dataclasses.asdict(out)
+                self._send(200, out)
             else:
                 self._send(404, {"error": f"unknown path {self.path!r}"})
         except (socket.timeout, TimeoutError):

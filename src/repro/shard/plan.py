@@ -1,0 +1,372 @@
+"""The deterministic spatial partitioner: :class:`ShardPlan` (DESIGN.md §15).
+
+A plan carves the plane into an ``nx x ny`` grid of *anchor tiles* over
+the dataset's bounding box.  Two distinct per-shard sets fall out of
+the tiling:
+
+* the **owned** rows of a shard -- the points whose coordinates fall in
+  its tile under half-open membership (``[lo, hi)`` per axis, the last
+  column/row closed), a *partition* of the dataset used to route
+  updates and deletes to exactly one owner;
+* the **covered** rows -- the points within the tile expanded by the
+  halo ``(2*wmax, 2*hmax)``, an *overlapping* superset each shard's
+  worker actually holds, sized so any query with ``width <= wmax`` and
+  ``height <= hmax`` whose anchor lies in the tile is fully answerable
+  from shard-local data.
+
+Halo math: a region anchored at ``(x, y)`` in the tile spans
+``[x, fl(x+w)] x [y, fl(y+h)]``; canonicalizing its covered point set
+additionally consults points within one query size around the set's
+bounding box, and the set's anchor interval reaches one query size
+left/below the anchor.  One size for the region, one for the
+canonicalization neighbourhood: ``2*wmax`` per side suffices (and the
+float round-up in ``fl(x+w)`` is strictly below one extra width).  The
+router rejects queries exceeding ``(wmax, hmax)`` -- re-plan to serve
+bigger regions.
+
+The plan is a pure function of ``(dataset, nx, ny, wmax, hmax)``,
+persists as strict JSON next to the shard bundles, and carries the
+dataset fingerprint (:func:`~repro.engine.persist.dataset_fingerprint`)
+so a router can refuse to serve a plan whose shards were split from
+different data.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.atomicio import replace_atomically
+from ..core.attributes import CategoricalAttribute, NumericAttribute, Schema
+from ..core.geometry import Rect
+from ..core.objects import SpatialDataset
+from ..engine.persist import dataset_fingerprint
+from ..service.types import DatasetSpec, DurabilityPolicy, dumps, loads
+
+PLAN_VERSION = 1
+PLAN_FILENAME = "plan.json"
+
+
+class PlanMismatchError(ValueError):
+    """A persisted plan does not match the dataset it is asked to serve."""
+
+
+def schema_to_dict(schema: Schema) -> dict:
+    """A JSON document for a schema -- *with* the categorical domains.
+
+    A shard's CSV holds a subset of the rows, so re-inferring domains
+    from it would shrink them (and change every representation's
+    dimensionality); workers must load shard CSVs under the full
+    plan-time schema.  Domain values must be JSON scalars.
+    """
+    attributes = []
+    for name in schema.names:
+        attr = schema[name]
+        if isinstance(attr, CategoricalAttribute):
+            for value in attr.domain:
+                if not isinstance(value, (str, int, float, bool)):
+                    raise ValueError(
+                        f"categorical domain value {value!r} of {name!r} "
+                        "is not JSON-serializable; shard plans need "
+                        "scalar domains"
+                    )
+            attributes.append(
+                {"kind": "categorical", "name": name, "domain": list(attr.domain)}
+            )
+        else:
+            attributes.append({"kind": "numeric", "name": name})
+    return {"attributes": attributes}
+
+
+def schema_from_dict(data: dict) -> Schema:
+    """Invert :func:`schema_to_dict`."""
+    attributes: list = []
+    for entry in data["attributes"]:
+        if entry["kind"] == "categorical":
+            attributes.append(
+                CategoricalAttribute(entry["name"], tuple(entry["domain"]))
+            )
+        else:
+            attributes.append(NumericAttribute(entry["name"]))
+    return Schema(tuple(attributes))
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A deterministic ``nx x ny`` anchor-tile partition with data halos.
+
+    ``x_edges`` / ``y_edges`` are the exact tile boundaries (length
+    ``nx + 1`` / ``ny + 1``); shard ``i`` owns tile
+    ``(i % nx, i // nx)``.  ``fingerprint`` binds the plan to the
+    dataset it was built from.
+    """
+
+    nx: int
+    ny: int
+    wmax: float
+    hmax: float
+    x_edges: Tuple[float, ...]
+    y_edges: Tuple[float, ...]
+    fingerprint: dict = field(default_factory=dict)
+    #: :func:`schema_to_dict` of the plan-time schema; workers load
+    #: their shard CSVs under it (full categorical domains).
+    schema: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.nx < 1 or self.ny < 1:
+            raise ValueError("plan grid dimensions must be positive")
+        if self.wmax <= 0 or self.hmax <= 0:
+            raise ValueError("plan wmax/hmax must be positive")
+        if len(self.x_edges) != self.nx + 1 or len(self.y_edges) != self.ny + 1:
+            raise ValueError("edge arrays must have nx+1 / ny+1 entries")
+        object.__setattr__(self, "x_edges", tuple(float(v) for v in self.x_edges))
+        object.__setattr__(self, "y_edges", tuple(float(v) for v in self.y_edges))
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def build(
+        dataset: SpatialDataset,
+        nx: int,
+        ny: int,
+        *,
+        wmax: float,
+        hmax: float,
+    ) -> "ShardPlan":
+        """Plan an ``nx x ny`` tiling of the dataset's bounding box.
+
+        Deterministic in its arguments; an empty dataset gets a unit
+        box (every shard then owns an empty slice -- still servable).
+        """
+        if dataset.n:
+            x_lo, x_hi = float(dataset.xs.min()), float(dataset.xs.max())
+            y_lo, y_hi = float(dataset.ys.min()), float(dataset.ys.max())
+        else:
+            x_lo = y_lo = 0.0
+            x_hi = y_hi = 1.0
+        # Degenerate extents (single column/row of points) still need
+        # tiles with interior: widen by one query size.
+        if x_hi <= x_lo:
+            x_hi = x_lo + wmax
+        if y_hi <= y_lo:
+            y_hi = y_lo + hmax
+        # The anchor domain reaches one query size below/left of the
+        # data (a region can cover the min point from below); the search
+        # itself never anchors outside the rectangle-union bounds, but
+        # tiles must cover them, so pad the tiled box by wmax/hmax.
+        x_edges = np.linspace(x_lo - wmax, x_hi, nx + 1)
+        y_edges = np.linspace(y_lo - hmax, y_hi, ny + 1)
+        return ShardPlan(
+            nx=nx,
+            ny=ny,
+            wmax=float(wmax),
+            hmax=float(hmax),
+            x_edges=tuple(float(v) for v in x_edges),
+            y_edges=tuple(float(v) for v in y_edges),
+            fingerprint=dataset_fingerprint(dataset),
+            schema=schema_to_dict(dataset.schema),
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return self.nx * self.ny
+
+    def tile(self, shard: int) -> Rect:
+        """Shard ``shard``'s anchor tile (the domain of its searches)."""
+        ix, iy = shard % self.nx, shard // self.nx
+        return Rect(
+            self.x_edges[ix],
+            self.y_edges[iy],
+            self.x_edges[ix + 1],
+            self.y_edges[iy + 1],
+        )
+
+    def coverage(self, shard: int) -> Rect:
+        """Shard ``shard``'s data halo: tile expanded by ``2*(wmax, hmax)``."""
+        return self.tile(shard).expand(2.0 * self.wmax, 2.0 * self.hmax)
+
+    def fits(self, width: float, height: float) -> bool:
+        """Whether a query of this region size is answerable under the plan."""
+        return width <= self.wmax and height <= self.hmax
+
+    def owner_of(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """The owning shard index of each point (half-open tiles).
+
+        Boundary points go to the higher-index tile (``searchsorted``
+        right), the last column/row closing the box; points outside the
+        tiled box clamp to the nearest edge tile, so ownership is total
+        -- appends landing outside the planned bounds still have
+        exactly one owner.
+        """
+        ix = np.clip(
+            np.searchsorted(np.asarray(self.x_edges), xs, side="right") - 1,
+            0,
+            self.nx - 1,
+        )
+        iy = np.clip(
+            np.searchsorted(np.asarray(self.y_edges), ys, side="right") - 1,
+            0,
+            self.ny - 1,
+        )
+        return (iy * self.nx + ix).astype(np.int64)
+
+    def covered_mask(
+        self, shard: int, xs: np.ndarray, ys: np.ndarray
+    ) -> np.ndarray:
+        """Which points shard ``shard`` holds (closed halo containment).
+
+        Closed on purpose: region membership is open, so a closed
+        superset can never miss a point a shard-local search needs.
+        """
+        cov = self.coverage(shard)
+        return (
+            (xs >= cov.x_min)
+            & (xs <= cov.x_max)
+            & (ys >= cov.y_min)
+            & (ys <= cov.y_max)
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "version": PLAN_VERSION,
+            "nx": self.nx,
+            "ny": self.ny,
+            "wmax": self.wmax,
+            "hmax": self.hmax,
+            "x_edges": list(self.x_edges),
+            "y_edges": list(self.y_edges),
+            "fingerprint": dict(self.fingerprint),
+            "schema": dict(self.schema),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ShardPlan":
+        version = data.get("version", PLAN_VERSION)
+        if version != PLAN_VERSION:
+            raise PlanMismatchError(
+                f"plan version {version} is not the supported {PLAN_VERSION}"
+            )
+        return cls(
+            nx=int(data["nx"]),
+            ny=int(data["ny"]),
+            wmax=float(data["wmax"]),
+            hmax=float(data["hmax"]),
+            x_edges=tuple(data["x_edges"]),
+            y_edges=tuple(data["y_edges"]),
+            fingerprint=dict(data.get("fingerprint", {})),
+            schema=dict(data.get("schema", {})),
+        )
+
+    def save(self, directory: str) -> str:
+        """Persist the plan as ``plan.json`` in the shard directory."""
+        path = os.path.join(directory, PLAN_FILENAME)
+        document = dumps(self.to_dict())
+        replace_atomically(path, lambda fh: fh.write(document), text=True)
+        return path
+
+    @classmethod
+    def load(cls, directory: str) -> "ShardPlan":
+        path = os.path.join(directory, PLAN_FILENAME)
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_dict(loads(fh.read()))
+
+    def check_dataset(self, dataset: SpatialDataset) -> None:
+        """Refuse to serve a dataset the plan was not built from."""
+        fp = dataset_fingerprint(dataset)
+        if fp != self.fingerprint:
+            raise PlanMismatchError(
+                "plan fingerprint does not match the dataset "
+                f"(plan n={self.fingerprint.get('n')}, data n={fp['n']}); "
+                "re-run shard-plan after changing the base CSV"
+            )
+
+    # ------------------------------------------------------------------
+    def shard_key(self, shard: int) -> str:
+        return f"shard{shard:03d}"
+
+    def shard_spec(
+        self,
+        shard: int,
+        directory: str,
+        *,
+        categorical: Sequence[str] = (),
+        numeric: Sequence[str] = (),
+        granularity="auto",
+        durability: DurabilityPolicy | None = None,
+    ) -> DatasetSpec:
+        """The :class:`DatasetSpec` of one shard's CSV + bundle + WAL triple."""
+        key = self.shard_key(shard)
+        return DatasetSpec(
+            key=key,
+            data=os.path.join(directory, f"{key}.csv"),
+            categorical=tuple(categorical),
+            numeric=tuple(numeric),
+            index=os.path.join(directory, f"{key}.bundle"),
+            wal=os.path.join(directory, f"{key}.wal"),
+            granularity=granularity,
+            durability=durability or DurabilityPolicy(),
+        )
+
+
+def load_shard_dataset(plan: ShardPlan, spec: DatasetSpec) -> SpatialDataset:
+    """Load one shard's CSV under the plan-time schema (full domains)."""
+    from ..data.io import load_csv
+
+    return load_csv(spec.data, schema_from_dict(plan.schema))
+
+
+def split_dataset(
+    dataset: SpatialDataset,
+    plan: ShardPlan,
+    directory: str,
+    *,
+    categorical: Sequence[str] = (),
+    numeric: Sequence[str] = (),
+    granularity="auto",
+) -> List[DatasetSpec]:
+    """Split a dataset into per-shard (CSV, bundle, WAL) triples on disk.
+
+    Each shard's slice is the order-preserving subset of its covered
+    rows -- relative row order is what keeps shard-local aggregator
+    sums bitwise-identical to the unsharded ones.  Persistence goes
+    through :meth:`RegionService.persist` (CSV before bundle, both
+    atomic); WAL files are created lazily by the first logged mutation.
+    Returns the shard specs, and writes ``plan.json`` last -- a plan
+    file never names shards that were not fully persisted.
+    """
+    from ..service.facade import RegionService
+
+    os.makedirs(directory, exist_ok=True)
+    specs: List[DatasetSpec] = []
+    xs, ys = dataset.xs, dataset.ys
+    for shard in range(plan.n_shards):
+        spec = plan.shard_spec(
+            shard,
+            directory,
+            categorical=categorical,
+            numeric=numeric,
+            granularity=granularity,
+        )
+        piece = dataset.subset(plan.covered_mask(shard, xs, ys))
+        service = RegionService()
+        # Bind in-memory (spec.data does not exist yet), then persist
+        # the (CSV, bundle) pair through the standard choreography.
+        bind = DatasetSpec(
+            key=spec.key,
+            categorical=spec.categorical,
+            numeric=spec.numeric,
+            granularity=spec.granularity,
+            durability=spec.durability,
+        )
+        service.open(bind, dataset=piece)
+        service.persist(spec.key, save_data=spec.data, save_index=spec.index)
+        service.close()
+        specs.append(spec)
+    plan.save(directory)
+    return specs

@@ -23,19 +23,29 @@ import pytest
 
 # Import every module that registers failpoints, so registered() below
 # enumerates the full surface at collection time.
+import numpy as np
+
 import repro.core.atomicio  # noqa: F401
 import repro.engine.persist  # noqa: F401
 import repro.engine.updates  # noqa: F401
 import repro.engine.wal  # noqa: F401
 import repro.service.facade  # noqa: F401
 import repro.service.httpd  # noqa: F401
+import repro.shard  # noqa: F401 -- registers the shard failpoints
 from repro import faults
 from repro.engine.wal import WalRollbackError, WalWriteError
-from repro.service import DatasetUnavailable, RegionService
+from repro.service import (
+    DatasetSpec,
+    DatasetUnavailable,
+    RegionService,
+    UpdateRequest,
+)
 from repro.service.httpd import make_server
 
 from .common import (
     assert_bitwise,
+    base_dataset,
+    effective_dataset,
     open_writer,
     probe_request,
     update_request,
@@ -295,6 +305,104 @@ def _case_httpd_request(tmp_path):
     assert_bitwise(service, ds, [])
 
 
+def _shard_router(tmp_path):
+    """A 2-shard local-backend router over the deterministic base.
+
+    Local backend: spawned worker processes do not inherit the parent's
+    armed failpoints, so chaos cases drive the identical dispatch
+    in-process.
+    """
+    from repro.shard import ShardPlan, ShardRouter, split_dataset
+
+    ds = base_dataset()
+    plan = ShardPlan.build(ds, 2, 1, wmax=15.0, hmax=12.0)
+    shard_dir = tmp_path / "shards"
+    shard_dir.mkdir()
+    specs = split_dataset(
+        ds, plan, str(shard_dir), categorical=("kind",), numeric=("score",)
+    )
+    router = ShardRouter(
+        plan, specs, ds, name="d", backend="local", directory=str(shard_dir)
+    )
+    return router, ds
+
+
+def _assert_routed_bitwise(router, final_ds, probe):
+    """The router invariant: merged answer == unsharded canonical solve."""
+    got = router.query(probe)
+    oracle = RegionService()
+    oracle.open(DatasetSpec(key="d"), dataset=final_ds)
+    want = oracle.session("d").solve_canonical(oracle._asrs_query(probe))
+    oracle.close()
+    region = want.region
+    assert got.region == (
+        region.x_min, region.y_min, region.x_max, region.y_max
+    )
+    assert got.score == want.distance
+    assert np.array_equal(
+        np.asarray(got.representation), np.asarray(want.representation)
+    )
+
+
+def _case_router_scatter(tmp_path):
+    """A fault at the scatter boundary, before any worker is touched:
+    the query fails loudly, no shard is marked dead, health stays ok,
+    and the retry answers bitwise-identically."""
+    router, ds = _shard_router(tmp_path)
+    try:
+        probe = probe_request()
+        faults.enable("shard.router.scatter", "raise@once")
+        with pytest.raises(faults.FailpointError, match="shard.router.scatter"):
+            router.query(probe)
+        assert router.health()["state"] == "ok"
+        _assert_routed_bitwise(router, ds, probe)
+    finally:
+        router.close()
+
+
+def _case_shard_worker(tmp_path):
+    """A fault inside one worker's op dispatch.  A read fails loudly
+    (no shard marked dead -- the worker is alive) and the retry serves
+    bitwise.  A mid-batch refusal leaves the batch journalled as
+    pending -- every operation 503s -- until ``recover()`` re-delivers
+    exactly the refused sub-batch and commits, bitwise-identical to the
+    unsharded apply."""
+    router, ds = _shard_router(tmp_path)
+    try:
+        probe = probe_request()
+        faults.enable("shard.worker.request", "raise@once")
+        with pytest.raises(DatasetUnavailable, match="degraded"):
+            router.query(probe)
+        assert router.health()["state"] == "ok"
+        _assert_routed_bitwise(router, ds, probe)
+
+        # Appends inside the planned coverage box, one per tile edge,
+        # so the batch splits into sub-batches for BOTH shards.
+        xe, ye = router.plan.x_edges, router.plan.y_edges
+        upd = UpdateRequest(
+            dataset="d",
+            append=(
+                (float(xe[0] + 16.0), float(ye[0] + 13.0),
+                 {"kind": "k1", "score": 1.5}),
+                (float(xe[-1] - 1.0), float(ye[-1] - 1.0),
+                 {"kind": "k2", "score": -0.5}),
+            ),
+            delete=(3,),
+        )
+        faults.enable("shard.worker.request", "raise@once")
+        with pytest.raises(DatasetUnavailable, match="refused the sub-batch"):
+            router.update(upd)
+        with pytest.raises(DatasetUnavailable, match="in flight"):
+            router.query(probe)
+        assert router.health()["state"] == "degraded"
+        out = router.recover()
+        assert out["committed"] and out["resent"] == 1
+        assert router.health()["state"] == "ok"
+        _assert_routed_bitwise(router, effective_dataset(ds, [upd]), probe)
+    finally:
+        router.close()
+
+
 CASES = {
     "atomicio.pre-fsync": _case_checkpoint_path("atomicio.pre-fsync"),
     "atomicio.post-fsync-pre-rename": _case_checkpoint_path(
@@ -321,6 +429,8 @@ CASES = {
     "facade.persist.pre-save": _case_persist_pre_save,
     "facade.refresh.reopen": _case_refresh_reopen,
     "httpd.request": _case_httpd_request,
+    "shard.router.scatter": _case_router_scatter,
+    "shard.worker.request": _case_shard_worker,
 }
 
 

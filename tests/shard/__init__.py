@@ -1,0 +1,1 @@
+"""Tests for the spatial shard router (:mod:`repro.shard`)."""

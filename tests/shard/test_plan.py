@@ -1,0 +1,203 @@
+"""ShardPlan invariants: geometry, persistence, and dataset splitting.
+
+The plan is the router's source of truth -- every property here is
+load-bearing for the scatter-gather identity proof (DESIGN.md §15):
+tiles partition the padded bounding box, halos are closed supersets of
+what any in-tile anchor can touch, ownership is total, and the
+persisted form round-trips exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.objects import SpatialDataset
+from repro.shard import PlanMismatchError, ShardPlan, split_dataset
+from repro.shard.plan import (
+    load_shard_dataset,
+    schema_from_dict,
+    schema_to_dict,
+)
+
+from ..conftest import make_random_dataset
+
+WMAX, HMAX = 15.0, 12.0
+
+
+def _dataset(seed: int = 11, n: int = 60, extent: float = 80.0) -> SpatialDataset:
+    return make_random_dataset(np.random.default_rng(seed), n, extent=extent)
+
+
+def _plan(dataset=None, nx: int = 3, ny: int = 2) -> ShardPlan:
+    dataset = dataset if dataset is not None else _dataset()
+    return ShardPlan.build(dataset, nx, ny, wmax=WMAX, hmax=HMAX)
+
+
+class TestGeometry:
+    def test_build_is_deterministic(self):
+        ds = _dataset()
+        a = ShardPlan.build(ds, 3, 2, wmax=WMAX, hmax=HMAX)
+        b = ShardPlan.build(ds, 3, 2, wmax=WMAX, hmax=HMAX)
+        assert a.to_dict() == b.to_dict()
+
+    def test_edges_pad_one_query_size_below_left(self):
+        ds = _dataset()
+        plan = _plan(ds)
+        assert plan.x_edges[0] == float(ds.xs.min()) - WMAX
+        assert plan.y_edges[0] == float(ds.ys.min()) - HMAX
+        assert plan.x_edges[-1] == float(ds.xs.max())
+        assert plan.y_edges[-1] == float(ds.ys.max())
+
+    def test_tiles_partition_the_planned_box(self):
+        plan = _plan()
+        assert plan.n_shards == plan.nx * plan.ny
+        for s in range(plan.n_shards):
+            ix, iy = s % plan.nx, s // plan.nx
+            tile = plan.tile(s)
+            assert tile.x_min == plan.x_edges[ix]
+            assert tile.x_max == plan.x_edges[ix + 1]
+            assert tile.y_min == plan.y_edges[iy]
+            assert tile.y_max == plan.y_edges[iy + 1]
+            assert tile.x_min < tile.x_max and tile.y_min < tile.y_max
+
+    def test_coverage_is_tile_plus_double_halo(self):
+        plan = _plan()
+        for s in range(plan.n_shards):
+            tile, cov = plan.tile(s), plan.coverage(s)
+            assert cov.x_min == tile.x_min - 2.0 * WMAX
+            assert cov.x_max == tile.x_max + 2.0 * WMAX
+            assert cov.y_min == tile.y_min - 2.0 * HMAX
+            assert cov.y_max == tile.y_max + 2.0 * HMAX
+
+    def test_fits_accepts_up_to_the_planned_query_size(self):
+        plan = _plan()
+        assert plan.fits(WMAX, HMAX)
+        assert plan.fits(1.0, 1.0)
+        assert not plan.fits(WMAX + 1e-9, HMAX)
+        assert not plan.fits(WMAX, HMAX + 1e-9)
+
+    def test_ownership_is_total_and_consistent_with_tiles(self):
+        ds = _dataset(seed=5, n=200, extent=120.0)
+        plan = _plan(ds, nx=4, ny=3)
+        # Points well outside the planned box still get exactly one
+        # owner (clamped to the nearest edge tile).
+        xs = np.concatenate([ds.xs, [-1e6, 1e6]])
+        ys = np.concatenate([ds.ys, [1e6, -1e6]])
+        owners = plan.owner_of(xs, ys)
+        assert owners.dtype == np.int64
+        assert ((owners >= 0) & (owners < plan.n_shards)).all()
+        # An owner's closed halo always contains its in-box points.
+        inside = (
+            (xs >= plan.x_edges[0])
+            & (xs <= plan.x_edges[-1])
+            & (ys >= plan.y_edges[0])
+            & (ys <= plan.y_edges[-1])
+        )
+        for s in range(plan.n_shards):
+            mine = inside & (owners == s)
+            if mine.any():
+                assert plan.covered_mask(s, xs, ys)[mine].all()
+
+    def test_every_row_is_covered_by_some_shard(self):
+        ds = _dataset(seed=9, n=150, extent=100.0)
+        plan = _plan(ds, nx=4, ny=2)
+        covered = np.zeros(ds.n, dtype=bool)
+        for s in range(plan.n_shards):
+            covered |= plan.covered_mask(s, ds.xs, ds.ys)
+        assert covered.all()
+
+    def test_degenerate_extent_gets_interior(self):
+        xs = np.full(4, 10.0)
+        ys = np.full(4, 20.0)
+        ds = _dataset(n=4)
+        ds = SpatialDataset(
+            xs, ys, ds.schema, {a.name: ds.column(a.name) for a in ds.schema}
+        )
+        plan = ShardPlan.build(ds, 2, 2, wmax=WMAX, hmax=HMAX)
+        for s in range(plan.n_shards):
+            tile = plan.tile(s)
+            assert tile.x_min < tile.x_max and tile.y_min < tile.y_max
+
+    def test_empty_dataset_plans_a_unit_box(self):
+        ds = _dataset().subset(np.zeros(60, dtype=bool))
+        plan = ShardPlan.build(ds, 2, 1, wmax=WMAX, hmax=HMAX)
+        assert plan.x_edges[0] == 0.0 - WMAX
+        assert plan.x_edges[-1] == 1.0
+        assert plan.y_edges[0] == 0.0 - HMAX
+        assert plan.y_edges[-1] == 1.0
+
+    def test_bad_grid_rejected(self):
+        ds = _dataset()
+        with pytest.raises(ValueError):
+            ShardPlan.build(ds, 0, 1, wmax=WMAX, hmax=HMAX)
+        with pytest.raises(ValueError):
+            ShardPlan.build(ds, 1, 1, wmax=0.0, hmax=HMAX)
+
+
+class TestPersistence:
+    def test_dict_round_trip(self):
+        plan = _plan()
+        clone = ShardPlan.from_dict(plan.to_dict())
+        assert clone == plan
+
+    def test_save_load_round_trip(self, tmp_path):
+        plan = _plan()
+        plan.save(str(tmp_path))
+        assert (tmp_path / "plan.json").exists()
+        assert ShardPlan.load(str(tmp_path)) == plan
+
+    def test_version_mismatch_fails_closed(self):
+        data = _plan().to_dict()
+        data["version"] = 999
+        with pytest.raises(PlanMismatchError):
+            ShardPlan.from_dict(data)
+
+    def test_check_dataset_binds_the_fingerprint(self):
+        ds = _dataset()
+        plan = _plan(ds)
+        plan.check_dataset(ds)  # the plan-time dataset passes
+        other = _dataset(seed=99)
+        with pytest.raises(PlanMismatchError):
+            plan.check_dataset(other)
+
+    def test_schema_dict_preserves_categorical_domains(self):
+        ds = _dataset()
+        schema = schema_from_dict(schema_to_dict(ds.schema))
+        assert schema_to_dict(schema) == schema_to_dict(ds.schema)
+
+
+class TestSplit:
+    def test_split_writes_loadable_covered_subsets(self, tmp_path):
+        ds = _dataset(seed=21, n=80, extent=90.0)
+        plan = _plan(ds)
+        specs = split_dataset(
+            ds, plan, str(tmp_path), categorical=("kind",), numeric=("score",)
+        )
+        assert len(specs) == plan.n_shards
+        assert (tmp_path / "plan.json").exists()
+        covered = np.zeros(ds.n, dtype=bool)
+        for s, spec in enumerate(specs):
+            assert spec.key == plan.shard_key(s)
+            piece = load_shard_dataset(plan, spec)
+            want = ds.subset(plan.covered_mask(s, ds.xs, ds.ys))
+            # Order-preserving, bitwise: shard-local aggregator sums
+            # must match the unsharded ones exactly.
+            assert np.array_equal(piece.xs, want.xs)
+            assert np.array_equal(piece.ys, want.ys)
+            for name in ("kind", "score"):
+                assert np.array_equal(piece.column(name), want.column(name))
+            covered |= plan.covered_mask(s, ds.xs, ds.ys)
+        assert covered.all()
+
+    def test_shard_schema_keeps_full_domains(self, tmp_path):
+        # A shard that happens to hold no rows of one category must
+        # still decode under the full plan-time domain, or its
+        # distribution vectors would change dimension.
+        ds = _dataset(seed=3, n=40, extent=60.0)
+        plan = _plan(ds, nx=2, ny=1)
+        specs = split_dataset(
+            ds, plan, str(tmp_path), categorical=("kind",), numeric=("score",)
+        )
+        full = schema_from_dict(plan.schema)
+        for spec in specs:
+            piece = load_shard_dataset(plan, spec)
+            assert schema_to_dict(piece.schema) == schema_to_dict(full)
